@@ -1,0 +1,241 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Each ablation isolates one mechanism the paper's design relies on:
+
+* **ALAT capacity** — a tiny ALAT evicts entries between ld.a and ld.c,
+  turning successful speculation into mis-speculation (why the ISA gives
+  the structure 32 entries);
+* **check latency** — the entire benefit premise is that a successful
+  check costs ~0 cycles (paper §5.2); pricing checks like loads erases
+  the speedup;
+* **control speculation** — disabling it forfeits the loop-invariant
+  hoists (zero-trip risk) that the paper's framework performs via
+  non-down-safe Φs;
+* **store forwarding** — register promotion after Lo et al. [25] also
+  forwards stored values; without it some redundant loads survive;
+* **TBAA** — the base's type-based alias analysis (Diwan et al. [9])
+  already removes int/float false aliasing; without it the base gets
+  slower, widening the speculative win;
+* **heuristic rules individually** — rule 3 (calls stay binding) is a
+  safety rule: removing it would speculate across calls without profile
+  evidence.
+"""
+
+import pytest
+
+from repro.core import SpecConfig
+from repro.pipeline import format_table
+from repro.target import ALAT, DataCache
+from repro.workloads import get_workload, run_workload
+
+from conftest import emit_table
+
+
+@pytest.fixture(scope="module")
+def equake():
+    return get_workload("equake")
+
+
+@pytest.fixture(scope="module")
+def mcf():
+    return get_workload("mcf")
+
+
+def test_ablation_alat_capacity(equake, benchmark):
+    """Shrinking the ALAT turns hits into capacity misses."""
+    rows = []
+    for entries in (2, 4, 8, 32):
+        result = run_workload(
+            equake, SpecConfig.profile(),
+            machine_overrides={"alat": ALAT(entries=entries, ways=2)},
+        )
+        rows.append({
+            "alat_entries": entries,
+            "check_misses": result.stats.check_misses,
+            "misspec_%": 100.0 * result.stats.misspeculation_ratio,
+            "cycles": result.stats.cycles,
+        })
+    text = format_table(rows, title="Ablation: ALAT capacity (equake)")
+    emit_table("ablation_alat", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert rows[0]["check_misses"] > rows[-1]["check_misses"]
+    assert rows[-1]["check_misses"] == 0
+    # cycles degrade monotonically-ish as the ALAT shrinks
+    assert rows[0]["cycles"] >= rows[-1]["cycles"]
+
+
+def test_ablation_check_latency(equake, benchmark):
+    """If a successful ld.c cost as much as the FP load it replaces,
+    speculative promotion would stop paying."""
+    rows = []
+    base = run_workload(equake, SpecConfig.base())
+    for latency in (0, 2, 9):
+        result = run_workload(
+            equake, SpecConfig.profile(),
+            machine_overrides={"check_hit_latency": latency},
+        )
+        rows.append({
+            "check_hit_latency": latency,
+            "cycles": result.stats.cycles,
+            "speedup_%": 100.0 * (1 - result.stats.cycles
+                                  / base.stats.cycles),
+        })
+    text = format_table(rows,
+                        title="Ablation: successful-check latency (equake)")
+    emit_table("ablation_check_latency", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert rows[0]["cycles"] < rows[-1]["cycles"]
+    assert rows[0]["speedup_%"] > rows[-1]["speedup_%"]
+
+
+def test_ablation_control_speculation(equake, benchmark):
+    """Without control speculation the loop-invariant v[i][k] loads stay
+    in the inner loop."""
+    with_cs = run_workload(equake, SpecConfig.profile())
+    without = run_workload(
+        equake, SpecConfig.profile().but(control_speculation=False))
+    rows = [
+        {"control_speculation": "on",
+         "memory_loads": with_cs.stats.memory_loads},
+        {"control_speculation": "off",
+         "memory_loads": without.stats.memory_loads},
+    ]
+    emit_table("ablation_control_spec",
+               format_table(rows, title="Ablation: control speculation "
+                                        "(equake)"))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert with_cs.stats.memory_loads < without.stats.memory_loads
+
+
+def test_ablation_store_forwarding(mcf, benchmark):
+    with_sf = run_workload(mcf, SpecConfig.profile())
+    without = run_workload(
+        mcf, SpecConfig.profile().but(store_forwarding=False))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert with_sf.stats.memory_loads <= without.stats.memory_loads
+
+
+def test_ablation_tbaa_helps_base(equake, benchmark):
+    """The O3 base relies on TBAA to promote across int/float stores
+    without speculation; turning TBAA off costs the base loads."""
+    with_tbaa = run_workload(equake, SpecConfig.base())
+    without = run_workload(equake, SpecConfig.base().but(use_tbaa=False))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert with_tbaa.stats.memory_loads <= without.stats.memory_loads
+
+
+def test_ablation_scheduler(equake, benchmark):
+    """§5.1 blames scheduling for part of the check-instruction cost:
+    without list scheduling both builds slow down, and the gap between
+    them changes — scheduling quality and speculative promotion
+    interact."""
+    rows = []
+    for schedule in (True, False):
+        base = run_workload(equake, SpecConfig.base().but(
+            schedule=schedule))
+        spec = run_workload(equake, SpecConfig.profile().but(
+            schedule=schedule))
+        rows.append({
+            "scheduler": "on" if schedule else "off",
+            "base_cycles": base.stats.cycles,
+            "spec_cycles": spec.stats.cycles,
+            "speedup_%": 100.0 * (1 - spec.stats.cycles
+                                  / base.stats.cycles),
+        })
+    emit_table("ablation_scheduler",
+               format_table(rows, title="Ablation: list scheduler "
+                                        "(equake)"))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    on, off = rows
+    assert on["base_cycles"] <= off["base_cycles"]
+    assert on["spec_cycles"] <= off["spec_cycles"]
+
+
+def test_ablation_profile_granularity(benchmark):
+    """Coarser LOC naming (whole objects) cannot disambiguate gzip's
+    intra-array accesses — the speculation (and its mis-speculation)
+    disappears; the fine default reproduces them."""
+    import repro.pipeline.driver as driver
+    from repro.profiling import collect_alias_profile
+
+    gzip = get_workload("gzip")
+    fine = run_workload(gzip, SpecConfig.profile())
+
+    original = collect_alias_profile
+
+    def coarse_collect(module, fuel=50_000_000, inputs=(), granularity=8):
+        return original(module, fuel=fuel, inputs=inputs,
+                        granularity=1_000_000)
+
+    driver.collect_alias_profile = coarse_collect
+    try:
+        coarse = run_workload(gzip, SpecConfig.profile())
+    finally:
+        driver.collect_alias_profile = original
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert fine.stats.check_loads > coarse.stats.check_loads
+    assert coarse.stats.check_misses == 0
+
+
+def test_ablation_likeliness_threshold(benchmark):
+    """§3.1's degree-of-likeliness knob: with threshold 0 (the paper's
+    membership rule) gzip's colliding store is flagged χs wherever the
+    TRAIN run saw it; raising the threshold lets rare train-time
+    collisions stay speculative — more checks, more mis-speculation."""
+    gzip = get_workload("gzip")
+    # a train input that DOES occasionally hit head[0] (like ref)
+    from dataclasses import replace
+
+    colliding_train = replace(gzip, train_inputs=gzip.ref_inputs)
+    rows = []
+    for threshold in (0.0, 0.2):
+        cfg = SpecConfig.profile().but(likeliness_threshold=threshold)
+        result = run_workload(colliding_train, cfg)
+        rows.append({
+            "threshold": threshold,
+            "checks": result.stats.check_loads,
+            "check_misses": result.stats.check_misses,
+        })
+    emit_table("ablation_threshold",
+               format_table(rows, title="Ablation: likeliness threshold "
+                                        "(gzip, colliding train input)"))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    zero, some = rows
+    # membership rule: collision seen in training → no speculation on it
+    assert some["checks"] >= zero["checks"]
+    assert some["check_misses"] >= zero["check_misses"]
+    assert some["check_misses"] > 0
+
+
+def test_ablation_pointer_analysis(benchmark):
+    """Swapping Steensgaard for inclusion-based (Andersen) points-to:
+    a sharper static baseline can shrink the speculative win, but the
+    bulk of it survives — the aliasing the paper targets is
+    input-dependent, beyond any static analysis."""
+    rows = []
+    for name in ("equake", "twolf", "mcf"):
+        w = get_workload(name)
+        for analysis in ("steensgaard", "andersen"):
+            base = run_workload(w, SpecConfig.base().but(
+                pointer_analysis=analysis))
+            spec = run_workload(w, SpecConfig.profile().but(
+                pointer_analysis=analysis))
+            rows.append({
+                "benchmark": name,
+                "analysis": analysis,
+                "base_loads": base.stats.memory_loads,
+                "spec_loads": spec.stats.memory_loads,
+                "loadred_%": 100.0 * (1 - spec.stats.memory_loads
+                                      / base.stats.memory_loads),
+            })
+    emit_table("ablation_pointer_analysis",
+               format_table(rows, title="Ablation: points-to analysis"))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_key = {(r["benchmark"], r["analysis"]): r for r in rows}
+    for name in ("equake", "twolf", "mcf"):
+        steens = by_key[(name, "steensgaard")]
+        anders = by_key[(name, "andersen")]
+        # a sharper analysis never makes the base need MORE loads
+        assert anders["base_loads"] <= steens["base_loads"]
+        # and speculation still removes a meaningful share
+        assert anders["loadred_%"] >= 5.0

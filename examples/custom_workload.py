@@ -1,0 +1,106 @@
+"""Defining and measuring your own workload.
+
+Shows the downstream-user path end to end: write a mini-C kernel with an
+input-parameterized aliasing pattern, register it as a workload with
+train/ref inputs, and measure it under every speculation configuration —
+with per-phase IR dumps for inspection.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.core import SpecConfig
+from repro.pipeline import DumpSink, compile_program, format_table
+from repro.workloads import Workload, run_workload
+
+# A histogram-equalization-ish kernel: `lut` lookups are repeated across
+# `hist` updates.  Statically the two may alias (the guarded call passes
+# the same array); dynamically they never do.
+SOURCE = """
+int seed;
+
+int rnd(int bound) {
+  seed = (seed * 2731 + 5) % 65536;
+  return seed % bound;
+}
+
+int equalize(int *pixels, int *lut, int *hist, int n, int levels) {
+  int i; int p; int out;
+  out = 0;
+  for (i = 0; i < n; i = i + 1) {
+    p = pixels[i] % levels;
+    hist[p] = hist[p] + 1;
+    out = out + lut[p];
+    hist[p] = hist[p] % 4093;
+    out = (out + lut[p] / 2) % 100003;
+  }
+  return out;
+}
+
+void main() {
+  int n; int levels; int guard; int i; int out;
+  int *pixels; int *lut; int *hist;
+  n = input(); levels = input(); guard = input();
+  seed = 77;
+  pixels = alloc(n); lut = alloc(levels); hist = alloc(levels);
+  for (i = 0; i < n; i = i + 1) { pixels[i] = rnd(1000); }
+  for (i = 0; i < levels; i = i + 1) { lut[i] = rnd(255); hist[i] = 0; }
+  if (guard < 0) { out = equalize(hist, hist, hist, n, levels); }
+  out = equalize(pixels, lut, hist, n, levels);
+  for (i = 0; i < levels; i = i + 1) { out = (out + hist[i]) % 100003; }
+  print(out);
+}
+"""
+
+WORKLOAD = Workload(
+    name="histeq",
+    spec_name="(custom)",
+    description="histogram equalization: lut[p] reloads across hist[p] "
+                "stores that never actually collide",
+    source=SOURCE,
+    train_inputs=[64, 16, 0],
+    ref_inputs=[400, 32, 0],
+    expectation="lut reloads become checks; zero mis-speculation",
+)
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Custom workload: histogram equalization")
+    print("=" * 72)
+
+    rows = []
+    base = run_workload(WORKLOAD, SpecConfig.base())
+    for config, name in [
+        (SpecConfig.base(), "base"),
+        (SpecConfig.profile(), "profile"),
+        (SpecConfig.heuristic(), "heuristic"),
+    ]:
+        result = run_workload(WORKLOAD, config)
+        rows.append({
+            "config": name,
+            "memory_loads": result.stats.memory_loads,
+            "loadred_%": 100.0 * (1 - result.stats.memory_loads
+                                  / base.stats.memory_loads),
+            "checks": result.stats.check_loads,
+            "misspec_%": 100.0 * result.stats.misspeculation_ratio,
+            "cycles": result.stats.cycles,
+        })
+    print(format_table(rows))
+
+    print("\n--- the speculative kernel (optimized IR) ---")
+    sink = DumpSink()
+    compile_program(SOURCE, SpecConfig.profile(),
+                    train_inputs=WORKLOAD.train_inputs, dumps=sink)
+    text = sink.get("optimized")
+    in_fn = False
+    for line in text.splitlines():
+        if line.startswith("int equalize"):
+            in_fn = True
+        if in_fn:
+            print(line)
+            if line == "}":
+                break
+
+
+if __name__ == "__main__":
+    main()

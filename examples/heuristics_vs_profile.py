@@ -1,0 +1,51 @@
+"""§3.2.2 / §5.2: heuristic rules as a profile-free alternative.
+
+The paper's speculative SSA form can be flagged either from an alias
+profile or from three syntax-tree heuristic rules.  This example runs
+every workload under both and prints the comparison the paper summarizes
+as "the performance of the heuristic version is comparable to that of
+the profile-based version".
+
+Run:  python examples/heuristics_vs_profile.py
+"""
+
+from repro.core import SpecConfig
+from repro.pipeline import format_table
+from repro.workloads import all_workloads, run_workload
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Speculation flags: three syntax heuristics vs alias profile")
+    print("=" * 72)
+    print("""
+rule 1: identical address syntax trees are assumed to see the same value
+rule 2: direct reads of one variable are assumed to see the same value
+rule 3: call side effects are always binding (no speculation across calls)
+""")
+    rows = []
+    for workload in all_workloads():
+        base = run_workload(workload, SpecConfig.base())
+        profile = run_workload(workload, SpecConfig.profile())
+        heuristic = run_workload(workload, SpecConfig.heuristic())
+
+        def reduction(run):
+            return 100.0 * (1 - run.stats.memory_loads
+                            / base.stats.memory_loads)
+
+        rows.append({
+            "benchmark": workload.name,
+            "profile_loadred_%": reduction(profile),
+            "heuristic_loadred_%": reduction(heuristic),
+            "heuristic_misspec_%":
+                100.0 * heuristic.stats.misspeculation_ratio,
+        })
+    print(format_table(rows))
+    print()
+    print("The heuristics recover most of the profile's load reduction")
+    print("without any training run, at a small mis-speculation cost —")
+    print("the ALAT checks keep every run correct either way.")
+
+
+if __name__ == "__main__":
+    main()

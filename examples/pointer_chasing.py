@@ -1,0 +1,54 @@
+"""mcf-style pointer chasing: why load reduction ≠ speedup.
+
+The paper's Figure 10 discussion: mcf loses 6% of its loads to
+speculative promotion but only gains 2% time, "because the reduced loads
+are often cache-hit operations, thus having a smaller impact on
+performance for programs suffering from frequent data cache misses".
+
+This example reproduces the effect with the mcf workload and shows the
+cache statistics behind it.
+
+Run:  python examples/pointer_chasing.py
+"""
+
+from repro.core import SpecConfig
+from repro.workloads import get_workload, run_workload
+
+
+def main() -> None:
+    workload = get_workload("mcf")
+    print("=" * 72)
+    print("mcf: load reduction without matching speedup")
+    print("=" * 72)
+    print(workload.description)
+    print()
+
+    base = run_workload(workload, SpecConfig.base())
+    spec = run_workload(workload, SpecConfig.profile())
+
+    load_red = 100.0 * (1 - spec.stats.memory_loads
+                        / base.stats.memory_loads)
+    speedup = 100.0 * (1 - spec.stats.cycles / base.stats.cycles)
+
+    print(f"memory loads     : {base.stats.memory_loads} -> "
+          f"{spec.stats.memory_loads}  ({load_red:.1f}% reduction)")
+    print(f"cycles           : {base.stats.cycles} -> "
+          f"{spec.stats.cycles}  ({speedup:.1f}% speedup)")
+    print()
+
+    # The promoted (removed) loads are the *reloads* — they hit L1 by
+    # construction (the first load just touched the line).  The expensive
+    # scattered potential[] misses are first uses and must stay.
+    for name, result in (("base", base), ("spec", spec)):
+        machine_cache = result.stats
+        print(f"{name}: data-access stall cycles = "
+              f"{machine_cache.data_access_cycles} "
+              f"({100.0 * machine_cache.data_access_cycles / machine_cache.cycles:.1f}% of runtime)")
+    print()
+    print("The removed loads were cheap L1 hits; the cache-missing first")
+    print("loads of potential[] remain, so the speedup trails the load")
+    print("reduction — the paper's mcf observation.")
+
+
+if __name__ == "__main__":
+    main()

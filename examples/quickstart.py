@@ -1,0 +1,68 @@
+"""Quickstart: the paper's Figure 2 transformation, end to end.
+
+Compiles a tiny function in which a store through ``*q`` sits between two
+loads of ``*p``.  Statically the two pointers may alias (a never-executed
+call passes the same array for both), but the training run shows they
+never do — so speculative SSAPRE removes the second load, emitting the
+paper's ld.a / ld.c pair, and the ALAT-backed simulator confirms zero
+mis-speculations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import SpecConfig
+from repro.ir import format_function
+from repro.pipeline import compile_and_run, compile_program
+
+SOURCE = """
+void f(int *p, int *q) {
+  int x;
+  x = *p;        // first load of *p
+  *q = 9;        // may-alias store (never aliases at runtime)
+  x = x + *p;    // second load of *p: speculatively redundant
+  print(x);
+}
+
+void main() {
+  int a[8]; int b[8]; int c;
+  c = input();
+  a[0] = 5;
+  if (c) { f(a, a); }   // makes p/q static may-aliases; never executed
+  f(a, b);
+}
+"""
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Paper Figure 2: redundancy elimination using data speculation")
+    print("=" * 72)
+
+    for config, label in [
+        (SpecConfig.base(), "O3 base (no data speculation)"),
+        (SpecConfig.profile(), "speculative (alias profile)"),
+    ]:
+        compiled = compile_program(SOURCE, config, train_inputs=[0])
+        print(f"\n--- {label}: optimized IR of f ---")
+        print(format_function(compiled.optimized.functions["f"]))
+
+    print("\n--- simulated on the IA-64-flavoured machine ---")
+    for config, label in [
+        (SpecConfig.base(), "base"),
+        (SpecConfig.profile(), "speculative"),
+    ]:
+        result = compile_and_run(SOURCE, config,
+                                 train_inputs=[0], ref_inputs=[0])
+        s = result.stats
+        print(f"{label:12s} output={result.output}  "
+              f"loads={s.memory_loads} (plain={s.plain_loads}, "
+              f"ld.a={s.advanced_loads}, ld.c={s.check_loads} "
+              f"with {s.check_misses} misses)  cycles={s.cycles}")
+
+    print("\nThe speculative build replaces the reload of *p with a check"
+          "\nload; since *q never aliased *p at runtime, every check hits"
+          "\nand the load disappears from the memory pipeline.")
+
+
+if __name__ == "__main__":
+    main()

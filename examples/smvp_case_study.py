@@ -1,0 +1,64 @@
+"""§5.1 case study: equake's smvp procedure.
+
+Reproduces the paper's three headline numbers for the time-critical
+sparse matrix-vector kernel:
+
+* how many load operations become check instructions,
+* the speedup of the speculative build over the O3 base,
+* the headroom of a "manually tuned" build (checks deleted — valid here
+  because the aliasing never materializes).
+
+Run:  python examples/smvp_case_study.py
+"""
+
+from repro.core import SpecConfig
+from repro.target import ALAT
+from repro.workloads import get_workload, run_workload
+
+
+def main() -> None:
+    workload = get_workload("equake")
+    print("=" * 72)
+    print("§5.1 smvp case study (equake workload)")
+    print("=" * 72)
+    print(workload.description)
+    print()
+
+    base = run_workload(workload, SpecConfig.base())
+    spec = run_workload(workload, SpecConfig.profile())
+    manual = run_workload(
+        workload, SpecConfig.aggressive(),
+        machine_overrides=dict(check_issue_free=True,
+                               alat=ALAT(entries=4096, ways=4)),
+    )
+
+    checks_over_loads = 100.0 * spec.stats.check_loads / max(
+        1, spec.stats.loads_retired)
+    speedup = 100.0 * (1 - spec.stats.cycles / base.stats.cycles)
+    manual_speedup = 100.0 * (1 - manual.stats.cycles / base.stats.cycles)
+
+    print(f"{'metric':38s}{'measured':>10s}{'paper':>10s}")
+    print(f"{'loads replaced by checks (%)':38s}"
+          f"{checks_over_loads:>10.1f}{39.8:>10.1f}")
+    print(f"{'speculative speedup over base (%)':38s}"
+          f"{speedup:>10.1f}{6.0:>10.1f}")
+    print(f"{'manually tuned upper bound (%)':38s}"
+          f"{manual_speedup:>10.1f}{14.0:>10.1f}")
+    print()
+    print("Like the paper's prototype, the checked build realizes only")
+    print("part of the manually tuned headroom: check instructions and")
+    print("their address recomputation still occupy issue slots (the")
+    print("paper blames ORC's scheduling of ldfd.c for the same gap).")
+    print()
+    print(f"base    : {base.stats.memory_loads} memory loads, "
+          f"{base.stats.cycles} cycles")
+    print(f"spec    : {spec.stats.memory_loads} memory loads, "
+          f"{spec.stats.cycles} cycles, "
+          f"{spec.stats.check_loads} checks "
+          f"({spec.stats.check_misses} missed)")
+    print(f"manual  : {manual.stats.memory_loads} memory loads, "
+          f"{manual.stats.cycles} cycles")
+
+
+if __name__ == "__main__":
+    main()

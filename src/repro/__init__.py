@@ -1,0 +1,25 @@
+"""repro — reproduction of *A Compiler Framework for Speculative Analysis
+and Optimizations* (Lin et al., PLDI 2003).
+
+The package implements, from scratch:
+
+* a mid-level IR and C-like frontend (:mod:`repro.ir`, :mod:`repro.lang`);
+* alias analyses and an alias/edge profiler (:mod:`repro.analysis`,
+  :mod:`repro.profiling`);
+* the paper's *speculative SSA form* — HSSA with likeliness flags on µ/χ
+  (:mod:`repro.ssa`);
+* the paper's *speculative SSAPRE* with data and control speculation,
+  register promotion, strength reduction and LFTR (:mod:`repro.core`);
+* an IA-64-flavoured target with an ALAT and a timing simulator
+  (:mod:`repro.target`);
+* an end-to-end pipeline and SPEC2000-shaped workloads
+  (:mod:`repro.pipeline`, :mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro.pipeline import compile_and_run, SpecConfig
+    result = compile_and_run(source, spec=SpecConfig.profile())
+    print(result.stats.loads_retired, result.stats.check_loads)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,16 @@
+"""Static analyses: dominance, loops, points-to and alias classes."""
+
+from .aliasclass import AliasClassifier, FunctionAliasInfo, SiteAliases
+from .dominance import DominatorTree
+from .locs import HeapLoc, Loc, loc_name
+from .modref import ModRefSummary, compute_modref
+from .loops import Loop, LoopForest
+from .steensgaard import Steensgaard
+from .tbaa import tbaa_compatible, type_family
+
+__all__ = [
+    "AliasClassifier", "DominatorTree", "FunctionAliasInfo", "HeapLoc",
+    "Loc", "Loop", "LoopForest", "SiteAliases", "Steensgaard",
+    "ModRefSummary", "compute_modref", "loc_name",
+    "tbaa_compatible", "type_family",
+]

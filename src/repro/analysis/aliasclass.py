@@ -1,0 +1,219 @@
+"""Alias classes and virtual-variable assignment (HSSA front half).
+
+Following Chow et al. [5] and the paper's §3.2, each indirect memory
+reference is resolved (by Steensgaard + TBAA) to an *alias class*; within a
+class, references that share the same address-expression *syntax tree* share
+one **virtual variable**.  A store's χ list then contains:
+
+* its own virtual variable (the store certainly writes its class),
+* the virtual variables of the class's *other* reference shapes (those are
+  the may-updates that data speculation can later ignore), and
+* every visible address-taken real variable of the class (the paper's
+  Example 1: ``a`` and ``b`` appear as χs of the store ``*p = 4``).
+
+A load's µ list contains its own virtual variable plus the class's visible
+real variables.  Call sites get function-level mod/ref lists: every global,
+plus address-taken locals/params and virtual variables whose class *escapes*
+(is reachable from a global, a heap object or a callee parameter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir import (Expr, Function, Load, Module, StorageKind, Store, Symbol,
+                  make_virtual, syntax_key)
+from .locs import HeapLoc, Loc
+from .steensgaard import Steensgaard
+from .tbaa import tbaa_compatible, type_family
+
+
+@dataclass
+class SiteAliases:
+    """Alias facts for one indirect reference site."""
+
+    vvar: Symbol
+    real_vars: List[Symbol] = field(default_factory=list)
+    other_vvars: List[Symbol] = field(default_factory=list)
+    class_id: Optional[int] = None
+    shape: tuple = ()
+
+
+class FunctionAliasInfo:
+    """Per-function map from reference sites to their alias facts.
+
+    Sites are keyed by object identity (``id``) of the :class:`Store`
+    statement / :class:`Load` expression node, which the frontend guarantees
+    to be unique per occurrence.
+    """
+
+    def __init__(self) -> None:
+        self.store_info: Dict[int, SiteAliases] = {}
+        self.load_info: Dict[int, SiteAliases] = {}
+        self.call_mu: List[Symbol] = []
+        self.call_chi: List[Symbol] = []
+        #: escaped memory symbols / vvars, split out so interprocedural
+        #: mod/ref summaries can gate them per callee
+        self.call_globals: List[Symbol] = []
+        self.call_escaped: List[Symbol] = []
+        #: per-callee mod/ref summaries (None: conservative lists)
+        self.modref = None
+        self.vvars: List[Symbol] = []
+        self.vvar_class: Dict[Symbol, Optional[int]] = {}
+        self.vvar_shape: Dict[Symbol, tuple] = {}
+
+    def for_store(self, stmt: Store) -> SiteAliases:
+        return self.store_info[id(stmt)]
+
+    def for_load(self, expr: Load) -> SiteAliases:
+        return self.load_info[id(expr)]
+
+    def call_lists(self, callee: str):
+        """(µ symbols, χ symbols) for a call to ``callee``, refined by
+        the interprocedural mod/ref summary when available."""
+        if self.modref is None or callee not in self.modref:
+            return self.call_mu, self.call_chi
+        summary = self.modref[callee]
+        mus = [g for g in self.call_globals
+               if g in summary.ref_globals]
+        chis = [g for g in self.call_globals
+                if g in summary.mod_globals]
+        if summary.touches_memory_ref:
+            mus = mus + self.call_escaped
+        if summary.touches_memory_mod:
+            chis = chis + self.call_escaped
+        return mus, chis
+
+
+class AliasClassifier:
+    """Builds :class:`FunctionAliasInfo` for every function of a module."""
+
+    def __init__(
+        self,
+        module: Module,
+        steensgaard: Optional[Steensgaard] = None,
+        use_tbaa: bool = True,
+        modref=None,
+    ) -> None:
+        self.module = module
+        self.steensgaard = (
+            steensgaard if steensgaard is not None else Steensgaard(module)
+        )
+        self.use_tbaa = use_tbaa
+        #: optional per-function interprocedural mod/ref summaries
+        self.modref = modref
+        self._escaped = self._compute_escaped_classes()
+
+    # ---- escape analysis ---------------------------------------------------
+    def _compute_escaped_classes(self) -> Set[int]:
+        """Class ids a callee could possibly read or write (delegated to
+        the points-to analysis, which knows its own representation)."""
+        return self.steensgaard.escaped_class_ids()
+
+    def class_escapes(self, class_id: Optional[int]) -> bool:
+        return class_id is not None and class_id in self._escaped
+
+    # ---- per-function info ------------------------------------------------
+    def analyze_function(self, fn: Function) -> FunctionAliasInfo:
+        info = FunctionAliasInfo()
+        st = self.steensgaard
+        visible: Set[Symbol] = set(self.module.globals)
+        visible |= set(fn.params) | set(fn.locals)
+
+        # Pass 1: discover every indirect site and allocate virtual
+        # variables per (class, type family, address syntax tree).
+        vvar_key_map: Dict[tuple, Symbol] = {}
+        sites: List[Tuple[str, object, Expr, "Type"]] = []  # noqa: F821
+
+        def visit_expr(expr: Expr) -> None:
+            for node in expr.walk():
+                if isinstance(node, Load):
+                    sites.append(("load", node, node.addr, node.value_ty))
+
+        for _, stmt in fn.statements():
+            for expr in stmt.exprs():
+                visit_expr(expr)
+            if isinstance(stmt, Store):
+                sites.append(("store", stmt, stmt.addr, stmt.value_ty))
+        for _, term in fn.terminators():
+            for expr in term.exprs():
+                visit_expr(expr)
+
+        def vvar_for(class_id, shape, ty) -> Symbol:
+            key = (class_id, type_family(ty) if self.use_tbaa else "any",
+                   shape)
+            vvar = vvar_key_map.get(key)
+            if vvar is None:
+                vvar = make_virtual(f"v{len(vvar_key_map)}", ty)
+                vvar_key_map[key] = vvar
+                info.vvars.append(vvar)
+                info.vvar_class[vvar] = class_id
+                info.vvar_shape[vvar] = shape
+            return vvar
+
+        resolved = []
+        for kind, site, addr, ty in sites:
+            class_id = st.class_of_address(addr)
+            shape = syntax_key(addr)
+            vvar = vvar_for(class_id, shape, ty)
+            resolved.append((kind, site, class_id, shape, ty, vvar))
+
+        # Pass 2: build per-site alias lists.
+        for kind, site, class_id, shape, ty, vvar in resolved:
+            real_vars = self._real_vars_in_class(class_id, ty, visible)
+            entry = SiteAliases(
+                vvar=vvar, real_vars=real_vars, class_id=class_id,
+                shape=shape,
+            )
+            if kind == "store":
+                entry.other_vvars = [
+                    v
+                    for v in info.vvars
+                    if v is not vvar
+                    and info.vvar_class[v] == class_id
+                    and (not self.use_tbaa or tbaa_compatible(v.ty, ty))
+                ]
+                info.store_info[id(site)] = entry
+            else:
+                info.load_info[id(site)] = entry
+
+        # Call-site mod/ref lists.  Conservative shape: all globals plus
+        # escaped address-taken locals and virtual variables; the
+        # interprocedural summary (when provided) refines per callee, and
+        # the alias *profile* refines per site later.
+        escaped_syms: List[Symbol] = []
+        for sym in fn.params + fn.locals:
+            if sym.address_taken and self.class_escapes(
+                st.class_of_loc(sym)
+            ):
+                escaped_syms.append(sym)
+        call_vvars = [
+            v for v in info.vvars if self.class_escapes(info.vvar_class[v])
+        ]
+        info.call_globals = [g for g in self.module.globals
+                             if not g.is_array]
+        info.call_escaped = escaped_syms + call_vvars
+        info.call_mu = info.call_globals + info.call_escaped
+        info.call_chi = list(info.call_mu)
+        info.modref = self.modref
+        return info
+
+    def _real_vars_in_class(
+        self, class_id: Optional[int], ty, visible: Set[Symbol]
+    ) -> List[Symbol]:
+        result = []
+        for loc in sorted(
+            self.steensgaard.locations(class_id),
+            key=lambda l: l.site_id if isinstance(l, HeapLoc) else l.uid,
+        ):
+            if isinstance(loc, HeapLoc):
+                continue  # heap LOCs never appear in µ/χ lists (paper fn. 1)
+            if loc not in visible or not loc.address_taken:
+                continue
+            if loc.is_array:
+                continue  # array cells are only reached through the vvar
+            if self.use_tbaa and not tbaa_compatible(loc.ty, ty):
+                continue
+            result.append(loc)
+        return result

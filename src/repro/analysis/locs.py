@@ -1,0 +1,40 @@
+"""Abstract memory locations (LOCs).
+
+Following the paper (§3.2.1, after Ghiya et al. [13]), a LOC is a storage
+location: a global variable, a local variable/parameter, or a heap object.
+Heap objects have no program name, so they are named by their allocation
+site (the ``alloc`` call's ``site_id``) — the paper's per-callsite naming
+scheme.
+
+LOCs are the common currency between static alias analysis (points-to sets),
+the alias profiler (profiled LOC sets per reference), and the speculation
+flag assignment of §3.2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..ir import Symbol
+
+
+@dataclass(frozen=True)
+class HeapLoc:
+    """A heap object named by its allocation site."""
+
+    site_id: int
+
+    def __str__(self) -> str:
+        return f"heap@{self.site_id}"
+
+
+#: A LOC: a named variable or an allocation-site-named heap object.
+Loc = Union[Symbol, HeapLoc]
+
+
+def loc_name(loc: Loc) -> str:
+    """Human-readable LOC name (for dumps and tests)."""
+    if isinstance(loc, HeapLoc):
+        return str(loc)
+    return loc.name

@@ -1,0 +1,95 @@
+"""Natural-loop detection.
+
+Strength reduction and linear-function test replacement (paper §4 /
+Kennedy et al. [20]) need loop structure: which blocks form each loop, the
+loop header, and whether a value is loop-invariant.  Loops are found from
+back edges (edges whose target dominates their source) and nested loops are
+related by header containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..ir import BasicBlock, Function
+from .dominance import DominatorTree
+
+
+@dataclass
+class Loop:
+    """One natural loop: ``header`` plus the set of ``blocks`` it contains."""
+
+    header: BasicBlock
+    blocks: Set[BasicBlock] = field(default_factory=set)
+    parent: Optional["Loop"] = None
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        loop = self.parent
+        while loop is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    def __repr__(self) -> str:
+        return f"<Loop header={self.header.name} blocks={len(self.blocks)}>"
+
+
+class LoopForest:
+    """All natural loops of a function, with an innermost-loop map."""
+
+    def __init__(self, fn: Function, dom: Optional[DominatorTree] = None):
+        self.fn = fn
+        self.dom = dom if dom is not None else DominatorTree(fn)
+        self.loops: List[Loop] = []
+        self._innermost: Dict[BasicBlock, Optional[Loop]] = {}
+        self._find_loops()
+
+    def _find_loops(self) -> None:
+        by_header: Dict[BasicBlock, Loop] = {}
+        for block in self.dom.order:
+            for succ in block.succs:
+                if self.dom.dominates(succ, block):
+                    loop = by_header.setdefault(succ, Loop(succ, {succ}))
+                    self._collect(loop, block)
+        self.loops = list(by_header.values())
+        # Nesting: a loop's parent is the smallest other loop containing its
+        # header.
+        for loop in self.loops:
+            candidates = [
+                other
+                for other in self.loops
+                if other is not loop and loop.header in other.blocks
+            ]
+            if candidates:
+                loop.parent = min(candidates, key=lambda o: len(o.blocks))
+        for block in self.dom.order:
+            containing = [l for l in self.loops if block in l.blocks]
+            self._innermost[block] = (
+                min(containing, key=lambda l: len(l.blocks))
+                if containing
+                else None
+            )
+
+    def _collect(self, loop: Loop, tail: BasicBlock) -> None:
+        """Add all blocks that reach ``tail`` without passing the header."""
+        stack = [tail]
+        while stack:
+            block = stack.pop()
+            if block in loop.blocks:
+                continue
+            loop.blocks.add(block)
+            stack.extend(block.preds)
+
+    def innermost(self, block: BasicBlock) -> Optional[Loop]:
+        """The innermost loop containing ``block``, or ``None``."""
+        return self._innermost.get(block)
+
+    def loop_depth(self, block: BasicBlock) -> int:
+        loop = self.innermost(block)
+        return loop.depth if loop is not None else 0

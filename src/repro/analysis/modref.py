@@ -1,0 +1,118 @@
+"""Interprocedural mod/ref summaries for call sites.
+
+The HSSA µ/χ lists at a call site describe what the callee may reference
+and modify (the paper §3.2: "For a procedure call statement, the µ list
+and the χ list represent the ref and mod information of the procedure
+call").  Without a summary, every call conservatively touches all
+globals and every escaped location; this module computes per-function
+transitive summaries so a call to a function that never writes ``g``
+carries no χ(g) — sharpening the *non-speculative* base exactly like
+ORC's interprocedural analysis, and leaving the alias-profile refinement
+of §3.2.1 to handle what static analysis cannot.
+
+A summary contains:
+
+* ``mod_globals`` / ``ref_globals`` — globals directly assigned/read or
+  assigned/read by transitive callees;
+* ``touches_memory_mod`` / ``touches_memory_ref`` — whether any indirect
+  store/load (or call through unknown memory) occurs: if set, the call
+  site keeps the escaped address-taken locals and virtual variables in
+  its χ/µ list; if clear, they are dropped.
+
+Summaries are computed by a fixpoint over the (possibly recursive) call
+graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from ..ir import (Assign, CallStmt, Function, Load, Module, StorageKind,
+                  Store, Symbol, VarRead)
+
+
+@dataclass
+class ModRefSummary:
+    """What one function (transitively) may modify / reference."""
+
+    mod_globals: Set[Symbol] = field(default_factory=set)
+    ref_globals: Set[Symbol] = field(default_factory=set)
+    #: any indirect store / load — pointer targets are handled by the
+    #: points-to-based escaped-class sets, gated on these flags
+    touches_memory_mod: bool = False
+    touches_memory_ref: bool = False
+
+
+def compute_modref(module: Module) -> Dict[str, ModRefSummary]:
+    """Per-function transitive mod/ref summaries (call-graph fixpoint)."""
+    summaries: Dict[str, ModRefSummary] = {
+        name: ModRefSummary() for name in module.functions
+    }
+    global_set = set(module.globals)
+
+    def direct_effects(fn: Function, summary: ModRefSummary) -> bool:
+        changed = False
+
+        def mark_ref_global(sym: Symbol) -> None:
+            nonlocal changed
+            if sym in global_set and sym not in summary.ref_globals:
+                summary.ref_globals.add(sym)
+                changed = True
+
+        def scan_expr(expr) -> None:
+            nonlocal changed
+            for node in expr.walk():
+                if isinstance(node, VarRead):
+                    mark_ref_global(node.sym)
+                elif isinstance(node, Load):
+                    if not summary.touches_memory_ref:
+                        summary.touches_memory_ref = True
+                        changed = True
+
+        for _, stmt in fn.statements():
+            for expr in stmt.exprs():
+                scan_expr(expr)
+            if isinstance(stmt, Assign):
+                if stmt.sym in global_set \
+                        and stmt.sym not in summary.mod_globals:
+                    summary.mod_globals.add(stmt.sym)
+                    changed = True
+                # a def of an address-taken local is observable through
+                # memory: treat as a memory write for the summary
+                if stmt.sym.address_taken and not summary.touches_memory_mod:
+                    summary.touches_memory_mod = True
+                    changed = True
+            elif isinstance(stmt, Store):
+                if not summary.touches_memory_mod:
+                    summary.touches_memory_mod = True
+                    changed = True
+            elif isinstance(stmt, CallStmt) and not stmt.is_alloc \
+                    and stmt.callee in summaries:
+                callee = summaries[stmt.callee]
+                before = (len(summary.mod_globals),
+                          len(summary.ref_globals),
+                          summary.touches_memory_mod,
+                          summary.touches_memory_ref)
+                summary.mod_globals |= callee.mod_globals
+                summary.ref_globals |= callee.ref_globals
+                summary.touches_memory_mod |= callee.touches_memory_mod
+                summary.touches_memory_ref |= callee.touches_memory_ref
+                after = (len(summary.mod_globals),
+                         len(summary.ref_globals),
+                         summary.touches_memory_mod,
+                         summary.touches_memory_ref)
+                changed |= before != after
+        for _, term in fn.terminators():
+            for expr in term.exprs():
+                scan_expr(expr)
+        return changed
+
+    # fixpoint over the (possibly cyclic) call graph
+    for _ in range(len(module.functions) + 2):
+        any_change = False
+        for name, fn in module.functions.items():
+            any_change |= direct_effects(fn, summaries[name])
+        if not any_change:
+            break
+    return summaries

@@ -1,0 +1,234 @@
+"""Steensgaard's equivalence-class (unification-based) points-to analysis.
+
+This is the compile-time alias analysis the paper's framework starts from
+(§3.2, citing Steensgaard [28]): flow- and context-insensitive, almost
+linear time, producing *alias equivalence classes* — each indirect memory
+reference is resolved to one class of abstract locations it may access.
+
+The implementation is the classic union-find formulation: every abstract
+location (variable or allocation site) owns a node; every node lazily owns a
+*contents* node describing where values stored in it may point; assignments
+unify contents.  Joining two nodes recursively joins their contents, keeping
+the invariant that each node has at most one pointee class.
+
+Interprocedural flow (arguments→parameters, returns→call results) is handled
+by re-processing all statements until no more unions occur; unification is
+monotone, so this terminates quickly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..ir import (AddrOf, Assign, Bin, CallStmt, Const, Expr, Function, Load,
+                  Module, PrintStmt, Return, Store, Symbol, Un, VarRead)
+from .locs import HeapLoc, Loc
+
+
+class _Node:
+    """A points-to equivalence class (union-find element)."""
+
+    __slots__ = ("parent", "rank", "contents", "locs")
+
+    def __init__(self) -> None:
+        self.parent: "_Node" = self
+        self.rank = 0
+        self.contents: Optional["_Node"] = None
+        self.locs: Set[Loc] = set()
+
+
+class Steensgaard:
+    """Module-level points-to analysis.
+
+    Public API:
+
+    * :meth:`class_of_address` — the location class an address expression
+      may point at (``None`` for provably non-pointer values);
+    * :meth:`locations` — the LOCs in a class;
+    * :meth:`may_alias_classes` — whether two classes are the same;
+    * :meth:`class_id` — a stable integer id for a class (for dict keys).
+    """
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self._nodes: Dict[Loc, _Node] = {}
+        self._changed = False
+        self._run()
+
+    # ---- union-find ------------------------------------------------------
+    def _find(self, node: _Node) -> _Node:
+        while node.parent is not node:
+            node.parent = node.parent.parent
+            node = node.parent
+        return node
+
+    def _union(self, a: _Node, b: _Node) -> _Node:
+        a, b = self._find(a), self._find(b)
+        if a is b:
+            return a
+        self._changed = True
+        if a.rank < b.rank:
+            a, b = b, a
+        b.parent = a
+        if a.rank == b.rank:
+            a.rank += 1
+        a.locs |= b.locs
+        b.locs = set()
+        # Steensgaard join: classes have at most one pointee class.
+        if a.contents is None:
+            a.contents = b.contents
+        elif b.contents is not None:
+            a.contents = self._join(a.contents, b.contents)
+        b.contents = None
+        return a
+
+    def _join(self, a: _Node, b: _Node) -> _Node:
+        if self._find(a) is self._find(b):
+            return self._find(a)
+        return self._union(a, b)
+
+    def _node_for(self, loc: Loc) -> _Node:
+        node = self._nodes.get(loc)
+        if node is None:
+            node = _Node()
+            node.locs.add(loc)
+            self._nodes[loc] = node
+        return self._find(node)
+
+    def _contents_of(self, node: _Node) -> _Node:
+        node = self._find(node)
+        if node.contents is None:
+            node.contents = _Node()
+        return self._find(node.contents)
+
+    # ---- constraint generation ------------------------------------------
+    def _pt(self, expr: Expr) -> Optional[_Node]:
+        """The class the *value* of ``expr`` may point to (None: no
+        pointer)."""
+        if isinstance(expr, Const):
+            return None
+        if isinstance(expr, VarRead):
+            node = self._node_for(expr.sym)
+            if expr.sym.is_array:
+                return node  # array decay: the value IS the array's address
+            return self._contents_of(node)
+        if isinstance(expr, AddrOf):
+            return self._node_for(expr.sym)
+        if isinstance(expr, Load):
+            addr = self._pt(expr.addr)
+            if addr is None:
+                return None
+            return self._contents_of(addr)
+        if isinstance(expr, Bin):
+            left, right = self._pt(expr.left), self._pt(expr.right)
+            if left is None:
+                return right
+            if right is None:
+                return left
+            return self._join(left, right)
+        if isinstance(expr, Un):
+            return self._pt(expr.operand)
+        raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _flow(self, dst: _Node, value: Expr) -> None:
+        """Record that values of ``value`` flow into cells of class
+        ``dst``."""
+        src = self._pt(value)
+        if src is not None:
+            self._join(self._contents_of(dst), src)
+
+    def _process_function(self, fn: Function) -> None:
+        for _, stmt in fn.statements():
+            if isinstance(stmt, Assign):
+                self._flow(self._node_for(stmt.sym), stmt.value)
+            elif isinstance(stmt, Store):
+                target = self._pt(stmt.addr)
+                if target is not None:
+                    self._flow(target, stmt.value)
+            elif isinstance(stmt, CallStmt):
+                self._process_call(stmt)
+            elif isinstance(stmt, PrintStmt):
+                for arg in stmt.args:
+                    self._pt(arg)
+        for _, term in fn.terminators():
+            for expr in term.exprs():
+                self._pt(expr)
+
+    def _process_call(self, stmt: CallStmt) -> None:
+        if stmt.is_alloc:
+            assert stmt.site_id is not None and stmt.dst is not None
+            heap = self._node_for(HeapLoc(stmt.site_id))
+            self._join(self._contents_of(self._node_for(stmt.dst)), heap)
+            return
+        callee = self.module.functions.get(stmt.callee)
+        if callee is None:  # pragma: no cover - verifier rejects earlier
+            return
+        for param, arg in zip(callee.params, stmt.args):
+            self._flow(self._node_for(param), arg)
+        if stmt.dst is not None:
+            dst = self._node_for(stmt.dst)
+            for _, term in callee.terminators():
+                if isinstance(term, Return) and term.value is not None:
+                    self._flow(dst, term.value)
+
+    def _run(self) -> None:
+        # Iterate to a fixpoint: return-value and parameter flow may expose
+        # new unions on a second pass.  Unions are bounded by the number of
+        # nodes, so this loop terminates.
+        while True:
+            self._changed = False
+            for fn in self.module.functions.values():
+                self._process_function(fn)
+            if not self._changed:
+                return
+
+    # ---- public queries ----------------------------------------------------
+    def class_of_address(self, addr: Expr) -> Optional[int]:
+        """The class id accessed through address expression ``addr``."""
+        node = self._pt(addr)
+        return None if node is None else id(self._find(node))
+
+    def class_of_loc(self, loc: Loc) -> int:
+        """The class id containing LOC ``loc``."""
+        return id(self._node_for(loc))
+
+    def locations(self, class_id: Optional[int]) -> Set[Loc]:
+        """All LOCs in the class (empty for ``None``)."""
+        if class_id is None:
+            return set()
+        for node in self._nodes.values():
+            root = self._find(node)
+            if id(root) == class_id:
+                return set(root.locs)
+        return set()
+
+    def escaped_class_ids(self) -> Set[int]:
+        """Class ids reachable by a callee: globals, heap objects and
+        parameter pointees, closed under points-to contents edges."""
+        seeds = []
+        for sym in self.module.globals:
+            seeds.append(self._node_for(sym))
+        for loc in list(self._nodes):
+            if isinstance(loc, HeapLoc):
+                seeds.append(self._node_for(loc))
+        for fn in self.module.functions.values():
+            for param in fn.params:
+                seeds.append(self._contents_of(self._node_for(param)))
+        escaped: Set[int] = set()
+        work = [self._find(n) for n in seeds]
+        while work:
+            node = self._find(work.pop())
+            if id(node) in escaped:
+                continue
+            escaped.add(id(node))
+            if node.contents is not None:
+                work.append(self._find(node.contents))
+        return escaped
+
+    def may_alias(self, addr_a: Expr, addr_b: Expr) -> bool:
+        """May the cells addressed by the two expressions overlap?"""
+        a = self.class_of_address(addr_a)
+        b = self.class_of_address(addr_b)
+        if a is None or b is None:
+            return False
+        return a == b

@@ -1,0 +1,24 @@
+"""Type-based alias analysis (TBAA).
+
+The paper's baseline is "O3 with type-based alias analysis" (Diwan et
+al. [9]): two memory accesses whose declared types are incompatible cannot
+alias, regardless of points-to results.  With the cell-addressed IR there
+are three access-type families: integers, floats and pointers (all pointer
+types share a family, because ``alloc`` results are freely converted — the
+safe choice C compilers make for ``char*``-like data).
+"""
+
+from __future__ import annotations
+
+from ..ir import Type
+
+
+def type_family(ty: Type) -> str:
+    """TBAA family of a declared access type: 'int', 'float' or 'ptr'."""
+    return ty.kind
+
+
+def tbaa_compatible(a: Type, b: Type) -> bool:
+    """May an access of declared type ``a`` alias one of declared type
+    ``b``?"""
+    return type_family(a) == type_family(b)

@@ -1,0 +1,160 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro run FILE [--config base|profile|heuristic|aggressive]
+                             [--train 1,2,3] [--ref 4,5,6] [--dump-ir]
+    python -m repro compare FILE [--train ...] [--ref ...]
+    python -m repro workloads [--list | --name NAME]
+    python -m repro figures [--out DIR]
+
+``run`` compiles and simulates one mini-C file and prints its output and
+counters; ``compare`` prints the base-vs-speculative row for a file;
+``workloads`` runs the bundled SPEC2000-shaped programs; ``figures``
+regenerates every table of the paper's evaluation into a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core import SpecConfig
+from .pipeline import Comparison, compile_and_run, compile_program, \
+    format_table
+
+_CONFIGS = {
+    "unoptimized": SpecConfig.unoptimized,
+    "base": SpecConfig.base,
+    "profile": SpecConfig.profile,
+    "heuristic": SpecConfig.heuristic,
+    "aggressive": SpecConfig.aggressive,
+}
+
+
+def _parse_inputs(text: Optional[str]) -> List[float]:
+    if not text:
+        return []
+    out: List[float] = []
+    for part in text.split(","):
+        part = part.strip()
+        out.append(float(part) if "." in part else int(part))
+    return out
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    config = _CONFIGS[args.config]()
+    if args.dump_ir:
+        from .ir import format_module
+
+        compiled = compile_program(source, config,
+                                   train_inputs=_parse_inputs(args.train))
+        print(format_module(compiled.optimized))
+        print()
+    result = compile_and_run(
+        source, config,
+        train_inputs=_parse_inputs(args.train),
+        ref_inputs=_parse_inputs(args.ref),
+        check_output=not args.no_check,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps({"output": result.output,
+                          "stats": result.stats.to_dict()}, indent=2))
+        return 0
+    for line in result.output:
+        print(line)
+    s = result.stats
+    print(f"--- {args.config}: cycles={s.cycles} "
+          f"instructions={s.instructions} loads={s.memory_loads} "
+          f"(plain={s.plain_loads} ld.a={s.advanced_loads} "
+          f"ld.s={s.spec_loads} ld.c={s.check_loads} "
+          f"misses={s.check_misses})", file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    train = _parse_inputs(args.train)
+    ref = _parse_inputs(args.ref)
+    base = compile_and_run(source, SpecConfig.base(),
+                           train_inputs=train, ref_inputs=ref)
+    spec = compile_and_run(source, _CONFIGS[args.config](),
+                           train_inputs=train, ref_inputs=ref)
+    comparison = Comparison(args.file, base, spec)
+    print(format_table([comparison.row()]))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from .workloads import all_workloads, compare_workload
+
+    if args.list:
+        for w in all_workloads():
+            print(f"{w.name:8s} ({w.spec_name}): {w.description}")
+        return 0
+    names = [args.name] if args.name else [w.name for w in all_workloads()]
+    rows = []
+    for name in names:
+        comparison = compare_workload(
+            name, spec_config=_CONFIGS[args.config]())
+        rows.append(comparison.row())
+    print(format_table(rows, title=f"{args.config} vs base"))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import subprocess
+
+    cmd = [sys.executable, "-m", "pytest", "benchmarks/",
+           "--benchmark-disable", "-q"]
+    return subprocess.call(cmd)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Speculative SSAPRE framework (PLDI 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compile + simulate one file")
+    run.add_argument("file")
+    run.add_argument("--config", choices=sorted(_CONFIGS), default="profile")
+    run.add_argument("--train", help="comma-separated train inputs")
+    run.add_argument("--ref", help="comma-separated ref inputs")
+    run.add_argument("--dump-ir", action="store_true")
+    run.add_argument("--no-check", action="store_true",
+                     help="skip the interpreter oracle")
+    run.add_argument("--json", action="store_true",
+                     help="emit output + counters as JSON")
+    run.set_defaults(fn=_cmd_run)
+
+    compare = sub.add_parser("compare", help="base vs speculative")
+    compare.add_argument("file")
+    compare.add_argument("--config", choices=sorted(_CONFIGS),
+                         default="profile")
+    compare.add_argument("--train")
+    compare.add_argument("--ref")
+    compare.set_defaults(fn=_cmd_compare)
+
+    workloads = sub.add_parser("workloads",
+                               help="run the SPEC2000-shaped workloads")
+    workloads.add_argument("--list", action="store_true")
+    workloads.add_argument("--name")
+    workloads.add_argument("--config", choices=sorted(_CONFIGS),
+                           default="profile")
+    workloads.set_defaults(fn=_cmd_workloads)
+
+    figures = sub.add_parser("figures",
+                             help="regenerate every paper figure")
+    figures.set_defaults(fn=_cmd_figures)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

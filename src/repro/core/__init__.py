@@ -1,0 +1,70 @@
+"""The paper's core contribution: speculative SSAPRE.
+
+:func:`optimize_function` runs the full SSAPRE-based optimization stack
+(register promotion → expression PRE / strength reduction → LFTR → DCE)
+over one function already in speculative SSA form.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ssa import SSAFunction
+from .config import SpecConfig
+from .dce import eliminate_dead_code
+from .engine import PREContext, SSAPRE
+from .epre import EPREStats, eliminate_redundant_exprs
+from .lftr import replace_linear_tests
+from .materialize import Materializer, run_ssapre_on_class
+from .occurrences import (ExprClass, InsertedOcc, LeftOcc, Occurrence,
+                          ParentLink, PhiOcc, PhiOpnd, RealOcc,
+                          collect_expr_classes, leaf_versions, lexical_key)
+from .register_promotion import PromotionStats, promote_loads
+
+
+@dataclass
+class OptStats:
+    """Combined per-function optimization statistics."""
+
+    promotion: Optional[PromotionStats] = None
+    epre: Optional[EPREStats] = None
+    lftr_replacements: int = 0
+    dce_removed: int = 0
+
+
+def optimize_function(ssa: SSAFunction, config: SpecConfig,
+                      edge_profile=None) -> OptStats:
+    """Run the configured SSAPRE optimizations on ``ssa`` (in place)."""
+    stats = OptStats()
+    ctx = PREContext(
+        ssa,
+        control_speculation=config.control_speculation,
+        edge_profile=edge_profile if config.use_edge_profile else None,
+        repair_injuries=config.strength_reduction,
+        emit_checks=config.emit_checks,
+    )
+    if config.register_promotion:
+        stats.promotion = promote_loads(
+            ctx,
+            max_rounds=config.max_rounds,
+            store_forwarding=config.store_forwarding,
+            allow_data_speculation=config.data_speculation,
+        )
+    if config.expression_pre:
+        stats.epre = eliminate_redundant_exprs(ctx,
+                                               max_rounds=config.max_rounds)
+    if config.lftr:
+        stats.lftr_replacements = replace_linear_tests(ctx)
+    if config.dce:
+        stats.dce_removed = eliminate_dead_code(ssa)
+    return stats
+
+
+__all__ = [
+    "EPREStats", "ExprClass", "InsertedOcc", "LeftOcc", "Materializer",
+    "Occurrence", "OptStats", "PREContext", "ParentLink", "PhiOcc",
+    "PhiOpnd", "PromotionStats", "RealOcc", "SSAPRE", "SpecConfig",
+    "collect_expr_classes", "eliminate_dead_code",
+    "eliminate_redundant_exprs", "leaf_versions", "lexical_key",
+    "optimize_function", "promote_loads", "replace_linear_tests",
+    "run_ssapre_on_class",
+]

@@ -1,0 +1,51 @@
+"""Expression PRE (and strength reduction) over arithmetic operations.
+
+After register promotion, memory reads are temporaries, so arithmetic
+expressions are trees over register values.  EPRE runs SSAPRE bottom-up
+over first-order binary operations; with ``repair_injuries`` the Rename
+step additionally recognizes *injuring* definitions (``i = i ± c``) of
+multiplication candidates and CodeMotion inserts repairs — strength
+reduction per Kennedy et al. [20], which the paper notes is the
+non-speculative twin of its speculative weak updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import PREContext
+from .materialize import run_ssapre_on_class
+from .occurrences import collect_expr_classes
+
+
+@dataclass
+class EPREStats:
+    classes: int = 0
+    reloads: int = 0
+    insertions: int = 0
+    rounds: int = 0
+
+
+def eliminate_redundant_exprs(ctx: PREContext,
+                              max_rounds: int = 4) -> EPREStats:
+    """Run arithmetic-PRE rounds to a fixpoint (bounded)."""
+    stats = EPREStats()
+    for _ in range(max_rounds):
+        classes = collect_expr_classes(ctx.ssa, "arith",
+                                       include_stores=False)
+        progressed = False
+        for ec in classes:
+            # Arithmetic operands are register values: data speculation
+            # does not apply (nothing for the ALAT to check); control
+            # speculation still does.
+            mat = run_ssapre_on_class(ctx, ec,
+                                      allow_data_speculation=False)
+            stats.classes += 1
+            stats.reloads += mat.reloads
+            stats.insertions += mat.insertions
+            if mat.reloads or mat.insertions:
+                progressed = True
+        stats.rounds += 1
+        if not progressed:
+            break
+    return stats

@@ -1,0 +1,58 @@
+"""Speculative register promotion — PRE applied to loads (paper §5).
+
+Runs SSAPRE over *load* expression classes: direct reads of
+memory-resident scalars (globals, address-taken locals) and indirect
+loads.  Rounds iterate bottom-up: once an inner load is promoted to a
+temporary, enclosing loads whose addresses mention it become first-order
+candidates in the next round (the paper's ``A[Anext][0][0]`` chains).
+
+Data speculation is driven entirely by the ``likely`` flags on χ/µ — with
+a no-speculation flagging the same code performs classical (safe) load
+PRE, which is the paper's O3 baseline behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ssa import SSAFunction
+from .engine import PREContext
+from .materialize import run_ssapre_on_class
+from .occurrences import collect_expr_classes
+
+
+@dataclass
+class PromotionStats:
+    """What register promotion did to one function."""
+
+    classes: int = 0
+    reloads: int = 0
+    checks: int = 0
+    insertions: int = 0
+    speculated_phis: int = 0
+    rounds: int = 0
+
+
+def promote_loads(ctx: PREContext, max_rounds: int = 4,
+                  store_forwarding: bool = True,
+                  allow_data_speculation: bool = True) -> PromotionStats:
+    """Run load-PRE rounds to a fixpoint (bounded by ``max_rounds``)."""
+    stats = PromotionStats()
+    for _ in range(max_rounds):
+        classes = collect_expr_classes(ctx.ssa, "load",
+                                       include_stores=store_forwarding)
+        progressed = False
+        for ec in classes:
+            mat = run_ssapre_on_class(ctx, ec, allow_data_speculation)
+            stats.classes += 1
+            stats.reloads += mat.reloads
+            stats.checks += mat.checks_emitted
+            stats.insertions += mat.insertions
+            if mat.reloads or mat.insertions:
+                progressed = True
+        stats.rounds += 1
+        if not progressed:
+            break
+    stats.speculated_phis = ctx.speculated_phis
+    return stats

@@ -1,0 +1,33 @@
+"""Mid-level IR: the substrate every analysis and optimization runs on.
+
+The IR mirrors what the paper's algorithms need from ORC's WHIRL: a CFG of
+basic blocks whose statements contain explicit direct scalar accesses,
+indirect loads/stores, calls, and observable ``print`` output; expression
+trees with structural ("syntax tree") identity; and a cell-addressed memory
+model.
+"""
+
+from .builder import FunctionBuilder, ModuleBuilder, as_expr
+from .cfg import BasicBlock, reverse_postorder
+from .edges import split_critical_edges, split_module_critical_edges
+from .expr import (BIN_OPS, COMPARISON_OPS, UN_OPS, AddrOf, Bin, Const, Expr,
+                   Load, Un, VarRead, syntax_key)
+from .function import Function, Module
+from .printer import format_function, format_module
+from .stmt import (Assign, CallStmt, CondBr, Jump, PrintStmt, Return, Stmt,
+                   Store, Terminator)
+from .symbols import StorageKind, Symbol, make_temp, make_virtual
+from .types import FLOAT, INT, Type, common_arith_type, ptr
+from .verify import VerificationError, verify_module
+
+__all__ = [
+    "AddrOf", "Assign", "BIN_OPS", "BasicBlock", "Bin", "CallStmt",
+    "COMPARISON_OPS", "CondBr", "Const", "Expr", "FLOAT", "Function",
+    "FunctionBuilder", "INT", "Jump", "Load", "Module", "ModuleBuilder",
+    "PrintStmt", "Return", "Stmt", "StorageKind", "Store", "Symbol",
+    "Terminator", "Type", "UN_OPS", "Un", "VarRead", "VerificationError",
+    "as_expr", "common_arith_type", "format_function", "format_module",
+    "make_temp", "make_virtual", "ptr", "reverse_postorder",
+    "split_critical_edges", "split_module_critical_edges", "syntax_key",
+    "verify_module",
+]

@@ -1,0 +1,174 @@
+"""A small fluent builder for constructing IR by hand.
+
+Used by unit tests (including the paper-example fidelity tests) and by a few
+synthetic workloads; the usual entry point for programs is the
+:mod:`repro.lang` frontend.
+
+Example::
+
+    b = FunctionBuilder("f", [("p", ptr(INT))], ret_ty=INT)
+    x = b.local("x", INT)
+    b.assign(x, b.load(b.read(b.params["p"]), INT))
+    b.ret(b.read(x))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .cfg import BasicBlock
+from .expr import AddrOf, Bin, Const, Expr, Load, Un, VarRead
+from .function import Function, Module
+from .stmt import (Assign, CallStmt, CondBr, Jump, PrintStmt, Return, Stmt,
+                   Store)
+from .symbols import StorageKind, Symbol
+from .types import INT, Type
+
+Operand = Union[Expr, Symbol, int, float]
+
+
+def as_expr(value: Operand) -> Expr:
+    """Coerce a symbol / Python number to an IR expression."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, Symbol):
+        return VarRead(value)
+    if isinstance(value, bool):
+        return Const(int(value), INT)
+    if isinstance(value, int):
+        return Const(value, INT)
+    if isinstance(value, float):
+        from .types import FLOAT
+
+        return Const(value, FLOAT)
+    raise TypeError(f"cannot use {value!r} as an expression")
+
+
+class FunctionBuilder:
+    """Builds one :class:`~repro.ir.function.Function` imperatively.
+
+    Statements are emitted into ``self.block`` (initially the entry block);
+    use :meth:`new_block` / :meth:`set_block` for control flow.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, Type]] = (),
+        ret_ty: Optional[Type] = None,
+    ) -> None:
+        param_syms = [Symbol(n, t, StorageKind.PARAM) for n, t in params]
+        self.fn = Function(name, param_syms, ret_ty)
+        self.params: Dict[str, Symbol] = {s.name: s for s in param_syms}
+        self.block: BasicBlock = self.fn.entry
+
+    # ---- symbols -------------------------------------------------------
+    def local(self, name: str, ty: Type, array_size: int = 0) -> Symbol:
+        sym = Symbol(name, ty, StorageKind.LOCAL, array_size=array_size)
+        return self.fn.add_local(sym)
+
+    # ---- expressions ---------------------------------------------------
+    def read(self, sym: Symbol) -> VarRead:
+        return VarRead(sym)
+
+    def addr(self, sym: Symbol) -> AddrOf:
+        sym.address_taken = True
+        return AddrOf(sym)
+
+    def load(self, addr: Operand, ty: Type) -> Load:
+        return Load(as_expr(addr), ty)
+
+    def bin(self, op: str, left: Operand, right: Operand) -> Bin:
+        return Bin(op, as_expr(left), as_expr(right))
+
+    def add(self, left: Operand, right: Operand) -> Bin:
+        return self.bin("+", left, right)
+
+    def mul(self, left: Operand, right: Operand) -> Bin:
+        return self.bin("*", left, right)
+
+    def lt(self, left: Operand, right: Operand) -> Bin:
+        return self.bin("<", left, right)
+
+    def neg(self, value: Operand) -> Un:
+        return Un("-", as_expr(value))
+
+    # ---- statements ----------------------------------------------------
+    def emit(self, stmt: Stmt) -> Stmt:
+        self.block.append(stmt)
+        return stmt
+
+    def assign(self, sym: Symbol, value: Operand) -> Assign:
+        stmt = Assign(sym, as_expr(value))
+        self.emit(stmt)
+        return stmt
+
+    def store(self, addr: Operand, value: Operand, ty: Type) -> Store:
+        stmt = Store(as_expr(addr), as_expr(value), ty)
+        self.emit(stmt)
+        return stmt
+
+    def call(
+        self, dst: Optional[Symbol], callee: str, args: Sequence[Operand] = ()
+    ) -> CallStmt:
+        stmt = CallStmt(dst, callee, [as_expr(a) for a in args])
+        self.emit(stmt)
+        return stmt
+
+    def emit_print(self, *args: Operand) -> PrintStmt:
+        stmt = PrintStmt([as_expr(a) for a in args])
+        self.emit(stmt)
+        return stmt
+
+    # ---- control flow --------------------------------------------------
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        return self.fn.new_block(hint)
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.block = block
+        return block
+
+    def jump(self, target: BasicBlock) -> None:
+        self.block.terminator = Jump(target)
+
+    def branch(
+        self, cond: Operand, then_block: BasicBlock, else_block: BasicBlock
+    ) -> None:
+        self.block.terminator = CondBr(as_expr(cond), then_block, else_block)
+
+    def ret(self, value: Optional[Operand] = None) -> None:
+        self.block.terminator = Return(
+            as_expr(value) if value is not None else None
+        )
+
+    def done(self) -> Function:
+        """Finish the function (terminate a dangling block with ``return``)."""
+        for block in self.fn.blocks:
+            if block.terminator is None and block is self.block:
+                block.terminator = Return(None)
+        self.fn.compute_cfg()
+        return self.fn
+
+
+class ModuleBuilder:
+    """Builds a :class:`~repro.ir.function.Module`."""
+
+    def __init__(self) -> None:
+        self.module = Module()
+
+    def global_var(self, name: str, ty: Type, array_size: int = 0) -> Symbol:
+        sym = Symbol(name, ty, StorageKind.GLOBAL, array_size=array_size)
+        return self.module.add_global(sym)
+
+    def function(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, Type]] = (),
+        ret_ty: Optional[Type] = None,
+    ) -> FunctionBuilder:
+        fb = FunctionBuilder(name, params, ret_ty)
+        self.module.add_function(fb.fn)
+        return fb
+
+    def done(self) -> Module:
+        return self.module.finalize()

@@ -1,0 +1,201 @@
+"""Expression trees of the mid-level IR.
+
+Expressions are immutable trees whose leaves are constants, direct variable
+reads, or address-of nodes.  Indirect memory reads appear as :class:`Load`
+nodes.  Two helpers matter to the speculative framework:
+
+* :func:`syntax_key` computes a structural key for an expression — the
+  "identical syntax tree" notion used by the paper's heuristic rules
+  (§3.2.2): two indirect references with an identical address expression are
+  assumed highly likely to access the same location.
+* :meth:`Expr.walk` iterates sub-expressions, used by occurrence collection
+  in SSAPRE and by the lowering verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from .symbols import Symbol
+from .types import INT, Type, common_arith_type
+
+#: Binary operators understood by the IR.  Comparisons yield ``int`` 0/1.
+BIN_OPS = frozenset(
+    {"+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&", "|", "^",
+     "<<", ">>"}
+)
+COMPARISON_OPS = frozenset({"<", "<=", ">", ">=", "==", "!="})
+
+UN_OPS = frozenset({"-", "!", "~", "int", "float"})
+
+
+class Expr:
+    """Base class of all IR expressions.  Immutable and side-effect free."""
+
+    __slots__ = ()
+
+    @property
+    def ty(self) -> Type:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and every sub-expression, post-order."""
+        for child in self.children():
+            yield from child.walk()
+        yield self
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant (int or float)."""
+
+    value: float
+    _ty: Type = INT
+
+    @property
+    def ty(self) -> Type:
+        return self._ty
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VarRead(Expr):
+    """Direct read of a scalar variable.
+
+    Reading an *array* symbol yields its base address (C array decay).
+    """
+
+    sym: Symbol
+
+    @property
+    def ty(self) -> Type:
+        if self.sym.is_array:
+            from .types import ptr
+
+            return ptr(self.sym.ty)
+        return self.sym.ty
+
+    def __str__(self) -> str:
+        return self.sym.name
+
+
+@dataclass(frozen=True)
+class AddrOf(Expr):
+    """The address of a (necessarily addressable) variable: ``&sym``."""
+
+    sym: Symbol
+
+    @property
+    def ty(self) -> Type:
+        from .types import ptr
+
+        return ptr(self.sym.ty)
+
+    def __str__(self) -> str:
+        return f"&{self.sym.name}"
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """An indirect memory read ``*(addr)`` of one cell.
+
+    ``value_ty`` is the declared type of the loaded value — the handle used
+    by type-based alias analysis.
+    """
+
+    addr: Expr
+    value_ty: Type
+
+    @property
+    def ty(self) -> Type:
+        return self.value_ty
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.addr,)
+
+    def __str__(self) -> str:
+        return f"*({self.addr})"
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    """A binary operation.  Comparison operators produce int 0/1."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BIN_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+    @property
+    def ty(self) -> Type:
+        if self.op in COMPARISON_OPS:
+            return INT
+        return common_arith_type(self.left.ty, self.right.ty)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Un(Expr):
+    """A unary operation; ``int`` / ``float`` are conversions."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UN_OPS:
+            raise ValueError(f"unknown unary op {self.op!r}")
+
+    @property
+    def ty(self) -> Type:
+        if self.op == "!":
+            return INT
+        if self.op == "int":
+            return INT
+        if self.op == "float":
+            from .types import FLOAT
+
+            return FLOAT
+        return self.operand.ty
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+def syntax_key(expr: Expr) -> tuple:
+    """A hashable structural key identifying the *syntax tree* of ``expr``.
+
+    Used by the heuristic rules of §3.2.2: references whose address
+    expressions have identical syntax trees are assumed highly likely to
+    access the same location.  Symbols key by identity (uid), so distinct
+    variables with equal names do not collide.
+    """
+    if isinstance(expr, Const):
+        return ("const", expr.value)
+    if isinstance(expr, VarRead):
+        return ("var", expr.sym.uid)
+    if isinstance(expr, AddrOf):
+        return ("addr", expr.sym.uid)
+    if isinstance(expr, Load):
+        return ("load", syntax_key(expr.addr))
+    if isinstance(expr, Bin):
+        return ("bin", expr.op, syntax_key(expr.left), syntax_key(expr.right))
+    if isinstance(expr, Un):
+        return ("un", expr.op, syntax_key(expr.operand))
+    raise TypeError(f"unknown expression node {type(expr).__name__}")

@@ -1,0 +1,37 @@
+"""Textual dump of the mid-level IR (for docs, examples and debugging)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import Function, Module
+
+
+def format_function(fn: Function) -> str:
+    """Render a function as readable text, blocks in reverse postorder."""
+    lines: List[str] = []
+    params = ", ".join(f"{p.ty} {p.name}" for p in fn.params)
+    ret = str(fn.ret_ty) if fn.ret_ty is not None else "void"
+    lines.append(f"{ret} {fn.name}({params}) {{")
+    for sym in fn.locals:
+        suffix = f"[{sym.array_size}]" if sym.is_array else ""
+        lines.append(f"  {sym.ty} {sym.name}{suffix};")
+    for block in fn.rpo():
+        lines.append(f" {block.name}:")
+        for stmt in block.stmts:
+            lines.append(f"    {stmt}")
+        if block.terminator is not None:
+            lines.append(f"    {block.terminator}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    lines: List[str] = []
+    for sym in module.globals:
+        suffix = f"[{sym.array_size}]" if sym.is_array else ""
+        lines.append(f"{sym.ty} {sym.name}{suffix};")
+    for fn in module.functions.values():
+        lines.append("")
+        lines.append(format_function(fn))
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Statements and terminators of the mid-level IR.
+
+A basic block holds a list of :class:`Stmt` followed by exactly one
+:class:`Terminator`.  Side effects only happen in statements: direct scalar
+assignment (:class:`Assign`), indirect store (:class:`Store`), calls
+(:class:`CallStmt`) and the ``print`` intrinsic (:class:`PrintStmt`, the
+program's observable output used by the correctness oracle).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+from .expr import Expr
+from .symbols import Symbol
+from .types import Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cfg import BasicBlock
+
+
+class Stmt:
+    """Base class of non-terminator statements."""
+
+    __slots__ = ()
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        """The top-level expressions this statement evaluates."""
+        return ()
+
+    def walk_exprs(self) -> Iterator[Expr]:
+        for expr in self.exprs():
+            yield from expr.walk()
+
+
+class Assign(Stmt):
+    """Direct scalar assignment ``sym = value``.
+
+    ``spec_kind`` is attached by SSAPRE's CodeMotion when the assignment
+    realizes a data-speculative load: ``"advance"`` lowers to ``ld.a``
+    (advanced load, allocates an ALAT entry) and ``"check"`` lowers to
+    ``ld.c`` (check load, reuses the register value on an ALAT hit).
+    """
+
+    __slots__ = ("sym", "value", "spec_kind")
+
+    def __init__(self, sym: Symbol, value: Expr,
+                 spec_kind: Optional[str] = None) -> None:
+        self.sym = sym
+        self.value = value
+        self.spec_kind = spec_kind
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.value,)
+
+    def __str__(self) -> str:
+        flag = f" [{self.spec_kind}]" if self.spec_kind else ""
+        return f"{self.sym} = {self.value}{flag}"
+
+
+class Store(Stmt):
+    """Indirect store ``*(addr) = value`` of one cell.
+
+    ``value_ty`` is the declared type of the stored value (used by
+    type-based alias analysis, like :class:`~repro.ir.expr.Load`).
+    """
+
+    __slots__ = ("addr", "value", "value_ty")
+
+    def __init__(self, addr: Expr, value: Expr, value_ty: Type) -> None:
+        self.addr = addr
+        self.value = value
+        self.value_ty = value_ty
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.addr, self.value)
+
+    def __str__(self) -> str:
+        return f"*({self.addr}) = {self.value}"
+
+
+class CallStmt(Stmt):
+    """A call ``dst = callee(args)`` (``dst`` may be ``None``).
+
+    ``alloc`` is the heap-allocation intrinsic: ``p = alloc(n)`` returns the
+    base address of a fresh ``n``-cell object whose abstract memory location
+    (LOC) is named by this call site, per the paper's §3.2.1 naming scheme.
+    """
+
+    __slots__ = ("dst", "callee", "args", "site_id")
+
+    def __init__(
+        self, dst: Optional[Symbol], callee: str, args: List[Expr]
+    ) -> None:
+        self.dst = dst
+        self.callee = callee
+        self.args = list(args)
+        self.site_id: Optional[int] = None  # assigned by Module.finalize
+
+    @property
+    def is_alloc(self) -> bool:
+        return self.callee == "alloc"
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return tuple(self.args)
+
+    def __str__(self) -> str:
+        call = f"{self.callee}({', '.join(map(str, self.args))})"
+        return f"{self.dst} = {call}" if self.dst is not None else call
+
+
+class PrintStmt(Stmt):
+    """The observable-output intrinsic ``print(args...)``."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: List[Expr]) -> None:
+        self.args = list(args)
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return tuple(self.args)
+
+    def __str__(self) -> str:
+        return f"print({', '.join(map(str, self.args))})"
+
+
+class Terminator:
+    """Base class of block terminators."""
+
+    __slots__ = ()
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def successors(self) -> Tuple["BasicBlock", ...]:
+        return ()
+
+
+class Jump(Terminator):
+    """Unconditional branch."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: "BasicBlock") -> None:
+        self.target = target
+
+    def successors(self) -> Tuple["BasicBlock", ...]:
+        return (self.target,)
+
+    def __str__(self) -> str:
+        return f"goto {self.target.name}"
+
+
+class CondBr(Terminator):
+    """Two-way conditional branch on ``cond != 0``."""
+
+    __slots__ = ("cond", "then_block", "else_block")
+
+    def __init__(
+        self, cond: Expr, then_block: "BasicBlock", else_block: "BasicBlock"
+    ) -> None:
+        self.cond = cond
+        self.then_block = then_block
+        self.else_block = else_block
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.cond,)
+
+    def successors(self) -> Tuple["BasicBlock", ...]:
+        return (self.then_block, self.else_block)
+
+    def __str__(self) -> str:
+        return (
+            f"if {self.cond} goto {self.then_block.name} "
+            f"else {self.else_block.name}"
+        )
+
+
+class Return(Terminator):
+    """Function return, with optional value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr] = None) -> None:
+        self.value = value
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.value,) if self.value is not None else ()
+
+    def __str__(self) -> str:
+        return f"return {self.value}" if self.value is not None else "return"

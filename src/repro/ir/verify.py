@@ -1,0 +1,99 @@
+"""Structural verifier for the mid-level IR.
+
+Catches malformed IR early (the frontend, the builder, and — most
+importantly — the out-of-SSA lowering all run through it in tests):
+
+* every reachable block is terminated and registered with its function;
+* every symbol used is a param, local, global of the module, or a temp;
+* address-of is only applied to addressable symbols;
+* branch targets belong to the same function.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .expr import AddrOf, Expr, VarRead
+from .function import Function, Module
+from .stmt import Assign, CallStmt, CondBr, Jump, Return
+from .symbols import StorageKind, Symbol
+
+
+class VerificationError(Exception):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function of ``module``; raises
+    :class:`VerificationError` on the first violation."""
+    global_syms = set(module.globals)
+    for fn in module.functions.values():
+        _verify_function(fn, global_syms, set(module.functions))
+
+
+def _verify_function(
+    fn: Function, global_syms: Set[Symbol], fn_names: Set[str]
+) -> None:
+    known = global_syms | set(fn.params) | set(fn.locals)
+    blocks = set(fn.blocks)
+
+    def check_sym(sym: Symbol, where: str) -> None:
+        if sym.kind is StorageKind.TEMP or sym.kind is StorageKind.VIRTUAL:
+            return
+        if sym not in known:
+            raise VerificationError(
+                f"{fn.name}: {where} uses undeclared symbol {sym!r}"
+            )
+
+    def check_expr(expr: Expr, where: str) -> None:
+        for node in expr.walk():
+            if isinstance(node, VarRead):
+                check_sym(node.sym, where)
+            elif isinstance(node, AddrOf):
+                check_sym(node.sym, where)
+                if node.sym.kind is StorageKind.TEMP:
+                    raise VerificationError(
+                        f"{fn.name}: address taken of temp {node.sym!r}"
+                    )
+
+    for block in fn.rpo():
+        if block not in blocks:
+            raise VerificationError(
+                f"{fn.name}: reachable block {block.name} not registered"
+            )
+        if block.terminator is None:
+            raise VerificationError(
+                f"{fn.name}: block {block.name} has no terminator"
+            )
+        for stmt in block.stmts:
+            where = f"{block.name}: {stmt}"
+            for expr in stmt.exprs():
+                check_expr(expr, where)
+            if isinstance(stmt, Assign):
+                check_sym(stmt.sym, where)
+            elif isinstance(stmt, CallStmt):
+                if stmt.dst is not None:
+                    check_sym(stmt.dst, where)
+                if (
+                    stmt.callee not in fn_names
+                    and stmt.callee not in ("alloc", "input", "inputf")
+                ):
+                    raise VerificationError(
+                        f"{fn.name}: call to unknown function "
+                        f"{stmt.callee!r}"
+                    )
+        term = block.terminator
+        for expr in term.exprs():
+            check_expr(expr, f"{block.name}: {term}")
+        if isinstance(term, (Jump, CondBr)):
+            for succ in term.successors():
+                if succ not in blocks:
+                    raise VerificationError(
+                        f"{fn.name}: branch from {block.name} to "
+                        f"unregistered block {succ.name}"
+                    )
+        elif isinstance(term, Return):
+            if term.value is not None and fn.ret_ty is None:
+                raise VerificationError(
+                    f"{fn.name}: returns a value but is void"
+                )

@@ -1,0 +1,15 @@
+"""Frontend for the C-like mini language: lexer, parser, and AST→IR lowering.
+
+The usual entry point is :func:`compile_source`, which returns a finalized
+:class:`repro.ir.Module`.
+"""
+
+from .ast_nodes import AProgram
+from .lexer import LexError, Token, tokenize
+from .lower import LowerError, compile_source, lower_program
+from .parser import ParseError, parse
+
+__all__ = [
+    "AProgram", "LexError", "LowerError", "ParseError", "Token",
+    "compile_source", "lower_program", "parse", "tokenize",
+]

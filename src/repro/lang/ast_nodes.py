@@ -1,0 +1,166 @@
+"""AST of the C-like mini language (produced by :mod:`repro.lang.parser`)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# ---- expressions ---------------------------------------------------------
+class AExpr:
+    """Base class of AST expressions."""
+
+
+@dataclass
+class ANumber(AExpr):
+    value: float
+    is_float: bool
+    line: int = 0
+
+
+@dataclass
+class AName(AExpr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class AUnary(AExpr):
+    op: str          # '-', '!', '*', '&'
+    operand: AExpr
+    line: int = 0
+
+
+@dataclass
+class ABinary(AExpr):
+    op: str
+    left: AExpr
+    right: AExpr
+    line: int = 0
+
+
+@dataclass
+class AIndex(AExpr):
+    """``base[index]`` — sugar for ``*(base + index)``."""
+
+    base: AExpr
+    index: AExpr
+    line: int = 0
+
+
+@dataclass
+class ACall(AExpr):
+    """A call in expression position (including the ``alloc`` intrinsic)."""
+
+    callee: str
+    args: List[AExpr]
+    line: int = 0
+
+
+# ---- types in declarations ----------------------------------------------
+@dataclass
+class ATypeSpec:
+    """``base`` is ``int``/``double``/``void`` plus pointer depth."""
+
+    base: str
+    pointer_depth: int = 0
+
+
+# ---- statements ----------------------------------------------------------
+class AStmt:
+    """Base class of AST statements."""
+
+
+@dataclass
+class ADecl(AStmt):
+    """Local/global declaration: ``double *p;`` or ``int a[100];``."""
+
+    ty: ATypeSpec
+    name: str
+    array_size: int = 0
+    line: int = 0
+
+
+@dataclass
+class AAssign(AStmt):
+    """``lhs = value`` (or compound ``op=`` pre-expanded by the parser)."""
+
+    target: AExpr        # AName, AUnary('*'), or AIndex
+    value: AExpr
+    line: int = 0
+
+
+@dataclass
+class AExprStmt(AStmt):
+    """Expression evaluated for effect (a bare call)."""
+
+    expr: AExpr
+    line: int = 0
+
+
+@dataclass
+class AIf(AStmt):
+    cond: AExpr
+    then_body: List[AStmt]
+    else_body: List[AStmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class AWhile(AStmt):
+    cond: AExpr
+    body: List[AStmt]
+    line: int = 0
+
+
+@dataclass
+class AFor(AStmt):
+    init: Optional[AStmt]
+    cond: Optional[AExpr]
+    step: Optional[AStmt]
+    body: List[AStmt]
+    line: int = 0
+
+
+@dataclass
+class AReturn(AStmt):
+    value: Optional[AExpr]
+    line: int = 0
+
+
+@dataclass
+class ABreak(AStmt):
+    line: int = 0
+
+
+@dataclass
+class AContinue(AStmt):
+    line: int = 0
+
+
+@dataclass
+class APrint(AStmt):
+    args: List[AExpr]
+    line: int = 0
+
+
+# ---- top level ------------------------------------------------------------
+@dataclass
+class AParam:
+    ty: ATypeSpec
+    name: str
+
+
+@dataclass
+class AFunction:
+    ret_ty: ATypeSpec
+    name: str
+    params: List[AParam]
+    body: List[AStmt]
+    line: int = 0
+
+
+@dataclass
+class AProgram:
+    globals: List[ADecl]
+    functions: List[AFunction]

@@ -1,0 +1,76 @@
+"""Lexer for the C-like mini language.
+
+The language is the source substrate standing in for the paper's C
+benchmarks: scalars (``int`` / ``double``), multi-level pointers, fixed-size
+arrays, functions, ``if``/``while``/``for``, ``alloc`` (heap allocation) and
+``print`` (observable output).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = frozenset(
+    {"int", "double", "void", "if", "else", "while", "for", "return",
+     "break", "continue", "print", "alloc"}
+)
+
+#: Multi-char operators first so the tokenizer is greedy.
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+  | (?P<float>(\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<id>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|[-+*/%<>=!&|^~(){}\[\];,])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``int``, ``float``, ``id``, a keyword, an operator spelling,
+    or ``eof``.  ``value`` carries the literal/identifier text.
+    """
+
+    kind: str
+    value: str
+    line: int
+
+
+class LexError(Exception):
+    """Raised on an unrecognised character."""
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on bad input."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise LexError(f"line {line}: unexpected character {source[pos]!r}")
+        text = m.group(0)
+        if m.lastgroup == "ws":
+            line += text.count("\n")
+        elif m.lastgroup == "float":
+            yield Token("float", text, line)
+        elif m.lastgroup == "int":
+            yield Token("int_lit", text, line)
+        elif m.lastgroup == "id":
+            kind = text if text in KEYWORDS else "id"
+            yield Token(kind, text, line)
+        else:
+            yield Token(text, text, line)
+        pos = m.end()
+    yield Token("eof", "", line)

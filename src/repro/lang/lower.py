@@ -1,0 +1,431 @@
+"""Lowering from the mini-language AST to the mid-level IR.
+
+Responsibilities:
+
+* name resolution (globals, params, locals) and duplicate-declaration checks;
+* type checking with C-style implicit conversions (int↔double, pointer
+  arithmetic in cells);
+* array decay (`a` of array type reads as its base address) and
+  ``e[i] → *(e + i)`` desugaring;
+* short-circuit ``&&`` / ``||`` via control flow into a temp;
+* hoisting calls out of expression position into :class:`~repro.ir.CallStmt`;
+* structured control flow (``if``/``while``/``for``/``break``/``continue``)
+  into CFG blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import (FLOAT, INT, AddrOf, Assign, BasicBlock, Bin, CallStmt,
+                  CondBr, Const, Expr, Function, Jump, Load, Module,
+                  PrintStmt, Return, StorageKind, Store, Symbol, Type, Un,
+                  VarRead, make_temp, ptr)
+from .ast_nodes import (AAssign, ABinary, ABreak, ACall, AContinue, ADecl,
+                        AExpr, AExprStmt, AFor, AFunction, AIf, AIndex, AName,
+                        ANumber, APrint, AProgram, AReturn, AStmt, ATypeSpec,
+                        AUnary, AWhile)
+from .parser import parse
+
+
+class LowerError(Exception):
+    """Raised on a semantic error (unknown name, type mismatch, bad lvalue)."""
+
+
+def type_from_spec(spec: ATypeSpec) -> Optional[Type]:
+    """Convert a parsed type spec to an IR type (``None`` for ``void``)."""
+    if spec.base == "void":
+        if spec.pointer_depth:
+            raise LowerError("void pointers are not supported")
+        return None
+    ty: Type = INT if spec.base == "int" else FLOAT
+    for _ in range(spec.pointer_depth):
+        ty = ptr(ty)
+    return ty
+
+
+def convert(expr: Expr, target: Type) -> Expr:
+    """Insert an implicit conversion from ``expr.ty`` to ``target``."""
+    src = expr.ty
+    if src == target:
+        return expr
+    if src.is_int and target.is_float:
+        return Un("float", expr)
+    if src.is_float and target.is_int:
+        return Un("int", expr)
+    if src.is_pointer and target.is_pointer:
+        # Cell addressing makes all pointers interchangeable values; keep
+        # the declared type of the *access* as the TBAA handle instead.
+        return expr
+    if src.is_int and target.is_pointer:
+        return expr  # e.g. alloc() result, null constants
+    if src.is_pointer and target.is_int:
+        return expr
+    raise LowerError(f"cannot convert {src} to {target}")
+
+
+class _FunctionLowerer:
+    """Lowers one function body; tracks the current block."""
+
+    def __init__(
+        self,
+        module: Module,
+        fn: Function,
+        globals_map: Dict[str, Symbol],
+        signatures: Dict[str, Tuple[List[Type], Optional[Type]]],
+    ) -> None:
+        self.module = module
+        self.fn = fn
+        self.globals_map = globals_map
+        self.signatures = signatures
+        self.scope: Dict[str, Symbol] = dict(globals_map)
+        for p in fn.params:
+            self.scope[p.name] = p
+        self.block: BasicBlock = fn.entry
+        #: stack of (break_target, continue_target)
+        self.loop_stack: List[Tuple[BasicBlock, BasicBlock]] = []
+
+    # ---- helpers --------------------------------------------------------
+    def emit(self, stmt) -> None:
+        self.block.append(stmt)
+
+    def new_block(self, hint: str) -> BasicBlock:
+        return self.fn.new_block(hint)
+
+    def terminate_jump(self, target: BasicBlock) -> None:
+        if self.block.terminator is None:
+            self.block.terminator = Jump(target)
+
+    def lookup(self, name: str, line: int) -> Symbol:
+        try:
+            return self.scope[name]
+        except KeyError:
+            raise LowerError(f"line {line}: unknown name {name!r}") from None
+
+    # ---- statements -------------------------------------------------------
+    def lower_body(self, body: List[AStmt]) -> None:
+        for stmt in body:
+            self.lower_stmt(stmt)
+        if self.block.terminator is None:
+            self.block.terminator = Return(None)
+
+    def lower_stmts(self, stmts: List[AStmt]) -> None:
+        for stmt in stmts:
+            if self.block.terminator is not None:
+                return  # unreachable code after return/break
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: AStmt) -> None:
+        if isinstance(stmt, ADecl):
+            self._lower_decl(stmt)
+        elif isinstance(stmt, AAssign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, AExprStmt):
+            self._lower_expr_stmt(stmt)
+        elif isinstance(stmt, AIf):
+            self._lower_if(stmt)
+        elif isinstance(stmt, AWhile):
+            self._lower_while(stmt)
+        elif isinstance(stmt, AFor):
+            self._lower_for(stmt)
+        elif isinstance(stmt, AReturn):
+            self._lower_return(stmt)
+        elif isinstance(stmt, ABreak):
+            self._lower_break(stmt)
+        elif isinstance(stmt, AContinue):
+            self._lower_continue(stmt)
+        elif isinstance(stmt, APrint):
+            self.emit(PrintStmt([self.lower_value(a) for a in stmt.args]))
+        else:  # pragma: no cover
+            raise LowerError(f"unknown statement {stmt!r}")
+
+    def _lower_decl(self, stmt: ADecl) -> None:
+        if stmt.name in self.scope and self.scope[stmt.name].kind in (
+            StorageKind.LOCAL,
+            StorageKind.PARAM,
+        ):
+            raise LowerError(f"line {stmt.line}: duplicate local {stmt.name!r}")
+        ty = type_from_spec(stmt.ty)
+        if ty is None:
+            raise LowerError(f"line {stmt.line}: void variable {stmt.name!r}")
+        sym = Symbol(stmt.name, ty, StorageKind.LOCAL,
+                     array_size=stmt.array_size)
+        self.fn.add_local(sym)
+        self.scope[stmt.name] = sym
+
+    def _lower_assign(self, stmt: AAssign) -> None:
+        target = stmt.target
+        if isinstance(target, AName):
+            sym = self.lookup(target.name, stmt.line)
+            if sym.is_array:
+                raise LowerError(
+                    f"line {stmt.line}: cannot assign to array {sym.name!r}"
+                )
+            value = convert(self.lower_value(stmt.value), sym.ty)
+            self.emit(Assign(sym, value))
+            return
+        addr, value_ty = self.lower_lvalue_address(target, stmt.line)
+        value = convert(self.lower_value(stmt.value), value_ty)
+        self.emit(Store(addr, value, value_ty))
+
+    def lower_lvalue_address(self, target: AExpr, line: int) -> Tuple[Expr, Type]:
+        """Lower an indirect lvalue to (address expression, stored type)."""
+        if isinstance(target, AUnary) and target.op == "*":
+            addr = self.lower_value(target.operand)
+            if not addr.ty.is_pointer:
+                raise LowerError(f"line {line}: dereference of non-pointer")
+            return addr, addr.ty.deref()
+        if isinstance(target, AIndex):
+            base = self.lower_value(target.base)
+            if not base.ty.is_pointer:
+                raise LowerError(f"line {line}: indexing a non-pointer")
+            index = convert(self.lower_value(target.index), INT)
+            return Bin("+", base, index), base.ty.deref()
+        raise LowerError(f"line {line}: invalid assignment target")
+
+    def _lower_expr_stmt(self, stmt: AExprStmt) -> None:
+        if isinstance(stmt.expr, ACall):
+            self._lower_call(stmt.expr, want_value=False)
+        else:
+            # Side-effect free expression; evaluate for errors, then drop.
+            self.lower_value(stmt.expr)
+
+    def _lower_if(self, stmt: AIf) -> None:
+        then_b = self.new_block("then")
+        join = self.new_block("join")
+        else_b = self.new_block("else") if stmt.else_body else join
+        cond = self.lower_value(stmt.cond)
+        self.block.terminator = CondBr(cond, then_b, else_b)
+        self.block = then_b
+        self.lower_stmts(stmt.then_body)
+        self.terminate_jump(join)
+        if stmt.else_body:
+            self.block = else_b
+            self.lower_stmts(stmt.else_body)
+            self.terminate_jump(join)
+        self.block = join
+
+    def _lower_while(self, stmt: AWhile) -> None:
+        cond_b = self.new_block("while_cond")
+        body_b = self.new_block("while_body")
+        exit_b = self.new_block("while_exit")
+        self.terminate_jump(cond_b)
+        self.block = cond_b
+        cond = self.lower_value(stmt.cond)
+        self.block.terminator = CondBr(cond, body_b, exit_b)
+        self.loop_stack.append((exit_b, cond_b))
+        self.block = body_b
+        self.lower_stmts(stmt.body)
+        self.terminate_jump(cond_b)
+        self.loop_stack.pop()
+        self.block = exit_b
+
+    def _lower_for(self, stmt: AFor) -> None:
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        cond_b = self.new_block("for_cond")
+        body_b = self.new_block("for_body")
+        step_b = self.new_block("for_step")
+        exit_b = self.new_block("for_exit")
+        self.terminate_jump(cond_b)
+        self.block = cond_b
+        if stmt.cond is not None:
+            cond = self.lower_value(stmt.cond)
+            self.block.terminator = CondBr(cond, body_b, exit_b)
+        else:
+            self.block.terminator = Jump(body_b)
+        self.loop_stack.append((exit_b, step_b))
+        self.block = body_b
+        self.lower_stmts(stmt.body)
+        self.terminate_jump(step_b)
+        self.block = step_b
+        if stmt.step is not None:
+            self.lower_stmt(stmt.step)
+        self.terminate_jump(cond_b)
+        self.loop_stack.pop()
+        self.block = exit_b
+
+    def _lower_return(self, stmt: AReturn) -> None:
+        if stmt.value is None:
+            self.block.terminator = Return(None)
+            return
+        if self.fn.ret_ty is None:
+            raise LowerError(
+                f"line {stmt.line}: void function returns a value"
+            )
+        value = convert(self.lower_value(stmt.value), self.fn.ret_ty)
+        self.block.terminator = Return(value)
+
+    def _lower_break(self, stmt: ABreak) -> None:
+        if not self.loop_stack:
+            raise LowerError(f"line {stmt.line}: break outside a loop")
+        self.block.terminator = Jump(self.loop_stack[-1][0])
+
+    def _lower_continue(self, stmt: AContinue) -> None:
+        if not self.loop_stack:
+            raise LowerError(f"line {stmt.line}: continue outside a loop")
+        self.block.terminator = Jump(self.loop_stack[-1][1])
+
+    # ---- expressions -------------------------------------------------------
+    def lower_value(self, expr: AExpr) -> Expr:
+        if isinstance(expr, ANumber):
+            if expr.is_float:
+                return Const(float(expr.value), FLOAT)
+            return Const(int(expr.value), INT)
+        if isinstance(expr, AName):
+            sym = self.lookup(expr.name, expr.line)
+            return VarRead(sym)
+        if isinstance(expr, AUnary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ABinary):
+            return self._lower_binary(expr)
+        if isinstance(expr, AIndex):
+            base = self.lower_value(expr.base)
+            if not base.ty.is_pointer:
+                raise LowerError(f"line {expr.line}: indexing a non-pointer")
+            index = convert(self.lower_value(expr.index), INT)
+            return Load(Bin("+", base, index), base.ty.deref())
+        if isinstance(expr, ACall):
+            return self._lower_call(expr, want_value=True)
+        raise LowerError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _lower_unary(self, expr: AUnary) -> Expr:
+        if expr.op == "&":
+            if not isinstance(expr.operand, AName):
+                raise LowerError(
+                    f"line {expr.line}: '&' requires a variable"
+                )
+            sym = self.lookup(expr.operand.name, expr.line)
+            if sym.kind is StorageKind.TEMP:
+                raise LowerError(f"line {expr.line}: '&' of a temporary")
+            sym.address_taken = True
+            return AddrOf(sym)
+        operand = self.lower_value(expr.operand)
+        if expr.op == "*":
+            if not operand.ty.is_pointer:
+                raise LowerError(
+                    f"line {expr.line}: dereference of non-pointer"
+                )
+            return Load(operand, operand.ty.deref())
+        if expr.op in ("!", "~"):
+            return Un(expr.op, convert(operand, INT))
+        return Un(expr.op, operand)  # numeric negation
+
+    def _lower_binary(self, expr: ABinary) -> Expr:
+        if expr.op in ("&&", "||"):
+            return self._lower_short_circuit(expr)
+        left = self.lower_value(expr.left)
+        right = self.lower_value(expr.right)
+        # Arithmetic/comparison promotion (pointer arithmetic stays as-is).
+        if not left.ty.is_pointer and not right.ty.is_pointer:
+            if left.ty.is_float or right.ty.is_float:
+                left, right = convert(left, FLOAT), convert(right, FLOAT)
+        return Bin(expr.op, left, right)
+
+    def _lower_short_circuit(self, expr: ABinary) -> Expr:
+        """``a && b`` / ``a || b`` with proper short-circuit control flow."""
+        result = make_temp(INT, "sc")
+        rhs_b = self.new_block("sc_rhs")
+        join = self.new_block("sc_join")
+        left = convert(self.lower_value(expr.left), INT)
+        short_b = self.new_block("sc_short")
+        if expr.op == "&&":
+            self.block.terminator = CondBr(left, rhs_b, short_b)
+            short_value = 0
+        else:
+            self.block.terminator = CondBr(left, short_b, rhs_b)
+            short_value = 1
+        self.block = short_b
+        self.emit(Assign(result, Const(short_value, INT)))
+        self.terminate_jump(join)
+        self.block = rhs_b
+        right = convert(self.lower_value(expr.right), INT)
+        self.emit(Assign(result, Bin("!=", right, Const(0, INT))))
+        self.terminate_jump(join)
+        self.block = join
+        return VarRead(result)
+
+    def _lower_call(self, expr: ACall, want_value: bool) -> Expr:
+        if expr.callee in ("input", "inputf"):
+            if expr.args:
+                raise LowerError(f"line {expr.line}: input takes no args")
+            ty = INT if expr.callee == "input" else FLOAT
+            dst = make_temp(ty, "in")
+            self.emit(CallStmt(dst, expr.callee, []))
+            return VarRead(dst)
+        if expr.callee == "alloc":
+            if len(expr.args) != 1:
+                raise LowerError(f"line {expr.line}: alloc takes one argument")
+            size = convert(self.lower_value(expr.args[0]), INT)
+            dst = make_temp(ptr(INT), "heap")
+            self.emit(CallStmt(dst, "alloc", [size]))
+            return VarRead(dst)
+        if expr.callee not in self.signatures:
+            raise LowerError(
+                f"line {expr.line}: call to unknown function {expr.callee!r}"
+            )
+        param_tys, ret_ty = self.signatures[expr.callee]
+        if len(expr.args) != len(param_tys):
+            raise LowerError(
+                f"line {expr.line}: {expr.callee} expects "
+                f"{len(param_tys)} arguments, got {len(expr.args)}"
+            )
+        args = [
+            convert(self.lower_value(a), t)
+            for a, t in zip(expr.args, param_tys)
+        ]
+        if want_value:
+            if ret_ty is None:
+                raise LowerError(
+                    f"line {expr.line}: void call used as a value"
+                )
+            dst = make_temp(ret_ty, "ret")
+            self.emit(CallStmt(dst, expr.callee, args))
+            return VarRead(dst)
+        self.emit(CallStmt(None, expr.callee, args))
+        return Const(0, INT)
+
+
+def lower_program(program: AProgram) -> Module:
+    """Lower a parsed program to a finalized, CFG-complete module."""
+    module = Module()
+    globals_map: Dict[str, Symbol] = {}
+    for decl in program.globals:
+        ty = type_from_spec(decl.ty)
+        if ty is None:
+            raise LowerError(f"line {decl.line}: void global {decl.name!r}")
+        if decl.name in globals_map:
+            raise LowerError(
+                f"line {decl.line}: duplicate global {decl.name!r}"
+            )
+        sym = Symbol(decl.name, ty, StorageKind.GLOBAL,
+                     array_size=decl.array_size)
+        module.add_global(sym)
+        globals_map[decl.name] = sym
+
+    signatures: Dict[str, Tuple[List[Type], Optional[Type]]] = {}
+    functions: List[Tuple[AFunction, Function]] = []
+    for afn in program.functions:
+        param_tys: List[Type] = []
+        params: List[Symbol] = []
+        for p in afn.params:
+            ty = type_from_spec(p.ty)
+            if ty is None:
+                raise LowerError(f"void parameter in {afn.name}")
+            param_tys.append(ty)
+            params.append(Symbol(p.name, ty, StorageKind.PARAM))
+        ret_ty = type_from_spec(afn.ret_ty)
+        fn = Function(afn.name, params, ret_ty)
+        module.add_function(fn)
+        signatures[afn.name] = (param_tys, ret_ty)
+        functions.append((afn, fn))
+
+    for afn, fn in functions:
+        lowerer = _FunctionLowerer(module, fn, globals_map, signatures)
+        lowerer.lower_body(afn.body)
+    return module.finalize()
+
+
+def compile_source(source: str) -> Module:
+    """Parse + lower: the frontend entry point."""
+    return lower_program(parse(source))

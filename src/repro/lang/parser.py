@@ -1,0 +1,289 @@
+"""Recursive-descent parser for the C-like mini language.
+
+Grammar (informally)::
+
+    program   := (global_decl | function)*
+    function  := type ident '(' params ')' '{' stmt* '}'
+    stmt      := decl | assign ';' | call ';' | 'print' '(' args ')' ';'
+               | 'if' '(' expr ')' block ('else' (block | if_stmt))?
+               | 'while' '(' expr ')' block
+               | 'for' '(' simple? ';' expr? ';' simple? ')' block
+               | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+    assign    := lvalue ('='|'+='|'-='|'*='|'/=') expr
+    lvalue    := ident | '*' unary | postfix '[' expr ']'
+
+Expressions use precedence climbing; ``&&``/``||`` are genuine operators
+(lowered with short-circuit control flow), ``e[i]`` is sugar for
+``*(e + i)``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional
+
+from .ast_nodes import (AAssign, ABinary, ABreak, ACall, AContinue, ADecl,
+                        AExpr, AExprStmt, AFor, AFunction, AIf, AIndex, AName,
+                        ANumber, AParam, APrint, AProgram, AReturn, AStmt,
+                        ATypeSpec, AUnary, AWhile)
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with the offending line number."""
+
+
+_BIN_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/"}
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ---- token plumbing -----------------------------------------------
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        tok = self.tok
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        if self.tok.kind != kind:
+            raise ParseError(
+                f"line {self.tok.line}: expected {kind!r}, "
+                f"found {self.tok.value!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.tok.kind == kind:
+            return self.advance()
+        return None
+
+    # ---- top level -----------------------------------------------------
+    def parse_program(self) -> AProgram:
+        globals_: List[ADecl] = []
+        functions: List[AFunction] = []
+        while self.tok.kind != "eof":
+            ty = self.parse_type()
+            name = self.expect("id")
+            if self.tok.kind == "(":
+                functions.append(self.parse_function_rest(ty, name))
+            else:
+                globals_.append(self.parse_decl_rest(ty, name))
+        return AProgram(globals_, functions)
+
+    def parse_type(self) -> ATypeSpec:
+        if self.tok.kind not in ("int", "double", "void"):
+            raise ParseError(
+                f"line {self.tok.line}: expected a type, "
+                f"found {self.tok.value!r}"
+            )
+        base = self.advance().kind
+        depth = 0
+        while self.accept("*"):
+            depth += 1
+        return ATypeSpec(base, depth)
+
+    def parse_decl_rest(self, ty: ATypeSpec, name: Token) -> ADecl:
+        array_size = 0
+        if self.accept("["):
+            array_size = int(self.expect("int_lit").value)
+            self.expect("]")
+        self.expect(";")
+        return ADecl(ty, name.value, array_size, line=name.line)
+
+    def parse_function_rest(self, ret_ty: ATypeSpec, name: Token) -> AFunction:
+        self.expect("(")
+        params: List[AParam] = []
+        if self.tok.kind != ")":
+            while True:
+                pty = self.parse_type()
+                pname = self.expect("id")
+                params.append(AParam(pty, pname.value))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return AFunction(ret_ty, name.value, params, body, line=name.line)
+
+    # ---- statements ------------------------------------------------------
+    def parse_block(self) -> List[AStmt]:
+        self.expect("{")
+        stmts: List[AStmt] = []
+        while self.tok.kind != "}":
+            stmts.append(self.parse_stmt())
+        self.expect("}")
+        return stmts
+
+    def parse_stmt(self) -> AStmt:
+        kind = self.tok.kind
+        if kind in ("int", "double"):
+            ty = self.parse_type()
+            name = self.expect("id")
+            return self.parse_decl_rest(ty, name)
+        if kind == "if":
+            return self.parse_if()
+        if kind == "while":
+            line = self.advance().line
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            return AWhile(cond, self.parse_block(), line=line)
+        if kind == "for":
+            return self.parse_for()
+        if kind == "return":
+            line = self.advance().line
+            value = None if self.tok.kind == ";" else self.parse_expr()
+            self.expect(";")
+            return AReturn(value, line=line)
+        if kind == "break":
+            line = self.advance().line
+            self.expect(";")
+            return ABreak(line=line)
+        if kind == "continue":
+            line = self.advance().line
+            self.expect(";")
+            return AContinue(line=line)
+        if kind == "print":
+            line = self.advance().line
+            self.expect("(")
+            args = self.parse_args()
+            self.expect(")")
+            self.expect(";")
+            return APrint(args, line=line)
+        stmt = self.parse_simple_stmt()
+        self.expect(";")
+        return stmt
+
+    def parse_if(self) -> AIf:
+        line = self.expect("if").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self.parse_block()
+        else_body: List[AStmt] = []
+        if self.accept("else"):
+            if self.tok.kind == "if":
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return AIf(cond, then_body, else_body, line=line)
+
+    def parse_for(self) -> AFor:
+        line = self.expect("for").line
+        self.expect("(")
+        init = None if self.tok.kind == ";" else self.parse_simple_stmt()
+        self.expect(";")
+        cond = None if self.tok.kind == ";" else self.parse_expr()
+        self.expect(";")
+        step = None if self.tok.kind == ")" else self.parse_simple_stmt()
+        self.expect(")")
+        return AFor(init, cond, step, self.parse_block(), line=line)
+
+    def parse_simple_stmt(self) -> AStmt:
+        """Assignment or expression-statement (no trailing ';')."""
+        line = self.tok.line
+        expr = self.parse_expr()
+        if self.tok.kind == "=":
+            self.advance()
+            value = self.parse_expr()
+            return AAssign(expr, value, line=line)
+        if self.tok.kind in _COMPOUND_OPS:
+            op = self.advance().kind
+            value = self.parse_expr()
+            rhs = ABinary(_COMPOUND_OPS[op], copy.deepcopy(expr), value,
+                          line=line)
+            return AAssign(expr, rhs, line=line)
+        return AExprStmt(expr, line=line)
+
+    # ---- expressions -----------------------------------------------------
+    def parse_args(self) -> List[AExpr]:
+        args: List[AExpr] = []
+        if self.tok.kind != ")":
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept(","):
+                    break
+        return args
+
+    def parse_expr(self, min_prec: int = 1) -> AExpr:
+        left = self.parse_unary()
+        while True:
+            op = self.tok.kind
+            prec = _BIN_PRECEDENCE.get(op)
+            if prec is None or prec < min_prec:
+                return left
+            line = self.advance().line
+            right = self.parse_expr(prec + 1)
+            left = ABinary(op, left, right, line=line)
+
+    def parse_unary(self) -> AExpr:
+        tok = self.tok
+        if tok.kind in ("-", "!", "*", "&", "~"):
+            self.advance()
+            return AUnary(tok.kind, self.parse_unary(), line=tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> AExpr:
+        expr = self.parse_primary()
+        while self.tok.kind == "[":
+            line = self.advance().line
+            index = self.parse_expr()
+            self.expect("]")
+            expr = AIndex(expr, index, line=line)
+        return expr
+
+    def parse_primary(self) -> AExpr:
+        tok = self.tok
+        if tok.kind == "int_lit":
+            self.advance()
+            return ANumber(int(tok.value), is_float=False, line=tok.line)
+        if tok.kind == "float":
+            self.advance()
+            return ANumber(float(tok.value), is_float=True, line=tok.line)
+        if tok.kind in ("id", "alloc"):
+            self.advance()
+            if self.tok.kind == "(":
+                self.advance()
+                args = self.parse_args()
+                self.expect(")")
+                return ACall(tok.value, args, line=tok.line)
+            return AName(tok.value, line=tok.line)
+        if tok.kind == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise ParseError(
+            f"line {tok.line}: unexpected token {tok.value!r} in expression"
+        )
+
+
+def parse(source: str) -> AProgram:
+    """Parse a whole program."""
+    return Parser(source).parse_program()

@@ -1,0 +1,145 @@
+"""End-to-end pipeline: source → profiles → speculative SSA → SSAPRE →
+machine code → simulation.
+
+This is the reproduction of the paper's toolchain:
+
+1. parse + lower the mini-C source (:mod:`repro.lang`);
+2. **train run** — interpret on the train input, collecting the alias
+   profile (§3.2.1) and edge profile when the configuration asks for them;
+3. split critical edges, run Steensgaard + TBAA alias classes;
+4. build the **speculative SSA form** per function, flags from the
+   configuration's :class:`~repro.ssa.spec.SpecMode`;
+5. run **speculative SSAPRE** (register promotion, expression PRE,
+   strength reduction, LFTR, DCE);
+6. leave SSA, generate IA-64-flavoured code;
+7. **ref run** — simulate on the reference input with the ALAT + cache
+   machine, collecting the paper's counters;
+8. verify the simulated output against the reference interpreter running
+   the *original* program on the same ref input (the correctness oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis import AliasClassifier
+from ..core import OptStats, SpecConfig, optimize_function
+from ..ir import Module, split_module_critical_edges, verify_module
+from ..lang import compile_source
+from ..profiling import (AliasProfile, EdgeProfile, collect_alias_profile,
+                         collect_edge_profile, run_module)
+from ..ssa import build_ssa, flagger_for, lower_module
+from ..target import MachineStats, MProgram, compile_module, run_program
+from .results import RunResult
+
+
+@dataclass
+class CompileResult:
+    """Everything the pipeline produced before simulation."""
+
+    original: Module
+    optimized: Module
+    program: MProgram
+    config: SpecConfig
+    opt_stats: Dict[str, OptStats]
+    alias_profile: Optional[AliasProfile] = None
+    edge_profile: Optional[EdgeProfile] = None
+
+
+def compile_program(source: str, config: Optional[SpecConfig] = None,
+                    train_inputs: Sequence[float] = (),
+                    fuel: int = 50_000_000,
+                    dumps=None) -> CompileResult:
+    """Run pipeline steps 1–6 (no simulation).
+
+    Pass a :class:`repro.pipeline.DumpSink` as ``dumps`` to capture
+    per-phase snapshots (lowered IR, speculative SSA before/after the
+    optimizations, final machine code)."""
+    from .dumps import record_machine, record_module, record_ssa
+
+    config = config or SpecConfig.base()
+    module = compile_source(source)
+    verify_module(module)
+    record_module(dumps, "lowered", module)
+    alias_profile = None
+    edge_profile = None
+    if config.needs_alias_profile:
+        alias_profile = collect_alias_profile(module, fuel=fuel,
+                                              inputs=train_inputs)
+    if config.use_edge_profile:
+        edge_profile = collect_edge_profile(module, fuel=fuel,
+                                            inputs=train_inputs)
+    split_module_critical_edges(module)
+    modref = None
+    if config.interprocedural_modref:
+        from ..analysis import compute_modref
+
+        modref = compute_modref(module)
+    classifier = AliasClassifier(module, use_tbaa=config.use_tbaa,
+                                 modref=modref)
+    flagger = flagger_for(config.mode, alias_profile,
+                          config.likeliness_threshold)
+    refinements = {}
+    if config.flow_refine:
+        from ..ssa import FlowSensitivePointsTo
+
+        refinements = {name: FlowSensitivePointsTo(fn)
+                       for name, fn in module.functions.items()}
+    opt_stats: Dict[str, OptStats] = {}
+    ssa_functions = []
+    for fn in module.functions.values():
+        ssa = build_ssa(module, fn, classifier, flagger=flagger,
+                        refinement=refinements.get(fn.name))
+        record_ssa(dumps, f"speculative-ssa {fn.name}", ssa)
+        opt_stats[fn.name] = optimize_function(ssa, config,
+                                               edge_profile=edge_profile)
+        record_ssa(dumps, f"after-ssapre {fn.name}", ssa)
+        ssa_functions.append(ssa)
+    optimized = lower_module(module, ssa_functions)
+    verify_module(optimized)
+    record_module(dumps, "optimized", optimized)
+    program = compile_module(optimized)
+    if config.schedule:
+        from ..target.scheduler import schedule_program
+
+        schedule_program(program)
+    from ..target import verify_program
+
+    verify_program(program)
+    record_machine(dumps, "machine", program)
+    return CompileResult(module, optimized, program, config, opt_stats,
+                         alias_profile, edge_profile)
+
+
+def compile_and_run(source: str, config: Optional[SpecConfig] = None,
+                    train_inputs: Sequence[float] = (),
+                    ref_inputs: Sequence[float] = (),
+                    check_output: bool = True,
+                    fuel: int = 50_000_000,
+                    machine_kwargs: Optional[dict] = None) -> RunResult:
+    """Full pipeline: compile (profiling on ``train_inputs``), simulate on
+    ``ref_inputs``, and — unless disabled — verify the output against the
+    reference interpreter."""
+    compiled = compile_program(source, config, train_inputs, fuel=fuel)
+    stats, output = run_program(compiled.program, inputs=ref_inputs,
+                                fuel=4 * fuel,
+                                **(machine_kwargs or {}))
+    expected: Optional[List[str]] = None
+    if check_output:
+        expected = run_module(compiled.original, fuel=fuel,
+                              inputs=ref_inputs)
+        if output != expected:
+            raise AssertionError(
+                "optimized program output diverged from the reference "
+                f"interpreter:\n  expected: {expected[:5]}...\n"
+                f"  got:      {output[:5]}..."
+            )
+    return RunResult(
+        config=compiled.config,
+        stats=stats,
+        output=output,
+        expected=expected,
+        opt_stats=compiled.opt_stats,
+        program=compiled.program,
+    )

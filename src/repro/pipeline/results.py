@@ -1,0 +1,106 @@
+"""Result records and comparison helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core import OptStats, SpecConfig
+from ..target import MachineStats, MProgram
+
+
+@dataclass
+class RunResult:
+    """One compiled-and-simulated execution."""
+
+    config: SpecConfig
+    stats: MachineStats
+    output: List[str]
+    expected: Optional[List[str]] = None
+    opt_stats: Dict[str, OptStats] = field(default_factory=dict)
+    program: Optional[MProgram] = None
+
+    @property
+    def total_checks(self) -> int:
+        return self.stats.check_loads
+
+
+@dataclass
+class Comparison:
+    """Speculative vs. base — the paper's Figure 10/11 row for one
+    benchmark."""
+
+    name: str
+    base: RunResult
+    spec: RunResult
+
+    @property
+    def load_reduction(self) -> float:
+        """Fraction of memory-accessing loads removed (Figure 10)."""
+        base_loads = self.base.stats.memory_loads
+        if base_loads == 0:
+            return 0.0
+        return 1.0 - self.spec.stats.memory_loads / base_loads
+
+    @property
+    def speedup(self) -> float:
+        """Execution-time speedup over the base (Figure 10): fraction of
+        cycles saved."""
+        if self.base.stats.cycles == 0:
+            return 0.0
+        return 1.0 - self.spec.stats.cycles / self.base.stats.cycles
+
+    @property
+    def data_access_reduction(self) -> float:
+        """Reduction in data-access (load stall) cycles (Figure 10)."""
+        base = self.base.stats.data_access_cycles
+        if base == 0:
+            return 0.0
+        return 1.0 - self.spec.stats.data_access_cycles / base
+
+    @property
+    def check_ratio(self) -> float:
+        """Dynamic check loads / loads retired in the speculative build
+        (Figure 11)."""
+        return self.spec.stats.check_ratio
+
+    @property
+    def misspeculation_ratio(self) -> float:
+        """Failed checks / executed checks (Figure 11)."""
+        return self.spec.stats.misspeculation_ratio
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "benchmark": self.name,
+            "load_reduction_%": 100.0 * self.load_reduction,
+            "speedup_%": 100.0 * self.speedup,
+            "data_access_reduction_%": 100.0 * self.data_access_reduction,
+            "check_ratio_%": 100.0 * self.check_ratio,
+            "misspec_ratio_%": 100.0 * self.misspeculation_ratio,
+        }
+
+
+def format_table(rows: List[Dict[str, object]], title: str = "") -> str:
+    """Render rows as a fixed-width text table (the harness output)."""
+    if not rows:
+        return title
+    headers = list(rows[0].keys())
+    widths = {
+        h: max(len(str(h)), *(len(_fmt(r[h])) for r in rows))
+        for h in headers
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[h]) for h in headers))
+    lines.append("  ".join("-" * widths[h] for h in headers))
+    for r in rows:
+        lines.append("  ".join(_fmt(r[h]).ljust(widths[h])
+                               for h in headers))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,16 @@
+"""Profiling substrates: reference interpreter, alias profiler, edge
+profiler and the Figure-12 load-reuse simulation."""
+
+from .alias_profile import (AliasProfile, AliasProfiler,
+                            collect_alias_profile)
+from .edge_profile import EdgeProfile, EdgeProfiler, collect_edge_profile
+from .interp import InterpError, Interpreter, Tracer, c_div, c_rem, run_module
+from .load_reuse import (LoadReuseSimulator, LoadReuseStats,
+                         simulate_load_reuse)
+
+__all__ = [
+    "AliasProfile", "AliasProfiler", "EdgeProfile", "EdgeProfiler",
+    "InterpError", "Interpreter", "LoadReuseSimulator", "LoadReuseStats",
+    "Tracer", "c_div", "c_rem", "collect_alias_profile",
+    "collect_edge_profile", "run_module", "simulate_load_reuse",
+]

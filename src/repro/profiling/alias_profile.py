@@ -1,0 +1,203 @@
+"""Alias profiling (paper §3.2.1).
+
+For every indirect memory reference the profiler records the set of abstract
+memory locations (LOCs) it actually accessed at runtime, and for every call
+site the sets of LOCs modified / referenced during the call (including
+nested calls).  This is the paper's "lower cost alias profiling scheme": it
+observes LOC-granular access sets instead of comparing every reference pair
+(Wu et al.'s invalidation profiling).
+
+The resulting :class:`AliasProfile` is consumed by
+:mod:`repro.ssa.spec` to attach speculation flags to µ/χ operands:
+an alias relation observed during profiling is *highly likely*; one never
+observed is speculatively ignorable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Set
+
+from ..analysis.locs import Loc
+from ..ir import BasicBlock, CallStmt, Function, Load, Module, Store, Symbol
+from .interp import Interpreter, Tracer, Value
+
+
+class AliasProfile:
+    """Profiled LOC sets.
+
+    Keys: indirect loads by ``id(expr)``, stores by ``id(stmt)``, call sites
+    by ``stmt.site_id``.  Counters keep observation counts so thresholded
+    flagging ("likely" = observed in ≥ ``threshold`` fraction of executions)
+    can be studied as an ablation; the paper's rule is plain membership.
+    """
+
+    def __init__(self, granularity: int = 8) -> None:
+        #: sub-object LOC naming granularity, in cells (Chen et al. [4])
+        self.granularity = max(1, granularity)
+        self.load_locs: Dict[int, Counter] = defaultdict(Counter)
+        self.store_locs: Dict[int, Counter] = defaultdict(Counter)
+        #: finer-grained (LOC, block) observations for vvar flagging
+        #: (Counters: observation counts enable likeliness thresholds)
+        self.load_sublocs: Dict[int, Counter] = defaultdict(Counter)
+        self.store_sublocs: Dict[int, Counter] = defaultdict(Counter)
+        self.load_count: Counter = Counter()
+        self.store_count: Counter = Counter()
+        self.call_mod: Dict[int, Set[Loc]] = defaultdict(set)
+        self.call_ref: Dict[int, Set[Loc]] = defaultdict(set)
+        self.call_mod_sub: Dict[int, Set[tuple]] = defaultdict(set)
+        self.call_ref_sub: Dict[int, Set[tuple]] = defaultdict(set)
+
+    # ---- queries used by speculation-flag assignment -------------------
+    def load_loc_set(self, expr: Load) -> Set[Loc]:
+        """LOCs the load accessed during profiling (empty if never
+        executed)."""
+        return set(self.load_locs.get(id(expr), ()))
+
+    def store_loc_set(self, stmt: Store) -> Set[Loc]:
+        return set(self.store_locs.get(id(stmt), ()))
+
+    def load_subloc_set(self, expr: Load,
+                        threshold: float = 0.0) -> Set[tuple]:
+        """Block-granular LOC set of a load (for vvar flagging).
+
+        With ``threshold`` > 0, sub-LOCs observed in fewer than that
+        fraction of the site's executions are dropped — the §3.1
+        "degree of likeliness" knob (rare collisions become speculative
+        weak updates, trading bounded mis-speculation for coverage).
+        """
+        return self._thresholded(self.load_sublocs.get(id(expr)),
+                                 self.load_count.get(id(expr), 0),
+                                 threshold)
+
+    def store_subloc_set(self, stmt: Store,
+                         threshold: float = 0.0) -> Set[tuple]:
+        return self._thresholded(self.store_sublocs.get(id(stmt)),
+                                 self.store_count.get(id(stmt), 0),
+                                 threshold)
+
+    @staticmethod
+    def _thresholded(counter, executions: int,
+                     threshold: float) -> Set[tuple]:
+        if not counter:
+            return set()
+        if threshold <= 0.0 or executions <= 0:
+            return set(counter)
+        cutoff = threshold * executions
+        return {k for k, n in counter.items() if n >= cutoff}
+
+    def call_mod_subloc_set(self, stmt: CallStmt) -> Set[tuple]:
+        if stmt.site_id is None:
+            return set()
+        return self.call_mod_sub.get(stmt.site_id, set())
+
+    def call_ref_subloc_set(self, stmt: CallStmt) -> Set[tuple]:
+        if stmt.site_id is None:
+            return set()
+        return self.call_ref_sub.get(stmt.site_id, set())
+
+    def store_executed(self, stmt: Store) -> bool:
+        return self.store_count.get(id(stmt), 0) > 0
+
+    def load_executed(self, expr: Load) -> bool:
+        return self.load_count.get(id(expr), 0) > 0
+
+    def call_mod_set(self, stmt: CallStmt) -> Set[Loc]:
+        if stmt.site_id is None:
+            return set()
+        return self.call_mod.get(stmt.site_id, set())
+
+    def call_ref_set(self, stmt: CallStmt) -> Set[Loc]:
+        if stmt.site_id is None:
+            return set()
+        return self.call_ref.get(stmt.site_id, set())
+
+
+class AliasProfiler(Tracer):
+    """Tracer that builds an :class:`AliasProfile` during interpretation."""
+
+    def __init__(self, granularity: int = 8) -> None:
+        self.profile = AliasProfile(granularity)
+        #: call sites currently on the dynamic call stack
+        self._active_sites: List[int] = []
+
+    def _sub(self, loc: Loc, offset: int) -> tuple:
+        return (loc, offset // self.profile.granularity)
+
+    def on_load(self, fn: Function, expr: Load, addr: int, value: Value,
+                loc: Optional[Loc], offset: int = 0) -> None:
+        self.profile.load_count[id(expr)] += 1
+        if loc is not None:
+            sub = self._sub(loc, offset)
+            self.profile.load_locs[id(expr)][loc] += 1
+            self.profile.load_sublocs[id(expr)][sub] += 1
+            for site in self._active_sites:
+                self.profile.call_ref[site].add(loc)
+                self.profile.call_ref_sub[site].add(sub)
+
+    def on_store(self, fn: Function, stmt: Store, addr: int, value: Value,
+                 loc: Optional[Loc], offset: int = 0) -> None:
+        self.profile.store_count[id(stmt)] += 1
+        if loc is not None:
+            sub = self._sub(loc, offset)
+            self.profile.store_locs[id(stmt)][loc] += 1
+            self.profile.store_sublocs[id(stmt)][sub] += 1
+            for site in self._active_sites:
+                self.profile.call_mod[site].add(loc)
+                self.profile.call_mod_sub[site].add(sub)
+
+    def on_scalar_read(self, fn: Function, sym: Symbol, value: Value) -> None:
+        for site in self._active_sites:
+            self.profile.call_ref[site].add(sym)
+            self.profile.call_ref_sub[site].add((sym, 0))
+
+    def on_call_enter(self, fn: Function, stmt: CallStmt) -> None:
+        if stmt.site_id is not None:
+            self._active_sites.append(stmt.site_id)
+            # Materialize the entry so never-touching calls still record
+            # (empty) mod/ref sets distinct from "never executed".
+            self.profile.call_mod[stmt.site_id] |= set()
+            self.profile.call_ref[stmt.site_id] |= set()
+
+    def on_call_exit(self, fn: Function, stmt: CallStmt) -> None:
+        if stmt.site_id is not None:
+            self._active_sites.pop()
+
+    # Direct scalar *writes* inside callees: Assign to globals /
+    # address-taken locals also modifies a LOC.  The interpreter does not
+    # emit a dedicated hook for those, so the profiler derives them from a
+    # second source: see :meth:`collect`, which post-processes assignment
+    # effects during the run via on_scalar_write.
+    def on_scalar_write(self, fn: Function, sym: Symbol) -> None:
+        for site in self._active_sites:
+            self.profile.call_mod[site].add(sym)
+            self.profile.call_mod_sub[site].add((sym, 0))
+
+
+def collect_alias_profile(module: Module, fuel: int = 50_000_000,
+                          inputs=(), granularity: int = 8) -> AliasProfile:
+    """Run ``main`` on the *train* input and collect the alias
+    profile."""
+    profiler = AliasProfiler(granularity)
+    interp = _ProfilingInterpreter(module, [profiler], fuel=fuel)
+    interp.inputs = list(inputs)
+    interp.run()
+    return profiler.profile
+
+
+class _ProfilingInterpreter(Interpreter):
+    """Interpreter that additionally reports direct scalar writes to
+    memory-resident symbols (globals / address-taken locals) so call-site
+    mod sets include them."""
+
+    def _exec_stmt(self, frame, stmt) -> None:  # type: ignore[override]
+        from ..ir import Assign, StorageKind
+
+        super()._exec_stmt(frame, stmt)
+        if isinstance(stmt, Assign):
+            sym = stmt.sym
+            if sym.kind is StorageKind.GLOBAL or sym in frame.addr_of:
+                for tracer in self.tracers:
+                    handler = getattr(tracer, "on_scalar_write", None)
+                    if handler is not None:
+                        handler(frame.fn, sym)

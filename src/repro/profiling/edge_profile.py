@@ -1,0 +1,59 @@
+"""Edge profiling for control speculation.
+
+SSAPRE's control speculation (Lo et al. [25], used unchanged by the paper)
+inserts computations on paths where the expression is *not* down-safe; the
+edge profile decides when that gamble pays off.  The profiler counts every
+CFG edge traversal and derives block execution frequencies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Tuple
+
+from ..ir import BasicBlock, Function, Module
+from .interp import Interpreter, Tracer
+
+
+class EdgeProfile:
+    """Edge and block execution counts, per function."""
+
+    def __init__(self) -> None:
+        self.edge_count: Counter = Counter()
+        self.block_count: Counter = Counter()
+        self.entry_count: Counter = Counter()
+
+    def edge(self, src: BasicBlock, dst: BasicBlock) -> int:
+        return self.edge_count.get((src.uid, dst.uid), 0)
+
+    def block(self, block: BasicBlock) -> int:
+        return self.block_count.get(block.uid, 0)
+
+    def freq(self, block: BasicBlock) -> float:
+        """Block count; 0.0 when never executed."""
+        return float(self.block(block))
+
+
+class EdgeProfiler(Tracer):
+    """Tracer building an :class:`EdgeProfile`."""
+
+    def __init__(self) -> None:
+        self.profile = EdgeProfile()
+
+    def on_function_enter(self, fn: Function) -> None:
+        self.profile.entry_count[fn.name] += 1
+        self.profile.block_count[fn.entry.uid] += 1
+
+    def on_edge(self, fn: Function, src: BasicBlock, dst: BasicBlock) -> None:
+        self.profile.edge_count[(src.uid, dst.uid)] += 1
+        self.profile.block_count[dst.uid] += 1
+
+
+def collect_edge_profile(module: Module, fuel: int = 50_000_000,
+                         inputs=()) -> EdgeProfile:
+    """Run ``main`` on the *train* input; collect edge/block counts."""
+    profiler = EdgeProfiler()
+    interp = Interpreter(module, [profiler], fuel=fuel)
+    interp.inputs = list(inputs)
+    interp.run()
+    return profiler.profile

@@ -1,0 +1,402 @@
+"""Reference interpreter for the mid-level IR.
+
+The interpreter serves three roles in the reproduction:
+
+1. **Profiling substrate** — it executes the program on a *train* input
+   while :class:`Tracer` observers collect the alias profile (LOC sets per
+   indirect reference and call site, §3.2.1), the edge profile (for control
+   speculation) and the dynamic load-reuse numbers of Figure 12.
+2. **Correctness oracle** — the observable output (``print``) of the
+   optimized, simulated machine code must match the interpreter's output on
+   the original IR; this is how the test suite checks that ALAT-checked data
+   speculation never changes program semantics.
+3. **Semantics definition** — C-like integer division/remainder (truncating
+   toward zero), cell-addressed memory, array decay.
+
+Memory model: a bump allocator hands out cell addresses for globals, for
+address-taken locals/arrays (per frame) and for heap objects (per executed
+``alloc``).  Every allocation is registered with its abstract memory
+location (LOC) so tracers can map concrete addresses back to LOCs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.locs import HeapLoc, Loc
+from ..ir import (AddrOf, Assign, BasicBlock, Bin, CallStmt, CondBr, Const,
+                  Expr, Function, Jump, Load, Module, PrintStmt, Return,
+                  StorageKind, Store, Symbol, Un, VarRead)
+
+Value = Union[int, float]
+
+
+class InterpError(Exception):
+    """Raised on a runtime error (bad address, missing main, fuel
+    exhausted)."""
+
+
+class Tracer:
+    """Observer interface; all hooks are optional no-ops.
+
+    ``site`` identities: indirect loads are identified by ``id(expr)``,
+    stores by ``id(stmt)``, calls by ``stmt.site_id`` — the same keys the
+    SSA construction uses, so profiles can be applied directly.
+    """
+
+    def on_load(self, fn: Function, expr: Load, addr: int, value: Value,
+                loc: Optional[Loc], offset: int = 0) -> None:
+        """An indirect load executed (``offset`` = cell within LOC)."""
+
+    def on_store(self, fn: Function, stmt: Store, addr: int, value: Value,
+                 loc: Optional[Loc], offset: int = 0) -> None:
+        """An indirect store executed (``offset`` = cell within LOC)."""
+
+    def on_scalar_read(self, fn: Function, sym: Symbol, value: Value) -> None:
+        """A memory-resident scalar (global / address-taken) was read."""
+
+    def on_edge(self, fn: Function, src: BasicBlock, dst: BasicBlock) -> None:
+        """A CFG edge was traversed."""
+
+    def on_call_enter(self, fn: Function, stmt: CallStmt) -> None:
+        """A non-intrinsic call is about to execute (site active)."""
+
+    def on_call_exit(self, fn: Function, stmt: CallStmt) -> None:
+        """The call at ``stmt`` returned."""
+
+    def on_function_enter(self, fn: Function) -> None:
+        """A new invocation of ``fn`` began."""
+
+    def on_function_exit(self, fn: Function) -> None:
+        """The invocation returned."""
+
+
+def c_div(a: Value, b: Value) -> Value:
+    """C-style division: floats divide exactly, ints truncate toward 0."""
+    if isinstance(a, float) or isinstance(b, float):
+        return a / b
+    if b == 0:
+        raise InterpError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def c_rem(a: int, b: int) -> int:
+    """C-style remainder: sign follows the dividend."""
+    if b == 0:
+        raise InterpError("integer remainder by zero")
+    return a - c_div(a, b) * b
+
+
+_BIN_FUNCS: Dict[str, Callable[[Value, Value], Value]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": c_div,
+    "%": c_rem,
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+
+class _Frame:
+    """One function invocation: register values + addresses of memory-
+    resident locals."""
+
+    __slots__ = ("fn", "regs", "addr_of")
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.regs: Dict[Symbol, Value] = {}
+        self.addr_of: Dict[Symbol, int] = {}
+
+
+class Interpreter:
+    """Executes a module's ``main``; collects ``print`` output."""
+
+    def __init__(
+        self,
+        module: Module,
+        tracers: Sequence[Tracer] = (),
+        fuel: int = 50_000_000,
+    ) -> None:
+        self.module = module
+        self.tracers = list(tracers)
+        self.fuel = fuel
+        self.memory: Dict[int, Value] = {}
+        self.output: List[str] = []
+        self._next_addr = 16  # keep 0 as a recognizable null
+        self._region_starts: List[int] = []
+        self._regions: List[Tuple[int, int, Loc]] = []
+        self._global_addr: Dict[Symbol, int] = {}
+        self.inputs: List[Value] = []
+        self._input_pos = 0
+        self._allocate_globals()
+
+    # ---- memory ---------------------------------------------------------
+    def _allocate(self, cells: int, loc: Loc) -> int:
+        base = self._next_addr
+        self._next_addr += max(cells, 1) + 1  # +1 guard cell between objects
+        for i in range(max(cells, 1)):
+            self.memory[base + i] = 0
+        self._region_starts.append(base)
+        self._regions.append((base, base + max(cells, 1), loc))
+        return base
+
+    def _allocate_globals(self) -> None:
+        for sym in self.module.globals:
+            cells = sym.array_size if sym.is_array else 1
+            self._global_addr[sym] = self._allocate(cells, sym)
+
+    def loc_of_addr(self, addr: int) -> Optional[Loc]:
+        """Map a concrete address to its LOC (None when out of range)."""
+        found = self.loc_and_offset(addr)
+        return found[0] if found is not None else None
+
+    def loc_and_offset(self, addr: int):
+        """Map an address to (LOC, offset within the LOC), or None.
+
+        The offset enables sub-object LOC naming in the alias profiler
+        (the granularity knob of Chen et al. [4] that the paper's §3.2.1
+        references for heap objects).
+        """
+        index = bisect.bisect_right(self._region_starts, addr) - 1
+        if index < 0:
+            return None
+        start, end, loc = self._regions[index]
+        if start <= addr < end:
+            return loc, addr - start
+        return None
+
+    def _read_mem(self, addr: int) -> Value:
+        try:
+            return self.memory[addr]
+        except KeyError:
+            raise InterpError(f"load from unallocated address {addr}") from None
+
+    def _write_mem(self, addr: int, value: Value) -> None:
+        if addr not in self.memory:
+            raise InterpError(f"store to unallocated address {addr}")
+        self.memory[addr] = value
+
+    def _next_input(self) -> Value:
+        if self._input_pos >= len(self.inputs):
+            raise InterpError("input stream exhausted")
+        value = self.inputs[self._input_pos]
+        self._input_pos += 1
+        return value
+
+    # ---- running -----------------------------------------------------------
+    def run(self) -> List[str]:
+        """Execute ``main()``; returns the collected output lines."""
+        if "main" not in self.module.functions:
+            raise InterpError("module has no main()")
+        self._call(self.module.functions["main"], [])
+        return self.output
+
+    def _call(self, fn: Function, args: List[Value]) -> Optional[Value]:
+        if len(args) != len(fn.params):
+            raise InterpError(f"{fn.name}: arity mismatch")
+        frame = _Frame(fn)
+        for tracer in self.tracers:
+            tracer.on_function_enter(fn)
+        for sym in fn.locals:
+            if sym.is_array:
+                frame.addr_of[sym] = self._allocate(sym.array_size, sym)
+            elif sym.address_taken:
+                frame.addr_of[sym] = self._allocate(1, sym)
+            else:
+                frame.regs[sym] = 0
+        for sym, value in zip(fn.params, args):
+            if sym.address_taken:
+                frame.addr_of[sym] = self._allocate(1, sym)
+                self.memory[frame.addr_of[sym]] = value
+            else:
+                frame.regs[sym] = value
+
+        block = fn.entry
+        while True:
+            for stmt in block.stmts:
+                self._exec_stmt(frame, stmt)
+            term = block.terminator
+            assert term is not None
+            self.fuel -= 1
+            if self.fuel <= 0:
+                raise InterpError("fuel exhausted (infinite loop?)")
+            if isinstance(term, Return):
+                result = (
+                    self._eval(frame, term.value)
+                    if term.value is not None
+                    else None
+                )
+                for tracer in self.tracers:
+                    tracer.on_function_exit(fn)
+                return result
+            if isinstance(term, Jump):
+                nxt = term.target
+            elif isinstance(term, CondBr):
+                cond = self._eval(frame, term.cond)
+                nxt = term.then_block if cond else term.else_block
+            else:  # pragma: no cover
+                raise InterpError(f"unknown terminator {term!r}")
+            for tracer in self.tracers:
+                tracer.on_edge(fn, block, nxt)
+            block = nxt
+
+    # ---- statements -----------------------------------------------------
+    def _exec_stmt(self, frame: _Frame, stmt) -> None:
+        if isinstance(stmt, Assign):
+            value = self._eval(frame, stmt.value)
+            sym = stmt.sym
+            if sym.kind is StorageKind.GLOBAL:
+                self.memory[self._global_addr[sym]] = value
+            elif sym in frame.addr_of:
+                self.memory[frame.addr_of[sym]] = value
+            else:
+                frame.regs[sym] = value
+        elif isinstance(stmt, Store):
+            addr = int(self._eval(frame, stmt.addr))
+            value = self._eval(frame, stmt.value)
+            value = self._coerce(value, stmt.value_ty)
+            self._write_mem(addr, value)
+            found = self.loc_and_offset(addr)
+            loc, offset = found if found is not None else (None, 0)
+            for tracer in self.tracers:
+                tracer.on_store(frame.fn, stmt, addr, value, loc, offset)
+        elif isinstance(stmt, CallStmt):
+            self._exec_call(frame, stmt)
+        elif isinstance(stmt, PrintStmt):
+            parts = [self._format(self._eval(frame, a)) for a in stmt.args]
+            self.output.append(" ".join(parts))
+        else:  # pragma: no cover
+            raise InterpError(f"unknown statement {stmt!r}")
+
+    def _exec_call(self, frame: _Frame, stmt: CallStmt) -> None:
+        if stmt.callee in ("input", "inputf"):
+            value = self._next_input()
+            if stmt.callee == "inputf":
+                value = float(value)
+            else:
+                value = int(value)
+            if stmt.dst is not None:
+                frame.regs[stmt.dst] = value
+            return
+        if stmt.is_alloc:
+            size = int(self._eval(frame, stmt.args[0]))
+            assert stmt.site_id is not None
+            base = self._allocate(size, HeapLoc(stmt.site_id))
+            if stmt.dst is not None:
+                frame.regs[stmt.dst] = base
+            return
+        callee = self.module.functions[stmt.callee]
+        args = [self._eval(frame, a) for a in stmt.args]
+        for tracer in self.tracers:
+            tracer.on_call_enter(frame.fn, stmt)
+        result = self._call(callee, args)
+        for tracer in self.tracers:
+            tracer.on_call_exit(frame.fn, stmt)
+        if stmt.dst is not None:
+            if result is None:
+                raise InterpError(f"void call result used: {stmt}")
+            sym = stmt.dst
+            if sym.kind is StorageKind.GLOBAL:
+                self.memory[self._global_addr[sym]] = result
+            elif sym in frame.addr_of:
+                self.memory[frame.addr_of[sym]] = result
+            else:
+                frame.regs[sym] = result
+
+    # ---- expressions ----------------------------------------------------
+    def _eval(self, frame: _Frame, expr: Expr) -> Value:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, VarRead):
+            return self._read_var(frame, expr.sym)
+        if isinstance(expr, AddrOf):
+            return self._addr_of(frame, expr.sym)
+        if isinstance(expr, Load):
+            addr = int(self._eval(frame, expr.addr))
+            value = self._read_mem(addr)
+            found = self.loc_and_offset(addr)
+            loc, offset = found if found is not None else (None, 0)
+            for tracer in self.tracers:
+                tracer.on_load(frame.fn, expr, addr, value, loc, offset)
+            return value
+        if isinstance(expr, Bin):
+            left = self._eval(frame, expr.left)
+            right = self._eval(frame, expr.right)
+            return _BIN_FUNCS[expr.op](left, right)
+        if isinstance(expr, Un):
+            operand = self._eval(frame, expr.operand)
+            if expr.op == "-":
+                return -operand
+            if expr.op == "!":
+                return int(not operand)
+            if expr.op == "~":
+                return ~int(operand)
+            if expr.op == "int":
+                return int(operand)
+            if expr.op == "float":
+                return float(operand)
+        raise InterpError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _read_var(self, frame: _Frame, sym: Symbol) -> Value:
+        if sym.is_array:
+            return self._addr_of(frame, sym)
+        if sym.kind is StorageKind.GLOBAL:
+            value = self._read_mem(self._global_addr[sym])
+            for tracer in self.tracers:
+                tracer.on_scalar_read(frame.fn, sym, value)
+            return value
+        if sym in frame.addr_of:
+            value = self._read_mem(frame.addr_of[sym])
+            for tracer in self.tracers:
+                tracer.on_scalar_read(frame.fn, sym, value)
+            return value
+        try:
+            return frame.regs[sym]
+        except KeyError:
+            raise InterpError(
+                f"{frame.fn.name}: read of uninitialized symbol {sym.name}"
+            ) from None
+
+    def _addr_of(self, frame: _Frame, sym: Symbol) -> int:
+        if sym.kind is StorageKind.GLOBAL:
+            return self._global_addr[sym]
+        try:
+            return frame.addr_of[sym]
+        except KeyError:
+            raise InterpError(
+                f"{frame.fn.name}: address of register symbol {sym.name}"
+            ) from None
+
+    @staticmethod
+    def _coerce(value: Value, ty) -> Value:
+        if ty.is_float:
+            return float(value)
+        return value
+
+    @staticmethod
+    def _format(value: Value) -> str:
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+
+def run_module(module: Module, tracers: Sequence[Tracer] = (),
+               fuel: int = 50_000_000,
+               inputs: Sequence[Value] = ()) -> List[str]:
+    """Convenience wrapper: interpret ``module`` and return its output."""
+    interp = Interpreter(module, tracers, fuel)
+    interp.inputs = list(inputs)
+    return interp.run()

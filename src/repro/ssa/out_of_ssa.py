@@ -1,0 +1,109 @@
+"""Lowering out of SSA back to the base IR (for code generation).
+
+SSAPRE never moves or duplicates definitions of *real* program variables —
+it only inserts assignments to fresh expression temporaries, rewrites
+expression occurrences to temporary uses, and annotates save/check
+assignments.  Consequently leaving SSA is simple and exact:
+
+* real-variable versions collapse back to their symbol; their φs vanish;
+* virtual variables have no runtime content; their φs and χ/µ operands
+  vanish;
+* each SSAPRE temporary forms a single-variable web: its φs vanish too,
+  because the paper's Finalize/CodeMotion already materialized every
+  incoming value as an explicit ``t = …`` assignment on the corresponding
+  path (insertions at Φ operands), so the value simply flows through the
+  shared symbol.
+
+The result is a fresh :class:`~repro.ir.Function`; :func:`lower_module`
+replaces every function of a module and re-finalizes it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir import (Assign, BasicBlock, Bin, CallStmt, CondBr, Const, Expr,
+                  Function, Jump, Load, Module, PrintStmt, Return, Store,
+                  Un, VarRead, AddrOf)
+from .values import (SAddrOf, SAssign, SBin, SCall, SCondBr, SConst, SExpr,
+                     SJump, SLoad, SPhi, SPrint, SReturn, SSABlock,
+                     SSAFunction, SSAVar, SStore, SUn, SVarUse)
+
+
+def lower_expr(expr: SExpr) -> Expr:
+    """Lower one SSA expression occurrence to a base IR expression."""
+    if isinstance(expr, SConst):
+        return Const(expr.value, expr.ty)
+    if isinstance(expr, SVarUse):
+        return VarRead(expr.symbol)
+    if isinstance(expr, SAddrOf):
+        if expr.symbol.is_array:
+            return VarRead(expr.symbol)  # arrays read as their base address
+        return AddrOf(expr.symbol)
+    if isinstance(expr, SLoad):
+        return Load(lower_expr(expr.addr), expr.value_ty)
+    if isinstance(expr, SBin):
+        return Bin(expr.op, lower_expr(expr.left), lower_expr(expr.right))
+    if isinstance(expr, SUn):
+        return Un(expr.op, lower_expr(expr.operand))
+    raise TypeError(f"unknown SSA expression {expr!r}")  # pragma: no cover
+
+
+def lower_function(ssa: SSAFunction) -> Function:
+    """Lower one SSA function to a fresh base-IR function."""
+    old = ssa.fn
+    fn = Function(old.name, old.params, old.ret_ty)
+    fn.locals = list(old.locals)
+    block_map: Dict[SSABlock, BasicBlock] = {ssa.entry: fn.entry}
+    for block in ssa.blocks:
+        if block is ssa.entry:
+            continue
+        block_map[block] = fn.new_block(block.name)
+
+    for block in ssa.blocks:
+        out = block_map[block]
+        for stmt in block.stmts:
+            if isinstance(stmt, SAssign):
+                sym = (stmt.lhs.symbol if isinstance(stmt.lhs, SSAVar)
+                       else stmt.lhs)
+                out.append(Assign(sym, lower_expr(stmt.rhs),
+                                  spec_kind=stmt.spec_kind))
+            elif isinstance(stmt, SStore):
+                out.append(Store(lower_expr(stmt.addr),
+                                 lower_expr(stmt.value), stmt.value_ty))
+            elif isinstance(stmt, SCall):
+                dst = (stmt.dst.symbol if isinstance(stmt.dst, SSAVar)
+                       else stmt.dst)
+                out.append(CallStmt(dst, stmt.callee,
+                                    [lower_expr(a) for a in stmt.args]))
+            elif isinstance(stmt, SPrint):
+                out.append(PrintStmt([lower_expr(a) for a in stmt.args]))
+            else:  # pragma: no cover
+                raise TypeError(f"unknown SSA statement {stmt!r}")
+        term = block.term
+        if isinstance(term, SJump):
+            out.terminator = Jump(block_map[term.target])
+        elif isinstance(term, SCondBr):
+            out.terminator = CondBr(lower_expr(term.cond),
+                                    block_map[term.then_block],
+                                    block_map[term.else_block])
+        elif isinstance(term, SReturn):
+            value = (lower_expr(term.value)
+                     if term.value is not None else None)
+            out.terminator = Return(value)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown terminator {term!r}")
+    fn.compute_cfg()
+    return fn
+
+
+def lower_module(module: Module, ssa_functions: List[SSAFunction]) -> Module:
+    """Replace every function of ``module`` with its lowered SSA version
+    and re-finalize (call-site renumbering, CFG recompute)."""
+    out = Module()
+    for sym in module.globals:
+        out.add_global(sym)
+    lowered = {ssa.fn.name: lower_function(ssa) for ssa in ssa_functions}
+    for name, fn in module.functions.items():
+        out.add_function(lowered.get(name, fn))
+    return out.finalize()

@@ -1,0 +1,44 @@
+"""Textual dump of (speculative) HSSA — mirrors the paper's notation.
+
+χ operands print as ``a2 <- chi(a1)`` and flagged ones as
+``a2 <- chis(a1)`` (the paper's χs); µ lists print as ``mu(a3), mus(b2)``.
+Used by the examples and the paper-example fidelity tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .values import (SAssign, SCall, SLoad, SPhi, SPrint, SSAFunction, SStmt,
+                     SStore)
+
+
+def _mus_of_stmt(stmt: SStmt) -> List[str]:
+    parts = []
+    for expr in stmt.exprs():
+        for node in expr.walk():
+            if isinstance(node, SLoad):
+                parts.extend(repr(mu) for mu in node.mus)
+    parts.extend(repr(mu) for mu in getattr(stmt, "mus", ()))
+    return parts
+
+
+def format_ssa(ssa: SSAFunction) -> str:
+    lines: List[str] = [f"function {ssa.fn.name} (SSA):"]
+    for block in ssa.blocks:
+        lines.append(f" {block.name}:")
+        for phi in block.phis:
+            lines.append(f"    {phi!r}")
+        for stmt in block.stmts:
+            mus = _mus_of_stmt(stmt)
+            if mus:
+                lines.append(f"    [{', '.join(mus)}]")
+            lines.append(f"    {stmt!r}")
+            for chi in stmt.chis:
+                lines.append(f"      {chi!r}")
+        if block.term is not None:
+            mus = _mus_of_stmt(block.term)  # type: ignore[arg-type]
+            if mus:
+                lines.append(f"    [{', '.join(mus)}]")
+            lines.append(f"    {block.term!r}")
+    return "\n".join(lines)

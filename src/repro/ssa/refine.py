@@ -1,0 +1,198 @@
+"""Flow-sensitive pointer refinement of µ/χ lists (paper §3.2, step 5).
+
+The paper's Figure 4 ends with "perform a flow sensitive pointer analysis
+using factored use-def chain to refine the µs and χs lists".  The
+equivalence-class (Steensgaard) analysis that seeds the lists is flow- and
+direction-insensitive: ``p = &a; … ; *p = 1`` still lists every member of
+p's merged class as a may-def.  This pass runs a simple intraprocedural
+flow-sensitive points-to dataflow over the base CFG and *shrinks* each
+indirect reference's real-variable alias set to the locations its address
+can actually hold at that point.
+
+It runs *before* renaming (list surgery is trivial then), as a filter the
+SSA builder consults while creating µ/χ lists; the refined (smaller) lists
+benefit every configuration, including the non-speculative base — matching
+ORC, whose baseline already had flow-sensitive refinement.
+
+Lattice per pointer variable: ``None`` = unknown (⊤), else a frozenset of
+LOCs (variables / allocation sites) the pointer may target.  Joins are
+set unions; unknown absorbs.  Calls invalidate pointers that escape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..analysis.locs import HeapLoc, Loc
+from ..ir import (AddrOf, Assign, BasicBlock, Bin, CallStmt, Const, Expr,
+                  Function, Load, Module, StorageKind, Store, Symbol, Un,
+                  VarRead)
+
+#: points-to value: None = unknown, frozenset = known target set
+PT = Optional[FrozenSet[Loc]]
+
+State = Dict[Symbol, PT]
+
+
+def _join(a: PT, b: PT) -> PT:
+    if a is None or b is None:
+        return None
+    return a | b
+
+
+def _join_states(a: State, b: State) -> State:
+    out: State = {}
+    for sym in set(a) | set(b):
+        out[sym] = _join(a.get(sym), b.get(sym))
+    return out
+
+
+class FlowSensitivePointsTo:
+    """Intraprocedural flow-sensitive points-to facts for one function.
+
+    Query :meth:`targets_of_store` / :meth:`targets_of_load` to get the
+    refined LOC set of a reference site (``None`` = no refinement).
+    """
+
+    def __init__(self, fn: Function, max_iterations: int = 50) -> None:
+        self.fn = fn
+        fn.compute_cfg()
+        self._in: Dict[BasicBlock, State] = {}
+        self._site_targets: Dict[int, PT] = {}
+        self._tracked = self._tracked_pointers()
+        self._solve(max_iterations)
+
+    def _tracked_pointers(self):
+        """Track non-address-taken pointer-typed scalars only — their
+        values flow purely through direct assignments, so the dataflow is
+        exact up to joins."""
+        tracked = set()
+        for sym in self.fn.params + self.fn.locals:
+            if sym.ty.is_pointer and not sym.address_taken \
+                    and not sym.is_array:
+                tracked.add(sym)
+        return tracked
+
+    def _is_tracked(self, sym: Symbol) -> bool:
+        # compiler temporaries (e.g. hoisted alloc results) are also
+        # register-resident scalars; track them on the fly
+        return sym in self._tracked or (
+            sym.kind is StorageKind.TEMP and not sym.address_taken
+        )
+
+    # ---- transfer functions ------------------------------------------
+    def _eval(self, state: State, expr: Expr) -> PT:
+        if isinstance(expr, Const):
+            return frozenset()
+        if isinstance(expr, AddrOf):
+            return frozenset([expr.sym])
+        if isinstance(expr, VarRead):
+            if expr.sym.is_array:
+                return frozenset([expr.sym])
+            if self._is_tracked(expr.sym):
+                # temporaries missing from the state are unknown (they
+                # are always assigned before use, but a conservative
+                # default is safest)
+                return state.get(expr.sym, None)
+            return None
+        if isinstance(expr, Bin) and expr.op in ("+", "-"):
+            left = self._eval(state, expr.left)
+            right = self._eval(state, expr.right)
+            # pointer arithmetic stays within the object(s)
+            if expr.left.ty.is_pointer and not expr.right.ty.is_pointer:
+                return left
+            if expr.right.ty.is_pointer and not expr.left.ty.is_pointer:
+                return right
+            return _join(left, right)
+        if isinstance(expr, Un):
+            return self._eval(state, expr.operand)
+        return None  # loads, other ops: unknown
+
+    def _transfer(self, state: State, stmt, record: bool) -> State:
+        if record:
+            # record address target sets at reference sites
+            for top in stmt.exprs():
+                for node in top.walk():
+                    if isinstance(node, Load):
+                        self._site_targets[id(node)] = self._merge_site(
+                            id(node), self._eval(state, node.addr)
+                        )
+            if isinstance(stmt, Store):
+                self._site_targets[id(stmt)] = self._merge_site(
+                    id(stmt), self._eval(state, stmt.addr)
+                )
+        if isinstance(stmt, Assign):
+            if self._is_tracked(stmt.sym):
+                state = dict(state)
+                state[stmt.sym] = self._eval(state, stmt.value)
+        elif isinstance(stmt, CallStmt):
+            state = dict(state)
+            if stmt.is_alloc and stmt.dst is not None \
+                    and self._is_tracked(stmt.dst):
+                assert stmt.site_id is not None
+                state[stmt.dst] = frozenset([HeapLoc(stmt.site_id)])
+            elif stmt.dst is not None and self._is_tracked(stmt.dst):
+                state[stmt.dst] = None  # unknown call result
+        return state
+
+    def _merge_site(self, key: int, value: PT) -> PT:
+        if key in self._site_targets:
+            return _join(self._site_targets[key], value)
+        return value
+
+    # ---- fixpoint ------------------------------------------------------
+    def _solve(self, max_iterations: int) -> None:
+        order = self.fn.rpo()
+        # Block in-states: absent = unreached (⊥).  The entry state fully
+        # initializes every tracked pointer: parameters are unknown (⊤),
+        # locals start as null (the language zero-initializes scalars).
+        entry_state: State = {}
+        for sym in self._tracked:
+            entry_state[sym] = (None if sym.kind is StorageKind.PARAM
+                                else frozenset())
+        self._in = {self.fn.entry: entry_state}
+        for _ in range(max_iterations):
+            changed = False
+            for block in order:
+                if block not in self._in:
+                    continue
+                state = dict(self._in[block])
+                for stmt in block.stmts:
+                    state = self._transfer(state, stmt, record=False)
+                for succ in block.successors():
+                    if succ not in self._in:
+                        self._in[succ] = dict(state)
+                        changed = True
+                        continue
+                    joined = _join_states(self._in[succ], state)
+                    if joined != self._in[succ]:
+                        self._in[succ] = joined
+                        changed = True
+            if not changed:
+                break
+        # final recording pass with the converged states
+        for block in order:
+            state = dict(self._in.get(block, {}))
+            for stmt in block.stmts:
+                state = self._transfer(state, stmt, record=True)
+
+    # ---- queries ---------------------------------------------------------
+    def targets_of_store(self, stmt: Store) -> PT:
+        return self._site_targets.get(id(stmt))
+
+    def targets_of_load(self, expr: Load) -> PT:
+        return self._site_targets.get(id(expr))
+
+    def may_target(self, site_key: int, sym: Symbol) -> bool:
+        """May the reference at ``site_key`` touch variable ``sym``?
+        True when unrefined (unknown)."""
+        targets = self._site_targets.get(site_key)
+        if targets is None:
+            return True
+        return sym in targets
+
+
+def refine_module(module: Module) -> Dict[str, FlowSensitivePointsTo]:
+    """Run the refinement for every function of a module."""
+    return {name: FlowSensitivePointsTo(fn)
+            for name, fn in module.functions.items()}

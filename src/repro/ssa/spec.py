@@ -1,0 +1,262 @@
+"""Speculation-flag assignment — turning HSSA into *speculative* SSA.
+
+Implements §3.2.1 (alias-profile-driven flags) and §3.2.2 (heuristic-rule
+flags) of the paper.  A *flagger* runs after µ/χ lists are created but
+before φ insertion/renaming (the paper's Figure 4 ordering), and may both
+flip ``likely`` flags and append missing µ/χ operands:
+
+* **Profile flaggers** (§3.2.1): an operand is *likely* (χs/µs) iff its LOC
+  was observed at that reference during the training run.  Members of the
+  profiled LOC set missing from a list are appended as likely operands
+  (this covers TBAA-unsound corner cases).  Virtual-variable operands are
+  flagged by intersecting the site's profiled LOCs with the LOCs ever
+  touched by the virtual variable's own references.
+* **Heuristic flaggers** (§3.2.2): rule 1 — identical address syntax trees
+  are assumed to see the same value, so cross-shape virtual χs are
+  ignorable; rule 2 — direct references of one variable are assumed to see
+  the same value, so real-variable χs at indirect stores are ignorable;
+  rule 3 — call-statement side effects are always likely (χs), and call µ
+  lists stay untouched.
+* **The no-speculation flagger** leaves everything likely — classical HSSA,
+  the paper's O3+TBAA baseline behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Set
+
+from ..analysis.aliasclass import FunctionAliasInfo
+from ..analysis.locs import Loc
+from ..ir import Symbol
+from ..profiling.alias_profile import AliasProfile
+from .values import (Chi, Mu, SAssign, SCall, SLoad, SPrint, SSAFunction,
+                     SStmt, SStore)
+
+#: A flagger mutates µ/χ lists in place, pre-renaming.
+Flagger = Callable[[SSAFunction, FunctionAliasInfo], None]
+
+
+class SpecMode(enum.Enum):
+    """How speculation flags are assigned."""
+
+    OFF = "off"                # classical HSSA: everything likely
+    PROFILE = "profile"        # §3.2.1, from an alias profile
+    HEURISTIC = "heuristic"    # §3.2.2, from the three syntax rules
+    AGGRESSIVE = "aggressive"  # ignore *all* may-aliases (Fig. 12 bound)
+
+
+def iter_loads(ssa: SSAFunction):
+    """Yield every :class:`SLoad` occurrence in the function."""
+    for block in ssa.blocks:
+        for stmt in block.stmts:
+            for expr in stmt.exprs():
+                for node in expr.walk():
+                    if isinstance(node, SLoad):
+                        yield node
+        if block.term is not None:
+            for expr in block.term.exprs():
+                for node in expr.walk():
+                    if isinstance(node, SLoad):
+                        yield node
+
+
+def no_spec_flagger(ssa: SSAFunction, info: FunctionAliasInfo) -> None:
+    """Classical HSSA: every may-update/use is binding."""
+    for block in ssa.blocks:
+        for stmt in block.stmts:
+            for chi in stmt.chis:
+                chi.likely = True
+            for mu in stmt.mus:
+                mu.likely = True
+    for load in iter_loads(ssa):
+        for mu in load.mus:
+            mu.likely = True
+
+
+def aggressive_flagger(ssa: SSAFunction, info: FunctionAliasInfo) -> None:
+    """Figure 12's second method / §5.1's manual tuning: ignore every
+    may-alias between memory references (unsafe upper bound — only a
+    reference's own virtual variable remains binding).  Call side effects
+    stay binding: the paper's aggressive promotion targets aliasing, not
+    interprocedural effects."""
+    for block in ssa.blocks:
+        for stmt in block.stmts:
+            binding = isinstance(stmt, SCall)
+            for chi in stmt.chis:
+                chi.likely = binding or chi.is_own
+            for mu in stmt.mus:
+                mu.likely = binding
+    for load in iter_loads(ssa):
+        for mu in load.mus:
+            mu.likely = mu.is_own
+
+
+def make_profile_flagger(profile: AliasProfile,
+                         threshold: float = 0.0) -> Flagger:
+    """Build a §3.2.1 flagger from a training-run alias profile.
+
+    ``threshold`` implements the paper's "degree of likeliness" (§3.1):
+    0.0 is the paper's membership rule (an alias observed even once is
+    χs/µs); a positive fraction treats rare collisions as speculative
+    weak updates, accepting bounded mis-speculation for extra coverage.
+    """
+
+    def flagger(ssa: SSAFunction, info: FunctionAliasInfo) -> None:
+        vvar_sublocs = _vvar_site_sublocs(ssa, profile)
+        visible = _visible_memory_symbols(ssa)
+
+        def flag_chi_list(stmt: SStmt, profiled: Set[Loc],
+                          profiled_sub: Set[tuple],
+                          executed: bool) -> None:
+            present: Set[Symbol] = set()
+            for chi in stmt.chis:
+                present.add(chi.symbol)
+                if chi.is_own:
+                    chi.likely = executed
+                elif chi.symbol.is_virtual:
+                    # vvar operands compare at sub-object granularity —
+                    # the profiler's LOC naming scheme (§3.2.1 / [4]).
+                    chi.likely = bool(
+                        profiled_sub & vvar_sublocs.get(chi.symbol, set())
+                    )
+                else:
+                    chi.likely = chi.symbol in profiled
+            # §3.2.1: profiled LOCs missing from the χ list are *added* as
+            # speculative updates χs.
+            for loc in profiled:
+                if isinstance(loc, Symbol) and loc in visible \
+                        and loc not in present and not loc.is_array:
+                    extra = Chi(loc, likely=True)
+                    extra.stmt = stmt
+                    stmt.chis.append(extra)
+
+        for block in ssa.blocks:
+            for stmt in block.stmts:
+                if isinstance(stmt, SStore):
+                    flag_chi_list(
+                        stmt, profile.store_loc_set(stmt.orig),
+                        profile.store_subloc_set(stmt.orig, threshold),
+                        profile.store_executed(stmt.orig))
+                elif isinstance(stmt, SCall):
+                    mod = profile.call_mod_set(stmt.orig)
+                    mod_sub = profile.call_mod_subloc_set(stmt.orig)
+                    ref = profile.call_ref_set(stmt.orig)
+                    ref_sub = profile.call_ref_subloc_set(stmt.orig)
+                    flag_chi_list(stmt, mod, mod_sub, True)
+                    for mu in stmt.mus:
+                        if mu.symbol.is_virtual:
+                            mu.likely = bool(
+                                ref_sub & vvar_sublocs.get(mu.symbol, set())
+                            )
+                        else:
+                            mu.likely = mu.symbol in ref
+                elif isinstance(stmt, SAssign):
+                    # Direct def of an aliased scalar: its χs cover virtual
+                    # variables; flag by whether the vvar's references ever
+                    # touched this symbol.
+                    for chi in stmt.chis:
+                        chi.likely = (stmt.lhs, 0) in vvar_sublocs.get(
+                            chi.symbol, set()
+                        )
+        for load in iter_loads(ssa):
+            profiled = profile.load_loc_set(load.orig)
+            profiled_sub = profile.load_subloc_set(load.orig, threshold)
+            executed = profile.load_executed(load.orig)
+            present = set()
+            for mu in load.mus:
+                present.add(mu.symbol)
+                if mu.is_own:
+                    mu.likely = executed
+                elif mu.symbol.is_virtual:
+                    mu.likely = bool(
+                        profiled_sub & vvar_sublocs.get(mu.symbol, set())
+                    )
+                else:
+                    mu.likely = mu.symbol in profiled
+            for loc in profiled:
+                if isinstance(loc, Symbol) and loc in visible \
+                        and loc not in present and not loc.is_array:
+                    load.mus.append(Mu(loc, likely=True))
+
+    return flagger
+
+
+def heuristic_flagger(ssa: SSAFunction, info: FunctionAliasInfo) -> None:
+    """§3.2.2's three syntax-tree heuristic rules."""
+    for block in ssa.blocks:
+        for stmt in block.stmts:
+            if isinstance(stmt, SStore):
+                for chi in stmt.chis:
+                    # Rule 1: only the identical-syntax reference (the own
+                    # virtual variable) certainly sees this update; rule 2:
+                    # direct variables are assumed unaffected.
+                    chi.likely = chi.is_own
+            elif isinstance(stmt, SCall):
+                # Rule 3: call side effects are always highly likely; the
+                # µ list of the call remains unchanged (all binding).
+                for chi in stmt.chis:
+                    chi.likely = True
+                for mu in stmt.mus:
+                    mu.likely = True
+            elif isinstance(stmt, SAssign):
+                for chi in stmt.chis:
+                    chi.likely = False  # rule 1 from the vvar's viewpoint
+    for load in iter_loads(ssa):
+        for mu in load.mus:
+            mu.likely = mu.is_own
+
+
+def flagger_for(mode: SpecMode,
+                profile: Optional[AliasProfile] = None,
+                threshold: float = 0.0) -> Flagger:
+    """Select the flagger for a :class:`SpecMode`."""
+    if mode is SpecMode.OFF:
+        return no_spec_flagger
+    if mode is SpecMode.PROFILE:
+        if profile is None:
+            raise ValueError("PROFILE mode requires an alias profile")
+        return make_profile_flagger(profile, threshold)
+    if mode is SpecMode.HEURISTIC:
+        return heuristic_flagger
+    if mode is SpecMode.AGGRESSIVE:
+        return aggressive_flagger
+    raise ValueError(f"unknown mode {mode!r}")  # pragma: no cover
+
+
+# ---- helpers ---------------------------------------------------------------
+
+
+def _vvar_site_sublocs(ssa: SSAFunction,
+                       profile: AliasProfile) -> Dict[Symbol, Set[tuple]]:
+    """Block-granular LOCs ever touched (during profiling) by each
+    virtual variable's own references — the dynamic footprint used to flag
+    vvar operands."""
+    result: Dict[Symbol, Set[tuple]] = defaultdict(set)
+    for load in iter_loads(ssa):
+        result[load.site.vvar] |= profile.load_subloc_set(load.orig)
+    for block in ssa.blocks:
+        for stmt in block.stmts:
+            if isinstance(stmt, SStore):
+                result[stmt.site.vvar] |= profile.store_subloc_set(
+                    stmt.orig
+                )
+    return result
+
+
+def _visible_memory_symbols(ssa: SSAFunction) -> Set[Symbol]:
+    from .construct import is_memory_resident
+
+    fn = ssa.fn
+    module_globals = []
+    # Globals are discoverable through the symbols already in µ/χ lists and
+    # the function's own scope; collect conservatively from both.
+    syms = set(fn.params) | set(fn.locals)
+    for block in ssa.blocks:
+        for stmt in block.stmts:
+            for chi in stmt.chis:
+                syms.add(chi.symbol)
+            for mu in stmt.mus:
+                syms.add(mu.symbol)
+    return {s for s in syms if is_memory_resident(s)}

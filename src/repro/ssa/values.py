@@ -1,0 +1,509 @@
+"""Data types of the (speculative) HSSA form.
+
+This is the paper's §3 representation: classical SSA over scalars, extended
+with
+
+* **virtual variables** for indirect references (Chow et al. [5]),
+* **µ operands** (may-reference) on loads and calls,
+* **χ operands** (may-modify) on stores, calls and aliased direct
+  assignments, and
+* a **likeliness flag** on every µ/χ — the paper's speculation flag.
+  ``likely=True`` is the paper's χs/µs ("highly likely, cannot be
+  ignored"); ``likely=False`` marks a *speculative weak update/use* that
+  data-speculative phases may skip.
+
+Expression occurrences are per-use mutable trees (:class:`SExpr`), so SSAPRE
+can annotate and rewrite individual occurrences in place.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.aliasclass import SiteAliases
+from ..ir import BasicBlock, Expr, Function, Symbol, Type
+
+# --------------------------------------------------------------------------
+# SSA variables
+# --------------------------------------------------------------------------
+
+
+class SSAVar:
+    """One SSA version of a symbol.
+
+    ``def_site`` is the defining construct: an :class:`SPhi`,
+    :class:`SAssign`, :class:`SCall` (its dst), a :class:`Chi`, or the
+    string ``"entry"`` for live-on-entry / parameter versions.
+    """
+
+    __slots__ = ("symbol", "version", "def_site", "def_block", "temp_class")
+
+    def __init__(self, symbol: Symbol, version: int) -> None:
+        self.symbol = symbol
+        self.version = version
+        self.def_site: object = None
+        self.def_block: Optional["SSABlock"] = None
+        #: for SSAPRE temporaries: the rename-class whose value this
+        #: version holds (versions of one class are interchangeable)
+        self.temp_class: object = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.symbol.name}{self.version}"
+
+    def __repr__(self) -> str:
+        return f"<{self.name}>"
+
+
+class Mu:
+    """A may-use operand µ(var); ``likely`` marks the paper's µs."""
+
+    __slots__ = ("symbol", "var", "likely", "is_own")
+
+    def __init__(self, symbol: Symbol, likely: bool = True,
+                 is_own: bool = False) -> None:
+        self.symbol = symbol
+        self.var: Optional[SSAVar] = None
+        self.likely = likely
+        self.is_own = is_own
+
+    def __repr__(self) -> str:
+        flag = "s" if self.likely else ""
+        name = self.var.name if self.var is not None else self.symbol.name
+        return f"mu{flag}({name})"
+
+
+class Chi:
+    """A may-def operand ``lhs ← χ(rhs)``; ``likely`` marks the paper's χs.
+
+    An *unlikely* χ is a **speculative weak update**: the paper's Rename and
+    Φ-insertion steps may walk through it as if the update did not happen,
+    at the price of a later check instruction.
+    """
+
+    __slots__ = ("symbol", "lhs", "rhs", "likely", "is_own", "stmt")
+
+    def __init__(self, symbol: Symbol, likely: bool = True,
+                 is_own: bool = False) -> None:
+        self.symbol = symbol
+        self.lhs: Optional[SSAVar] = None
+        self.rhs: Optional[SSAVar] = None
+        self.likely = likely
+        self.is_own = is_own
+        self.stmt: Optional["SStmt"] = None
+
+    def __repr__(self) -> str:
+        flag = "s" if self.likely else ""
+        lhs = self.lhs.name if self.lhs is not None else self.symbol.name
+        rhs = self.rhs.name if self.rhs is not None else "?"
+        return f"{lhs} <- chi{flag}({rhs})"
+
+
+# --------------------------------------------------------------------------
+# SSA expressions (per-occurrence trees)
+# --------------------------------------------------------------------------
+
+
+class SExpr:
+    """Base class of SSA expression occurrences."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["SExpr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["SExpr"]:
+        for child in self.children():
+            yield from child.walk()
+        yield self
+
+
+class SConst(SExpr):
+    __slots__ = ("value", "ty")
+
+    def __init__(self, value, ty: Type) -> None:
+        self.value = value
+        self.ty = ty
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class SVarUse(SExpr):
+    """Use of a scalar SSA variable (real, virtual, or PRE temp)."""
+
+    __slots__ = ("symbol", "var")
+
+    def __init__(self, symbol: Symbol, var: Optional[SSAVar] = None) -> None:
+        self.symbol = symbol
+        self.var = var
+
+    def __repr__(self) -> str:
+        return self.var.name if self.var is not None else self.symbol.name
+
+
+class SAddrOf(SExpr):
+    __slots__ = ("symbol",)
+
+    def __init__(self, symbol: Symbol) -> None:
+        self.symbol = symbol
+
+    def __repr__(self) -> str:
+        return f"&{self.symbol.name}"
+
+
+class SLoad(SExpr):
+    """An indirect load occurrence with its µ list.
+
+    ``own_mu`` is the µ of the load's own virtual variable — its version is
+    the HSSA "indirect variable in SSA form" that SSAPRE keys occurrences
+    on.  ``site`` carries the alias-class facts.
+    """
+
+    __slots__ = ("addr", "value_ty", "mus", "own_mu", "site", "orig")
+
+    def __init__(self, addr: SExpr, value_ty: Type, mus: List[Mu],
+                 own_mu: Mu, site: SiteAliases, orig: Expr) -> None:
+        self.addr = addr
+        self.value_ty = value_ty
+        self.mus = mus
+        self.own_mu = own_mu
+        self.site = site
+        self.orig = orig
+
+    def children(self) -> Tuple[SExpr, ...]:
+        return (self.addr,)
+
+    def __repr__(self) -> str:
+        return f"*({self.addr!r})"
+
+
+class SBin(SExpr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: SExpr, right: SExpr) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[SExpr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class SUn(SExpr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: SExpr) -> None:
+        self.op = op
+        self.operand = operand
+
+    def children(self) -> Tuple[SExpr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.operand!r})"
+
+
+# --------------------------------------------------------------------------
+# SSA statements
+# --------------------------------------------------------------------------
+
+
+class SStmt:
+    """Base class of SSA statements."""
+
+    __slots__ = ("block",)
+
+    def __init__(self) -> None:
+        self.block: Optional["SSABlock"] = None
+
+    def exprs(self) -> Tuple[SExpr, ...]:
+        return ()
+
+    @property
+    def chis(self) -> List[Chi]:
+        return []
+
+    @property
+    def mus(self) -> List[Mu]:
+        return []
+
+
+class SPhi(SStmt):
+    """φ for a real/virtual variable (φ in the paper, distinct from
+    SSAPRE's Φ for expression temporaries)."""
+
+    __slots__ = ("symbol", "lhs", "args")
+
+    def __init__(self, symbol: Symbol, num_preds: int) -> None:
+        super().__init__()
+        self.symbol = symbol
+        self.lhs: Optional[SSAVar] = None
+        self.args: List[Optional[SSAVar]] = [None] * num_preds
+
+    def __repr__(self) -> str:
+        lhs = self.lhs.name if self.lhs is not None else self.symbol.name
+        args = ", ".join(a.name if a is not None else "?" for a in self.args)
+        return f"{lhs} <- phi({args})"
+
+
+class SAssign(SStmt):
+    """Direct scalar assignment; carries χs when the target is aliased.
+
+    ``spec_kind`` is set by SSAPRE's CodeMotion: ``"advance"`` marks a save
+    that must become a speculative/advanced load (``ld.a``), ``"check"``
+    marks a speculative check (``ld.c``).
+    """
+
+    __slots__ = ("lhs", "rhs", "_chis", "spec_kind", "check_source")
+
+    def __init__(self, symbol_or_var, rhs: SExpr,
+                 chis: Optional[List[Chi]] = None) -> None:
+        super().__init__()
+        self.lhs = symbol_or_var  # Symbol before renaming, SSAVar after
+        self.rhs = rhs
+        self._chis = chis if chis is not None else []
+        self.spec_kind: Optional[str] = None
+        #: for check statements: the temp version this check re-validates
+        #: (Appendix B's chk.a chaining for indirect references)
+        self.check_source: Optional[SSAVar] = None
+        for chi in self._chis:
+            chi.stmt = self
+
+    def exprs(self) -> Tuple[SExpr, ...]:
+        return (self.rhs,)
+
+    @property
+    def chis(self) -> List[Chi]:
+        return self._chis
+
+    def __repr__(self) -> str:
+        lhs = self.lhs.name if isinstance(self.lhs, SSAVar) else self.lhs.name
+        flag = f" [{self.spec_kind}]" if self.spec_kind else ""
+        return f"{lhs} = {self.rhs!r}{flag}"
+
+
+class SStore(SStmt):
+    """Indirect store with its χ list (own χ first by convention)."""
+
+    __slots__ = ("addr", "value", "value_ty", "_chis", "site", "orig")
+
+    def __init__(self, addr: SExpr, value: SExpr, value_ty: Type,
+                 chis: List[Chi], site: SiteAliases, orig) -> None:
+        super().__init__()
+        self.addr = addr
+        self.value = value
+        self.value_ty = value_ty
+        self._chis = chis
+        self.site = site
+        self.orig = orig
+        for chi in chis:
+            chi.stmt = self
+
+    def exprs(self) -> Tuple[SExpr, ...]:
+        return (self.addr, self.value)
+
+    @property
+    def chis(self) -> List[Chi]:
+        return self._chis
+
+    def __repr__(self) -> str:
+        return f"*({self.addr!r}) = {self.value!r}"
+
+
+class SCall(SStmt):
+    """Call with mod/ref µ and χ lists."""
+
+    __slots__ = ("dst", "callee", "args", "_mus", "_chis", "site_id", "orig")
+
+    def __init__(self, dst, callee: str, args: List[SExpr], mus: List[Mu],
+                 chis: List[Chi], site_id: Optional[int], orig) -> None:
+        super().__init__()
+        self.dst = dst  # Symbol before renaming, SSAVar after (or None)
+        self.callee = callee
+        self.args = args
+        self._mus = mus
+        self._chis = chis
+        self.site_id = site_id
+        self.orig = orig
+        for chi in chis:
+            chi.stmt = self
+
+    def exprs(self) -> Tuple[SExpr, ...]:
+        return tuple(self.args)
+
+    @property
+    def chis(self) -> List[Chi]:
+        return self._chis
+
+    @property
+    def mus(self) -> List[Mu]:
+        return self._mus
+
+    def __repr__(self) -> str:
+        call = f"{self.callee}({', '.join(map(repr, self.args))})"
+        if self.dst is None:
+            return call
+        dst = self.dst.name
+        return f"{dst} = {call}"
+
+
+class SPrint(SStmt):
+    __slots__ = ("args",)
+
+    def __init__(self, args: List[SExpr]) -> None:
+        super().__init__()
+        self.args = args
+
+    def exprs(self) -> Tuple[SExpr, ...]:
+        return tuple(self.args)
+
+    def __repr__(self) -> str:
+        return f"print({', '.join(map(repr, self.args))})"
+
+
+# ---- terminators ----------------------------------------------------------
+
+
+class STerm:
+    __slots__ = ("block",)
+
+    def __init__(self) -> None:
+        self.block: Optional["SSABlock"] = None
+
+    def exprs(self) -> Tuple[SExpr, ...]:
+        return ()
+
+
+class SJump(STerm):
+    __slots__ = ("target",)
+
+    def __init__(self, target: "SSABlock") -> None:
+        super().__init__()
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"goto {self.target.name}"
+
+
+class SCondBr(STerm):
+    __slots__ = ("cond", "then_block", "else_block")
+
+    def __init__(self, cond: SExpr, then_block: "SSABlock",
+                 else_block: "SSABlock") -> None:
+        super().__init__()
+        self.cond = cond
+        self.then_block = then_block
+        self.else_block = else_block
+
+    def exprs(self) -> Tuple[SExpr, ...]:
+        return (self.cond,)
+
+    def __repr__(self) -> str:
+        return (f"if {self.cond!r} goto {self.then_block.name} "
+                f"else {self.else_block.name}")
+
+
+class SReturn(STerm):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[SExpr]) -> None:
+        super().__init__()
+        self.value = value
+
+    def exprs(self) -> Tuple[SExpr, ...]:
+        return (self.value,) if self.value is not None else ()
+
+    def __repr__(self) -> str:
+        return f"return {self.value!r}" if self.value is not None else "return"
+
+
+# --------------------------------------------------------------------------
+# Blocks and functions
+# --------------------------------------------------------------------------
+
+
+class SSABlock:
+    """SSA mirror of one base :class:`~repro.ir.BasicBlock`."""
+
+    __slots__ = ("base", "phis", "stmts", "term", "preds", "succs")
+
+    def __init__(self, base: BasicBlock) -> None:
+        self.base = base
+        self.phis: List[SPhi] = []
+        self.stmts: List[SStmt] = []
+        self.term: Optional[STerm] = None
+        self.preds: List["SSABlock"] = []
+        self.succs: List["SSABlock"] = []
+
+    @property
+    def name(self) -> str:
+        return self.base.name
+
+    def pred_index(self, pred: "SSABlock") -> int:
+        return self.preds.index(pred)
+
+    def insert_before_term(self, stmt: SStmt) -> None:
+        """Append a statement at the end of the block (before its
+        terminator) — where SSAPRE inserts Φ-operand computations."""
+        stmt.block = self
+        self.stmts.append(stmt)
+
+    def add_stmt(self, stmt: SStmt) -> None:
+        stmt.block = self
+        self.stmts.append(stmt)
+
+    def __repr__(self) -> str:
+        return f"<SSABlock {self.name}>"
+
+
+class SSAFunction:
+    """A function in (speculative) HSSA form."""
+
+    def __init__(self, fn: Function) -> None:
+        from ..analysis.dominance import DominatorTree
+
+        self.fn = fn
+        self.dom = DominatorTree(fn)
+        self.blocks: List[SSABlock] = []
+        self._by_base: Dict[BasicBlock, SSABlock] = {}
+        for base in self.dom.order:
+            block = SSABlock(base)
+            self.blocks.append(block)
+            self._by_base[base] = block
+        for block in self.blocks:
+            block.preds = [self._by_base[p] for p in block.base.preds]
+            block.succs = [self._by_base[s] for s in block.base.succs]
+        self.entry = self._by_base[fn.entry]
+        self._version_counter: Dict[Symbol, itertools.count] = {}
+        #: all symbols that were given SSA versions (incl. virtual vars)
+        self.versioned_symbols: List[Symbol] = []
+        #: live-on-entry version per symbol (filled during renaming)
+        self.entry_versions: Dict[Symbol, SSAVar] = {}
+
+    def block_of(self, base: BasicBlock) -> SSABlock:
+        return self._by_base[base]
+
+    def new_version(self, symbol: Symbol) -> SSAVar:
+        counter = self._version_counter.get(symbol)
+        if counter is None:
+            counter = itertools.count(1)
+            self._version_counter[symbol] = counter
+            self.versioned_symbols.append(symbol)
+        return SSAVar(symbol, next(counter))
+
+    def preorder(self) -> List[SSABlock]:
+        """Dominator-tree preorder over SSA blocks."""
+        return [self._by_base[b] for b in self.dom.preorder()]
+
+    def statements(self) -> Iterator[Tuple[SSABlock, SStmt]]:
+        for block in self.blocks:
+            for stmt in block.stmts:
+                yield block, stmt
+
+    def dominates(self, a: SSABlock, b: SSABlock) -> bool:
+        return self.dom.dominates(a.base, b.base)

@@ -1,0 +1,91 @@
+"""SSA invariant checker.
+
+Checks the invariants that every SSAPRE phase relies on (and that the
+property-based tests exercise on random programs):
+
+* every :class:`SSAVar` has exactly one def site;
+* every use is dominated by its def (φ operands checked against the
+  corresponding predecessor block);
+* φ argument counts match predecessor counts;
+* µ/χ operands are fully renamed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from .values import (Chi, Mu, SAssign, SCall, SExpr, SLoad, SPhi, SSABlock,
+                     SSAFunction, SSAVar, SStmt, SVarUse)
+
+
+class SSAVerificationError(Exception):
+    """Raised when an SSA invariant is violated."""
+
+
+def verify_ssa(ssa: SSAFunction) -> None:
+    defs: Dict[SSAVar, object] = {}
+
+    def record_def(var: Optional[SSAVar], site: object) -> None:
+        if var is None:
+            raise SSAVerificationError(f"unrenamed def at {site!r}")
+        if var in defs:
+            raise SSAVerificationError(
+                f"{var.name} defined twice ({defs[var]!r} and {site!r})"
+            )
+        defs[var] = site
+
+    for block in ssa.blocks:
+        for phi in block.phis:
+            record_def(phi.lhs, phi)
+            if len(phi.args) != len(block.preds):
+                raise SSAVerificationError(
+                    f"phi in {block.name}: {len(phi.args)} args for "
+                    f"{len(block.preds)} preds"
+                )
+        for stmt in block.stmts:
+            if isinstance(stmt, SAssign) and isinstance(stmt.lhs, SSAVar):
+                record_def(stmt.lhs, stmt)
+            if isinstance(stmt, SCall) and isinstance(stmt.dst, SSAVar):
+                record_def(stmt.dst, stmt)
+            for chi in stmt.chis:
+                record_def(chi.lhs, chi)
+
+    def check_use(var: Optional[SSAVar], block: SSABlock,
+                  where: str) -> None:
+        if var is None:
+            raise SSAVerificationError(f"unrenamed use in {where}")
+        def_block = var.def_block
+        if def_block is None:
+            raise SSAVerificationError(f"{var.name} has no def block")
+        if not ssa.dominates(def_block, block):
+            raise SSAVerificationError(
+                f"use of {var.name} in {block.name} not dominated by its "
+                f"def in {def_block.name} ({where})"
+            )
+
+    def check_expr(expr: SExpr, block: SSABlock, where: str) -> None:
+        for node in expr.walk():
+            if isinstance(node, SVarUse):
+                check_use(node.var, block, where)
+            elif isinstance(node, SLoad):
+                for mu in node.mus:
+                    check_use(mu.var, block, f"{where} (mu)")
+
+    for block in ssa.blocks:
+        for phi in block.phis:
+            for pred, arg in zip(block.preds, phi.args):
+                if arg is None:
+                    raise SSAVerificationError(
+                        f"phi {phi!r} in {block.name}: missing arg"
+                    )
+                check_use(arg, pred, f"phi in {block.name}")
+        for stmt in block.stmts:
+            for expr in stmt.exprs():
+                check_expr(expr, block, repr(stmt))
+            for mu in getattr(stmt, "mus", ()):
+                check_use(mu.var, block, f"{stmt!r} (call mu)")
+            for chi in stmt.chis:
+                check_use(chi.rhs, block, f"{stmt!r} (chi rhs)")
+        if block.term is not None:
+            for expr in block.term.exprs():
+                check_expr(expr, block, repr(block.term))

@@ -1,0 +1,62 @@
+"""Workload definitions.
+
+A workload is a mini-C program shaped like one of the paper's eight
+SPEC2000 benchmarks: it reproduces the *reference pattern* that makes
+speculative register promotion help (or not) on that benchmark — aliased
+FP array kernels for equake/art/ammp, pointer chasing for mcf, field
+reloads for twolf/vpr, low-opportunity high-collision windows for
+gzip/bzip2.
+
+``train_inputs`` / ``ref_inputs`` feed the program's ``input()`` calls:
+the alias/edge profiles are always collected on the train input and the
+measurements taken on the ref input, reproducing the paper's train/ref
+methodology (and its input-sensitivity caveat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One SPEC2000-shaped benchmark program."""
+
+    name: str
+    spec_name: str
+    description: str
+    source: str
+    train_inputs: Sequence[float] = ()
+    ref_inputs: Sequence[float] = ()
+    #: expected qualitative behaviour, recorded in EXPERIMENTS.md
+    expectation: str = ""
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def all_workloads() -> List[Workload]:
+    """All registered workloads, in the paper's Figure 10 order."""
+    _ensure_loaded()
+    order = ["gzip", "vpr", "mcf", "bzip2", "twolf", "art", "equake",
+             "ammp"]
+    return [_REGISTRY[n] for n in order if n in _REGISTRY] + [
+        w for n, w in sorted(_REGISTRY.items()) if n not in order
+    ]
+
+
+def _ensure_loaded() -> None:
+    from . import programs  # noqa: F401  (registers on import)

@@ -1,0 +1,250 @@
+"""Random mini-C program generator for differential testing.
+
+Generates closed, terminating, memory-safe programs that still exercise
+the constructs the speculative framework cares about: aliased pointers,
+arrays, heap objects, loops, calls and mixed int/float arithmetic.  Every
+generated program:
+
+* terminates (loops are counted ``for`` loops with literal bounds);
+* never divides by zero (denominators are non-zero literals);
+* never accesses memory out of bounds (indices are loop counters modulo
+  the object size, or literals);
+* prints enough values that optimizer bugs surface as output diffs.
+
+Used by the property-based integration tests: for random programs and
+every safe configuration, the simulated optimized binary must print what
+the reference interpreter prints.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+
+class _Scope:
+    def __init__(self) -> None:
+        self.int_vars: List[str] = []
+        self.float_vars: List[str] = []
+        self.arrays: List[tuple] = []      # (name, size, is_float)
+        self.pointers: List[tuple] = []    # (name, is_float)
+        self.loop_vars: List[str] = []
+
+
+class ProgramGenerator:
+    """Deterministic random program builder (seeded)."""
+
+    def __init__(self, seed: int, max_stmts: int = 14,
+                 max_depth: int = 3) -> None:
+        self.rng = random.Random(seed)
+        self.max_stmts = max_stmts
+        self.max_depth = max_depth
+        self._names = iter(f"v{i}" for i in range(10_000))
+
+    def fresh(self) -> str:
+        return next(self._names)
+
+    # ---- expressions --------------------------------------------------
+    def int_expr(self, scope: _Scope, depth: int = 0) -> str:
+        rng = self.rng
+        choices = ["lit"]
+        if scope.int_vars:
+            choices += ["var"] * 3
+        if scope.loop_vars:
+            choices += ["loop"] * 2
+        if depth < self.max_depth:
+            choices += ["bin"] * 3
+            if scope.arrays and scope.loop_vars:
+                choices += ["index"] * 2
+            if scope.pointers and scope.loop_vars:
+                choices += ["deref"]
+        kind = rng.choice(choices)
+        if kind == "lit":
+            return str(rng.randint(-9, 20))
+        if kind == "var":
+            return rng.choice(scope.int_vars)
+        if kind == "loop":
+            return rng.choice(scope.loop_vars)
+        if kind == "bin":
+            op = rng.choice(["+", "-", "*", "+", "-", "<", "==", "%", "/"])
+            left = self.int_expr(scope, depth + 1)
+            if op in ("%", "/"):
+                right = str(rng.randint(2, 7))
+            else:
+                right = self.int_expr(scope, depth + 1)
+            return f"({left} {op} {right})"
+        if kind == "index":
+            name, size, is_float = rng.choice(
+                [a for a in scope.arrays if not a[2]] or scope.arrays
+            )
+            if is_float:
+                return self.int_expr(scope, depth + 1)
+            return f"{name}[{self._index(scope, size)}]"
+        if kind == "deref":
+            candidates = [p for p in scope.pointers if not p[1]]
+            if not candidates:
+                return self.int_expr(scope, depth + 1)
+            name, _ = rng.choice(candidates)
+            return f"{name}[{self._index(scope, 4)}]"
+        raise AssertionError(kind)  # pragma: no cover
+
+    def float_expr(self, scope: _Scope, depth: int = 0) -> str:
+        rng = self.rng
+        choices = ["lit"]
+        if scope.float_vars:
+            choices += ["var"] * 3
+        if depth < self.max_depth:
+            choices += ["bin"] * 2
+            if any(a[2] for a in scope.arrays) and scope.loop_vars:
+                choices += ["index"] * 2
+            choices += ["conv"]
+        kind = rng.choice(choices)
+        if kind == "lit":
+            return f"{rng.randint(0, 40) * 0.25}"
+        if kind == "var":
+            return rng.choice(scope.float_vars)
+        if kind == "bin":
+            op = rng.choice(["+", "-", "*", "+"])
+            return (f"({self.float_expr(scope, depth + 1)} {op} "
+                    f"{self.float_expr(scope, depth + 1)})")
+        if kind == "index":
+            name, size, _ = rng.choice([a for a in scope.arrays if a[2]])
+            return f"{name}[{self._index(scope, size)}]"
+        if kind == "conv":
+            return f"({self.int_expr(scope, depth + 1)} * 0.5)"
+        raise AssertionError(kind)  # pragma: no cover
+
+    def _index(self, scope: _Scope, size: int) -> str:
+        rng = self.rng
+        if scope.loop_vars and rng.random() < 0.7:
+            var = rng.choice(scope.loop_vars)
+            return f"({var} % {size})"
+        return str(rng.randint(0, size - 1))
+
+    # ---- statements ------------------------------------------------------
+    def stmts(self, scope: _Scope, budget: int, depth: int = 0,
+              indent: str = "  ") -> List[str]:
+        rng = self.rng
+        out: List[str] = []
+        n = rng.randint(1, max(1, budget))
+        for _ in range(n):
+            kinds = ["assign_int", "assign_int", "print"]
+            if scope.float_vars:
+                kinds.append("assign_float")
+            if scope.arrays and scope.loop_vars:
+                kinds += ["store", "store"]
+            if scope.pointers:
+                kinds.append("pstore")
+            if depth < 2:
+                kinds += ["if", "for"]
+            kind = rng.choice(kinds)
+            if kind == "assign_int" and scope.int_vars:
+                var = rng.choice(scope.int_vars)
+                out.append(f"{indent}{var} = {self.int_expr(scope)};")
+            elif kind == "assign_float" and scope.float_vars:
+                var = rng.choice(scope.float_vars)
+                out.append(f"{indent}{var} = {self.float_expr(scope)};")
+            elif kind == "store" and scope.arrays and scope.loop_vars:
+                name, size, is_float = rng.choice(scope.arrays)
+                value = (self.float_expr(scope) if is_float
+                         else self.int_expr(scope))
+                out.append(f"{indent}{name}[{self._index(scope, size)}] "
+                           f"= {value};")
+            elif kind == "pstore" and scope.pointers:
+                name, is_float = rng.choice(scope.pointers)
+                value = (self.float_expr(scope) if is_float
+                         else self.int_expr(scope))
+                out.append(f"{indent}{name}[{self._index(scope, 4)}] "
+                           f"= {value};")
+            elif kind == "print":
+                expr = (self.int_expr(scope) if not scope.float_vars
+                        or rng.random() < 0.6 else self.float_expr(scope))
+                out.append(f"{indent}print({expr});")
+            elif kind == "if":
+                cond = self.int_expr(scope)
+                body = self.stmts(scope, budget // 2, depth + 1,
+                                  indent + "  ")
+                out.append(f"{indent}if ({cond}) {{")
+                out.extend(body)
+                if rng.random() < 0.5:
+                    out.append(f"{indent}}} else {{")
+                    out.extend(self.stmts(scope, budget // 2, depth + 1,
+                                          indent + "  "))
+                out.append(f"{indent}}}")
+            elif kind == "for":
+                var = self.fresh()
+                bound = rng.randint(2, 6)
+                scope.loop_vars.append(var)
+                body = self.stmts(scope, budget // 2, depth + 1,
+                                  indent + "  ")
+                out.append(f"{indent}int {var};")
+                out.append(f"{indent}for ({var} = 0; {var} < {bound}; "
+                           f"{var} = {var} + 1) {{")
+                out.extend(body)
+                out.append(f"{indent}}}")
+                scope.loop_vars.pop()
+        return out
+
+    # ---- program ------------------------------------------------------------
+    def generate(self) -> str:
+        rng = self.rng
+        scope = _Scope()
+        lines: List[str] = []
+        # globals
+        for _ in range(rng.randint(0, 2)):
+            name = self.fresh()
+            if rng.random() < 0.5:
+                lines.append(f"int {name};")
+                scope.int_vars.append(name)
+            else:
+                size = rng.randint(4, 8)
+                is_float = rng.random() < 0.5
+                ty = "double" if is_float else "int"
+                lines.append(f"{ty} {name}[{size}];")
+                scope.arrays.append((name, size, is_float))
+        lines.append("void main() {")
+        # locals
+        for _ in range(rng.randint(2, 4)):
+            name = self.fresh()
+            lines.append(f"  int {name};")
+            scope.int_vars.append(name)
+        for _ in range(rng.randint(0, 2)):
+            name = self.fresh()
+            lines.append(f"  double {name};")
+            scope.float_vars.append(name)
+        for _ in range(rng.randint(0, 2)):
+            name = self.fresh()
+            size = rng.randint(4, 8)
+            is_float = rng.random() < 0.4
+            ty = "double" if is_float else "int"
+            lines.append(f"  {ty} {name}[{size}];")
+            scope.arrays.append((name, size, is_float))
+        # pointers: &scalar, array decay, or heap — the alias fodder
+        for _ in range(rng.randint(0, 2)):
+            name = self.fresh()
+            is_float = False
+            lines.append(f"  int *{name};")
+            source = rng.random()
+            if source < 0.4 and scope.arrays:
+                arrays = [a for a in scope.arrays if not a[2]]
+                if arrays:
+                    base = rng.choice(arrays)[0]
+                    lines.append(f"  {name} = {base};")
+                else:
+                    lines.append(f"  {name} = alloc(4);")
+            else:
+                lines.append(f"  {name} = alloc(4);")
+            scope.pointers.append((name, is_float))
+        lines.extend(self.stmts(scope, self.max_stmts))
+        # final checksum prints
+        for var in scope.int_vars[:3]:
+            lines.append(f"  print({var});")
+        for name, size, is_float in scope.arrays[:2]:
+            lines.append(f"  print({name}[0] + {name}[{size - 1}]);")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def random_program(seed: int, max_stmts: int = 14) -> str:
+    """Generate one deterministic random program for ``seed``."""
+    return ProgramGenerator(seed, max_stmts=max_stmts).generate()

@@ -1,0 +1,554 @@
+"""The eight SPEC2000-shaped workload programs (paper §5.2).
+
+Each program is built around the reference pattern that gives (or denies)
+its namesake speculative-register-promotion opportunities.  Two common
+idioms:
+
+* **static may-aliasing** — kernels receive their arrays as parameters and
+  ``main`` contains a *guarded aliased call* (``if (guard < 0)``, with
+  ``guard`` read from the input stream and always non-negative) so the
+  flow-insensitive points-to analysis must merge the parameter classes
+  while the profile sees no (or rare) dynamic aliasing;
+* **train/ref inputs** — profiles are collected with ``train_inputs``,
+  measurements run with ``ref_inputs``; gzip/bzip2 use this to make the
+  ref input collide where the train input never did (mis-speculation).
+"""
+
+from __future__ import annotations
+
+from .base import Workload, register
+
+# ---------------------------------------------------------------------------
+# equake — 183.equake's smvp (the paper's Figure 9, flattened to 1-D)
+# ---------------------------------------------------------------------------
+
+EQUAKE_SOURCE = """
+int seed;
+
+int rnd(int bound) {
+  seed = (seed * 1103 + 12849) % 65536;
+  return seed % bound;
+}
+
+void smvp(int nodes, double *A, int *Acol, int *Aindex,
+          double *v, double *w) {
+  int i; int Anext; int Alast; int col;
+  double sum0; double sum1; double sum2;
+  for (i = 0; i < nodes; i = i + 1) {
+    Anext = Aindex[i];
+    Alast = Aindex[i + 1];
+    sum0 = 0.0; sum1 = 0.0; sum2 = 0.0;
+    while (Anext < Alast) {
+      col = Acol[Anext];
+      sum0 = sum0 + A[Anext * 3 + 0] * v[col * 3 + 0];
+      sum1 = sum1 + A[Anext * 3 + 1] * v[col * 3 + 1];
+      sum2 = sum2 + A[Anext * 3 + 2] * v[col * 3 + 2];
+      w[col * 3 + 0] = w[col * 3 + 0] + A[Anext * 3 + 0] * v[i * 3 + 0];
+      w[col * 3 + 1] = w[col * 3 + 1] + A[Anext * 3 + 1] * v[i * 3 + 1];
+      w[col * 3 + 2] = w[col * 3 + 2] + A[Anext * 3 + 2] * v[i * 3 + 2];
+      Anext = Anext + 1;
+    }
+    w[i * 3 + 0] = w[i * 3 + 0] + sum0;
+    w[i * 3 + 1] = w[i * 3 + 1] + sum1;
+    w[i * 3 + 2] = w[i * 3 + 2] + sum2;
+  }
+}
+
+void time_step(double *v, double *w, int cells, double dt) {
+  int i;
+  for (i = 0; i < cells; i = i + 1) {
+    v[i] = v[i] * 0.875 + w[i] * dt;
+    w[i] = w[i] * 0.5;
+  }
+}
+
+void main() {
+  int nodes; int deg; int iters; int guard;
+  int nnz; int i; int k; int e;
+  double *A; int *Acol; int *Aindex; double *v; double *w;
+  double check;
+  nodes = input(); deg = input(); iters = input(); guard = input();
+  seed = 42;
+  nnz = nodes * deg;
+  A = alloc(nnz * 3); Acol = alloc(nnz); Aindex = alloc(nodes + 1);
+  v = alloc(nodes * 3); w = alloc(nodes * 3);
+  for (e = 0; e < nnz; e = e + 1) {
+    Acol[e] = rnd(nodes);
+    A[e * 3 + 0] = 0.5 + rnd(100) * 0.01;
+    A[e * 3 + 1] = 0.25 + rnd(100) * 0.01;
+    A[e * 3 + 2] = 0.125 + rnd(100) * 0.01;
+  }
+  for (i = 0; i <= nodes; i = i + 1) { Aindex[i] = i * deg; }
+  for (i = 0; i < nodes * 3; i = i + 1) {
+    v[i] = 1.0 + (i % 7) * 0.125;
+    w[i] = 0.0;
+  }
+  if (guard < 0) { smvp(nodes, A, Acol, Aindex, w, w); }
+  for (k = 0; k < iters; k = k + 1) {
+    smvp(nodes, A, Acol, Aindex, v, w);
+    time_step(v, w, nodes * 3, 0.01);
+  }
+  check = 0.0;
+  for (i = 0; i < nodes * 3; i = i + 1) { check = check + w[i] + v[i]; }
+  print(check);
+}
+"""
+
+register(Workload(
+    name="equake",
+    spec_name="183.equake",
+    description="sparse matrix-vector product (the paper's smvp kernel): "
+                "FP loads of A[][][] and v[][] may-alias the w[][] "
+                "accumulator stores but never collide at runtime",
+    source=EQUAKE_SOURCE,
+    train_inputs=[12, 3, 1, 0],
+    ref_inputs=[20, 4, 3, 0],
+    expectation="largest load reduction of the FP codes; §5.1 case study",
+))
+
+# ---------------------------------------------------------------------------
+# art — 179.art: neural-net layer, weight/input loads across output stores
+# ---------------------------------------------------------------------------
+
+ART_SOURCE = """
+int seed;
+
+int rnd(int bound) {
+  seed = (seed * 2411 + 17) % 65536;
+  return seed % bound;
+}
+
+void f1_layer(double *w, double *in, double *out, int nj, int ni) {
+  int i; int j;
+  for (j = 0; j < nj; j = j + 1) {
+    for (i = 0; i < ni; i = i + 1) {
+      out[j * 2 + 0] = out[j * 2 + 0] + w[j * ni + i] * in[i];
+      out[j * 2 + 1] = out[j * 2 + 1] + w[j * ni + i] * in[i] * 0.5;
+    }
+  }
+}
+
+int match(double *out, int nj) {
+  int j; int winner;
+  double best;
+  winner = 0;
+  best = out[0];
+  for (j = 1; j < nj; j = j + 1) {
+    if (out[j * 2] > best) {
+      best = out[j * 2];
+      winner = j;
+    }
+  }
+  return winner;
+}
+
+void main() {
+  int nj; int ni; int rounds; int guard; int i; int r; int winner;
+  double *w; double *in; double *out;
+  double check;
+  nj = input(); ni = input(); rounds = input(); guard = input();
+  seed = 7;
+  w = alloc(nj * ni); in = alloc(ni); out = alloc(nj * 2);
+  for (i = 0; i < nj * ni; i = i + 1) { w[i] = 0.01 * (1 + rnd(50)); }
+  for (i = 0; i < ni; i = i + 1) { in[i] = 0.02 * (1 + rnd(25)); }
+  for (i = 0; i < nj * 2; i = i + 1) { out[i] = 0.0; }
+  if (guard < 0) { f1_layer(out, out, out, nj, ni); }
+  winner = 0;
+  for (r = 0; r < rounds; r = r + 1) {
+    f1_layer(w, in, out, nj, ni);
+    winner = winner + match(out, nj);
+    in[winner % ni] = in[winner % ni] * 0.96875;
+  }
+  check = 0.0;
+  for (i = 0; i < nj * 2; i = i + 1) { check = check + out[i]; }
+  print(check + winner);
+}
+"""
+
+register(Workload(
+    name="art",
+    spec_name="179.art",
+    description="neural-net F1 layer: weight and input loads repeated "
+                "across output-neuron accumulator stores",
+    source=ART_SOURCE,
+    train_inputs=[6, 8, 1, 0],
+    ref_inputs=[10, 12, 3, 0],
+    expectation="~10% load reduction band; FP gains visible in time",
+))
+
+# ---------------------------------------------------------------------------
+# ammp — 188.ammp: pairwise force kernel, position loads across force stores
+# ---------------------------------------------------------------------------
+
+AMMP_SOURCE = """
+int seed;
+
+int rnd(int bound) {
+  seed = (seed * 3019 + 101) % 65536;
+  return seed % bound;
+}
+
+void forces(double *x, double *f, int *nb, int natoms, int deg) {
+  int i; int k; int j;
+  double dx; double dy; double e;
+  e = 0.0;
+  for (i = 0; i < natoms; i = i + 1) {
+    for (k = 0; k < deg; k = k + 1) {
+      j = nb[i * deg + k];
+      dx = x[i * 2 + 0] - x[j * 2 + 0];
+      dy = x[i * 2 + 1] - x[j * 2 + 1];
+      f[i * 2 + 0] = f[i * 2 + 0] + dx * 0.5;
+      f[j * 2 + 0] = f[j * 2 + 0] - dx * 0.5;
+      f[i * 2 + 1] = f[i * 2 + 1] + dy * 0.5;
+      f[j * 2 + 1] = f[j * 2 + 1] - dy * 0.5;
+      e = e + x[i * 2 + 0] * 0.125 + x[j * 2 + 1] * 0.25;
+    }
+  }
+  f[0] = f[0] + e * 0.001;
+}
+
+void main() {
+  int natoms; int deg; int steps; int guard; int i; int s;
+  double *x; double *f; int *nb;
+  double check;
+  natoms = input(); deg = input(); steps = input(); guard = input();
+  seed = 11;
+  x = alloc(natoms * 2); f = alloc(natoms * 2); nb = alloc(natoms * deg);
+  for (i = 0; i < natoms * 2; i = i + 1) {
+    x[i] = 0.1 * (1 + rnd(30));
+    f[i] = 0.0;
+  }
+  for (i = 0; i < natoms * deg; i = i + 1) { nb[i] = rnd(natoms); }
+  if (guard < 0) { forces(f, f, nb, natoms, deg); }
+  for (s = 0; s < steps; s = s + 1) { forces(x, f, nb, natoms, deg); }
+  check = 0.0;
+  for (i = 0; i < natoms * 2; i = i + 1) { check = check + f[i]; }
+  print(check);
+}
+"""
+
+register(Workload(
+    name="ammp",
+    spec_name="188.ammp",
+    description="pairwise force kernel: atom-position loads repeated "
+                "across force-accumulator stores",
+    source=AMMP_SOURCE,
+    train_inputs=[10, 3, 1, 0],
+    ref_inputs=[16, 4, 3, 0],
+    expectation="solid FP load reduction (5-14% band)",
+))
+
+# ---------------------------------------------------------------------------
+# mcf — 181.mcf: reduced-cost sweep over a large arc arena (pointer chasing)
+# ---------------------------------------------------------------------------
+
+MCF_SOURCE = """
+int seed;
+
+int rnd(int bound) {
+  seed = (seed * 4021 + 7) % 65536;
+  return seed % bound;
+}
+
+int sweep(int *tail, int *head, int *cost, int *flow, int *potential,
+          int m) {
+  int a; int t; int h; int red; int changed;
+  changed = 0;
+  for (a = 0; a < m; a = a + 1) {
+    t = tail[a];
+    h = head[a];
+    red = cost[a] + potential[t] - potential[h];
+    if (red < 0) {
+      flow[a] = flow[a] + 1;
+      red = cost[a] + potential[t] - potential[h];
+      changed = changed + red;
+    }
+  }
+  return changed;
+}
+
+void update_potentials(int *potential, int *flow, int *tail, int n,
+                       int m) {
+  int a; int t;
+  for (a = 0; a < m; a = a + 1) {
+    if (flow[a] > 0) {
+      t = tail[a];
+      potential[t] = potential[t] + flow[a] % 3 - 1;
+    }
+  }
+}
+
+void main() {
+  int n; int m; int sweeps; int guard; int i; int s; int total;
+  int *tail; int *head; int *cost; int *flow; int *potential;
+  n = input(); m = input(); sweeps = input(); guard = input();
+  seed = 5;
+  tail = alloc(m); head = alloc(m); cost = alloc(m); flow = alloc(m);
+  potential = alloc(n);
+  for (i = 0; i < m; i = i + 1) {
+    tail[i] = rnd(n);
+    head[i] = rnd(n);
+    cost[i] = rnd(41) - 20;
+    flow[i] = 0;
+  }
+  for (i = 0; i < n; i = i + 1) { potential[i] = rnd(19) - 9; }
+  if (guard < 0) { total = sweep(potential, potential, cost, potential,
+                                 potential, m); }
+  total = 0;
+  for (s = 0; s < sweeps; s = s + 1) {
+    total = total + sweep(tail, head, cost, flow, potential, m);
+    update_potentials(potential, flow, tail, n, m);
+  }
+  for (i = 0; i < m; i = i + 1) { total = total + flow[i]; }
+  print(total);
+}
+"""
+
+register(Workload(
+    name="mcf",
+    spec_name="181.mcf",
+    description="network-simplex-like reduced-cost sweep: potential[] "
+                "loads repeated across flow[] stores, scattered over an "
+                "arena too big for L1 (memory-bound)",
+    source=MCF_SOURCE,
+    train_inputs=[512, 700, 1, 0],
+    ref_inputs=[4096, 2000, 2, 0],
+    expectation="clear load reduction but small speedup (cache-miss "
+                "bound, as in the paper's mcf discussion)",
+))
+
+# ---------------------------------------------------------------------------
+# twolf — 300.twolf: placement cost updates, position reloads across stores
+# ---------------------------------------------------------------------------
+
+TWOLF_SOURCE = """
+int seed;
+
+int rnd(int bound) {
+  seed = (seed * 5237 + 31) % 65536;
+  return seed % bound;
+}
+
+int place(int *pos, int *cost, int *order, int n, int moves) {
+  int k; int i; int total;
+  total = 0;
+  for (k = 0; k < moves; k = k + 1) {
+    i = order[k % n];
+    cost[i] = cost[i] + pos[i] / 2;
+    total = total + pos[i];
+    cost[i] = cost[i] - pos[i] / 4;
+    total = total + pos[i] % 16;
+  }
+  return total;
+}
+
+void main() {
+  int n; int moves; int guard; int i; int total;
+  int *pos; int *cost; int *order;
+  n = input(); moves = input(); guard = input();
+  seed = 23;
+  pos = alloc(n); cost = alloc(n); order = alloc(n);
+  for (i = 0; i < n; i = i + 1) {
+    pos[i] = rnd(1000);
+    cost[i] = 0;
+    order[i] = rnd(n);
+  }
+  if (guard < 0) { total = place(cost, cost, order, n, moves); }
+  total = place(pos, cost, order, n, moves);
+  for (i = 0; i < n; i = i + 1) { total = total + cost[i]; }
+  print(total);
+}
+"""
+
+register(Workload(
+    name="twolf",
+    spec_name="300.twolf",
+    description="placement cost loop: cell-position loads repeated "
+                "across cost-table stores",
+    source=TWOLF_SOURCE,
+    train_inputs=[64, 300, 0],
+    ref_inputs=[200, 2000, 0],
+    expectation="integer code with 5-14% load reduction",
+))
+
+# ---------------------------------------------------------------------------
+# vpr — 175.vpr: routing cost lookups across occasional path stores
+# ---------------------------------------------------------------------------
+
+VPR_SOURCE = """
+int seed;
+
+int rnd(int bound) {
+  seed = (seed * 6151 + 13) % 65536;
+  return seed % bound;
+}
+
+int route(int *grid, int *ea, int *eb, int *path, int edges, int iters) {
+  int it; int e; int acc; int g;
+  acc = 0;
+  for (it = 0; it < iters; it = it + 1) {
+    for (e = 0; e < edges; e = e + 1) {
+      g = ea[e];
+      acc = acc + grid[g];
+      path[e] = acc % 255;
+      acc = acc + grid[g] / 2 + grid[eb[e]];
+    }
+    grid[it % 16] = acc % 97;
+  }
+  return acc;
+}
+
+void main() {
+  int cells; int edges; int iters; int guard; int i; int acc;
+  int *grid; int *ea; int *eb; int *path;
+  cells = input(); edges = input(); iters = input(); guard = input();
+  seed = 17;
+  grid = alloc(cells); ea = alloc(edges); eb = alloc(edges);
+  path = alloc(edges);
+  for (i = 0; i < cells; i = i + 1) { grid[i] = rnd(50); }
+  for (i = 0; i < edges; i = i + 1) {
+    ea[i] = 16 + rnd(cells - 16);
+    eb[i] = 16 + rnd(cells - 16);
+    path[i] = 0;
+  }
+  if (guard < 0) { acc = route(path, ea, eb, path, edges, iters); }
+  acc = route(grid, ea, eb, path, edges, iters);
+  for (i = 0; i < edges; i = i + 1) { acc = acc + path[i]; }
+  print(acc);
+}
+"""
+
+register(Workload(
+    name="vpr",
+    spec_name="175.vpr",
+    description="routing inner loop: grid cost loads repeated across "
+                "path stores; grid updates stay clear of routed cells",
+    source=VPR_SOURCE,
+    train_inputs=[80, 100, 2, 0],
+    ref_inputs=[160, 400, 4, 0],
+    expectation="moderate integer load reduction",
+))
+
+# ---------------------------------------------------------------------------
+# gzip — 164.gzip: LZ hash-head reloads; ref input occasionally collides
+# ---------------------------------------------------------------------------
+
+GZIP_SOURCE = """
+int seed;
+
+int rnd(int bound) {
+  seed = (seed * 7433 + 3) % 65536;
+  return seed % bound;
+}
+
+int deflate(int *window, int *head, int wsize, int hsize,
+            int rounds, int stride, int off, int span) {
+  int r; int i; int s; int best; int j;
+  s = 0;
+  for (r = 0; r < rounds; r = r + 1) {
+    best = head[0];
+    for (i = 0; i < wsize; i = i + 1) {
+      s = s + window[i];
+      window[i] = (window[i] + r) % 251;
+    }
+    j = off + (r * stride) % span;
+    head[j] = s % 251;
+    best = best + head[0];
+    s = (s + best) % 100003;
+  }
+  return s;
+}
+
+void main() {
+  int wsize; int hsize; int rounds; int stride; int off; int span;
+  int guard; int i; int s;
+  int *window; int *head;
+  wsize = input(); hsize = input(); rounds = input();
+  stride = input(); off = input(); span = input(); guard = input();
+  seed = 3;
+  window = alloc(wsize); head = alloc(hsize);
+  for (i = 0; i < wsize; i = i + 1) { window[i] = rnd(251); }
+  for (i = 0; i < hsize; i = i + 1) { head[i] = rnd(251); }
+  if (guard < 0) { s = deflate(head, head, wsize, hsize, rounds,
+                               stride, off, span); }
+  s = deflate(window, head, wsize, hsize, rounds, stride, off, span);
+  print(s);
+}
+"""
+
+register(Workload(
+    name="gzip",
+    spec_name="164.gzip",
+    description="LZ-style loop: bulk window scanning (no speculation "
+                "opportunity) plus a hash-head reload across an "
+                "index-dependent store — the ref input hits head[0] "
+                "periodically, failing the check",
+    source=GZIP_SOURCE,
+    # train: stores land in head[8..56): never the promoted head[0]
+    train_inputs=[120, 64, 20, 4, 8, 48, 0],
+    # ref: stores land in head[0..48): head[0] hit every 12th round
+    ref_inputs=[200, 64, 60, 4, 0, 48, 0],
+    expectation="negligible check count but a visible mis-speculation "
+                "ratio (the paper's gzip anomaly)",
+))
+
+# ---------------------------------------------------------------------------
+# bzip2 — 256.bzip2: bucket counting with block reloads across count stores
+# ---------------------------------------------------------------------------
+
+BZIP2_SOURCE = """
+int seed;
+
+int rnd(int bound) {
+  seed = (seed * 8513 + 29) % 65536;
+  return seed % bound;
+}
+
+int sort_pass(int *block, int *count, int n, int nbuckets,
+              int stride, int k) {
+  int i; int c; int chk;
+  chk = 0;
+  for (i = 0; i < n; i = i + 1) {
+    c = block[i] % nbuckets;
+    count[c] = count[c] + 1;
+    if ((i % stride) == k) { block[i + 0] = c % 7 + 1; }
+    chk = chk + block[i];
+  }
+  return chk;
+}
+
+void main() {
+  int n; int nbuckets; int passes; int stride; int k; int guard;
+  int i; int p; int chk;
+  int *block; int *count;
+  n = input(); nbuckets = input(); passes = input(); stride = input();
+  k = input(); guard = input();
+  seed = 13;
+  block = alloc(n); count = alloc(nbuckets);
+  for (i = 0; i < n; i = i + 1) { block[i] = rnd(1000); }
+  for (i = 0; i < nbuckets; i = i + 1) { count[i] = 0; }
+  if (guard < 0) { chk = sort_pass(count, count, n, nbuckets, stride, k); }
+  chk = 0;
+  for (p = 0; p < passes; p = p + 1) {
+    chk = (chk + sort_pass(block, count, n, nbuckets, stride, k))
+          % 1000003;
+  }
+  for (i = 0; i < nbuckets; i = i + 1) { chk = chk + count[i]; }
+  print(chk);
+}
+"""
+
+register(Workload(
+    name="bzip2",
+    spec_name="256.bzip2",
+    description="bucket-count pass: block[] reloads across count[] "
+                "stores; the ref input triggers a rare in-block store "
+                "(self-aliasing) the train input never exercised",
+    source=BZIP2_SOURCE,
+    # train: k >= stride, so the in-block store never fires
+    train_inputs=[150, 16, 1, 50, 60, 0],
+    # ref: the in-block store fires every 50th element — occasionally
+    # clobbering the promoted block[i] between its ld.a and ld.c
+    ref_inputs=[400, 16, 3, 50, 3, 0],
+    expectation="modest load reduction, small non-zero mis-speculation",
+))

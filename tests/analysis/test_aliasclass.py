@@ -1,0 +1,141 @@
+"""Unit tests for alias classes, TBAA and virtual-variable assignment."""
+
+from repro.analysis import AliasClassifier, tbaa_compatible, type_family
+from repro.ir import FLOAT, INT, Load, Store, ptr
+from repro.lang import compile_source
+
+
+def classify(src, fn="main", use_tbaa=True):
+    module = compile_source(src)
+    classifier = AliasClassifier(module, use_tbaa=use_tbaa)
+    function = module.functions[fn]
+    return module, function, classifier.analyze_function(function)
+
+
+def stores_of(fn):
+    return [s for _, s in fn.statements() if isinstance(s, Store)]
+
+
+def loads_of(fn):
+    out = []
+    for _, stmt in fn.statements():
+        for e in stmt.walk_exprs():
+            if isinstance(e, Load):
+                out.append(e)
+    for _, term in fn.terminators():
+        for top in term.exprs():
+            for e in top.walk():
+                if isinstance(e, Load):
+                    out.append(e)
+    return out
+
+
+def test_tbaa_families():
+    assert type_family(INT) == "int"
+    assert type_family(ptr(FLOAT)) == "ptr"
+    assert tbaa_compatible(INT, INT)
+    assert not tbaa_compatible(INT, FLOAT)
+    assert tbaa_compatible(ptr(INT), ptr(ptr(FLOAT)))
+
+
+def test_same_shape_shares_vvar():
+    src = (
+        "int f(int *p) { return *p + *p; }"
+        "void main() { }"
+    )
+    module, fn, info = classify(src, fn="f")
+    l1, l2 = loads_of(fn)
+    assert info.for_load(l1).vvar is info.for_load(l2).vvar
+
+
+def test_different_shape_same_class_distinct_vvars_cross_chi():
+    src = (
+        "void f(int *p, int *q) { int x; x = *p; *q = 1; x = *p; }"
+        "void main() { int a[4]; f(a, a); }"
+    )
+    module, fn, info = classify(src, fn="f")
+    (store,) = stores_of(fn)
+    loads = loads_of(fn)
+    load_vvar = info.for_load(loads[0]).vvar
+    store_site = info.for_store(store)
+    assert store_site.vvar is not load_vvar
+    assert load_vvar in store_site.other_vvars  # cross-shape may-update
+
+
+def test_tbaa_filters_cross_vvars():
+    # int store cannot alias double loads even in one Steensgaard class.
+    src = (
+        "void f(int *p, double *q) { double d; d = *q; *p = 1; d = *q; }"
+        "void main() { int a[4]; f(a, a); }"
+    )
+    module, fn, info = classify(src, fn="f")
+    (store,) = stores_of(fn)
+    loads = loads_of(fn)
+    q_vvar = info.for_load(loads[0]).vvar
+    assert q_vvar not in info.for_store(store).other_vvars
+
+
+def test_address_taken_scalar_in_chi_list():
+    src = (
+        "void main() { int a; int *p; p = &a; *p = 1; print(a); }"
+    )
+    module, fn, info = classify(src)
+    (store,) = stores_of(fn)
+    names = [s.name for s in info.for_store(store).real_vars]
+    assert names == ["a"]
+
+
+def test_non_address_taken_not_in_lists():
+    src = (
+        "void main() { int a; int b; int *p; p = &a; *p = 1; print(b); }"
+    )
+    module, fn, info = classify(src)
+    (store,) = stores_of(fn)
+    names = [s.name for s in info.for_store(store).real_vars]
+    assert "b" not in names
+
+
+def test_call_lists_include_globals_and_escaped():
+    src = (
+        "int g;"
+        "void f(int *p) { *p = 1; }"
+        "void main() { int x; int y; f(&x); print(y); g = 2; }"
+    )
+    module, fn, info = classify(src)
+    call_names = {s.name for s in info.call_chi}
+    assert "g" in call_names
+    assert "x" in call_names        # escapes via &x argument
+    assert "y" not in call_names    # never address-taken
+
+
+def test_local_not_escaping_excluded_from_call_lists():
+    src = (
+        "void f(int *p) { *p = 1; }"
+        "void main() { int x; int z; int *q; q = &z; *q = 3;"
+        " f(&x); print(z); }"
+    )
+    module, fn, info = classify(src)
+    call_names = {s.name for s in info.call_chi}
+    assert "x" in call_names
+    assert "z" not in call_names  # address-taken but never escapes
+
+
+def test_vvar_has_class_and_shape_registered():
+    src = "int f(int *p) { return *p; } void main() { }"
+    module, fn, info = classify(src, fn="f")
+    (load,) = loads_of(fn)
+    vvar = info.for_load(load).vvar
+    assert vvar in info.vvars
+    assert info.vvar_class[vvar] is not None
+    assert info.vvar_shape[vvar][0] == "var"
+
+
+def test_without_tbaa_cross_type_vvars_link():
+    src = (
+        "void f(int *p, double *q) { double d; d = *q; *p = 1; }"
+        "void main() { int a[4]; f(a, a); }"
+    )
+    module, fn, info = classify(src, fn="f", use_tbaa=False)
+    (store,) = stores_of(fn)
+    (load,) = loads_of(fn)
+    assert info.for_load(load).vvar in info.for_store(store).other_vvars

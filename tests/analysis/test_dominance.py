@@ -1,0 +1,103 @@
+"""Unit tests for dominator tree / dominance frontiers."""
+
+from repro.analysis import DominatorTree
+from repro.ir import INT, FunctionBuilder
+
+
+def build_diamond():
+    b = FunctionBuilder("f", [("c", INT)])
+    x = b.local("x", INT)
+    then_b, else_b, join = (b.new_block(n) for n in ("then", "else", "join"))
+    b.branch(b.read(b.params["c"]), then_b, else_b)
+    b.set_block(then_b); b.assign(x, 1); b.jump(join)
+    b.set_block(else_b); b.assign(x, 2); b.jump(join)
+    b.set_block(join); b.ret()
+    return b.done()
+
+
+def build_loop():
+    """entry -> cond <-> body ; cond -> exit"""
+    b = FunctionBuilder("g", [("n", INT)])
+    i = b.local("i", INT)
+    b.assign(i, 0)
+    cond, body, exit_b = (b.new_block(n) for n in ("cond", "body", "exit"))
+    b.jump(cond)
+    b.set_block(cond)
+    b.branch(b.lt(i, b.params["n"]), body, exit_b)
+    b.set_block(body)
+    b.assign(i, b.add(i, 1))
+    b.jump(cond)
+    b.set_block(exit_b)
+    b.ret()
+    return b.done()
+
+
+def blocks_by_name(fn):
+    return {blk.name: blk for blk in fn.blocks}
+
+
+def test_diamond_idoms():
+    fn = build_diamond()
+    dom = DominatorTree(fn)
+    bb = blocks_by_name(fn)
+    entry = fn.entry
+    assert dom.idom[entry] is None
+    for name in ("then0", "then1", "else1", "else2", "join3"):
+        if name in bb:
+            assert dom.idom[bb[name]] is entry
+
+
+def test_diamond_dominates_queries():
+    fn = build_diamond()
+    dom = DominatorTree(fn)
+    bb = blocks_by_name(fn)
+    join = next(b for n, b in bb.items() if n.startswith("join"))
+    then_b = next(b for n, b in bb.items() if n.startswith("then"))
+    assert dom.dominates(fn.entry, join)
+    assert dom.dominates(fn.entry, fn.entry)
+    assert not dom.dominates(then_b, join)
+    assert not dom.strictly_dominates(fn.entry, fn.entry)
+
+
+def test_diamond_frontier_is_join():
+    fn = build_diamond()
+    dom = DominatorTree(fn)
+    bb = blocks_by_name(fn)
+    join = next(b for n, b in bb.items() if n.startswith("join"))
+    then_b = next(b for n, b in bb.items() if n.startswith("then"))
+    else_b = next(b for n, b in bb.items() if n.startswith("else"))
+    assert dom.frontier[then_b] == {join}
+    assert dom.frontier[else_b] == {join}
+    assert dom.frontier[fn.entry] == set()
+
+
+def test_loop_header_in_own_frontier():
+    fn = build_loop()
+    dom = DominatorTree(fn)
+    bb = blocks_by_name(fn)
+    cond = next(b for n, b in bb.items() if n.startswith("cond"))
+    body = next(b for n, b in bb.items() if n.startswith("body"))
+    assert cond in dom.frontier[body]
+    assert cond in dom.frontier[cond]  # self-frontier through the back edge
+
+
+def test_iterated_frontier_closure():
+    fn = build_loop()
+    dom = DominatorTree(fn)
+    bb = blocks_by_name(fn)
+    body = next(b for n, b in bb.items() if n.startswith("body"))
+    cond = next(b for n, b in bb.items() if n.startswith("cond"))
+    assert dom.iterated_frontier([body]) == {cond}
+
+
+def test_preorder_starts_at_entry_and_covers_all():
+    fn = build_loop()
+    dom = DominatorTree(fn)
+    pre = dom.preorder()
+    assert pre[0] is fn.entry
+    assert set(pre) == set(fn.blocks)
+    # parent precedes child in preorder
+    pos = {b: i for i, b in enumerate(pre)}
+    for child, parent in dom.idom.items():
+        if parent is not None:
+            assert pos[parent] < pos[child]

@@ -1,0 +1,102 @@
+"""Property tests: our dominator computation vs networkx's, on random
+CFGs and on CFGs of random generated programs."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import DominatorTree
+from repro.ir import INT, FunctionBuilder, Jump, CondBr, Return
+from repro.lang import compile_source
+from repro.workloads.fuzz import random_program
+
+
+def random_cfg(seed: int, n_blocks: int = 8):
+    """Build a random (reducible or not) CFG function."""
+    rng = random.Random(seed)
+    b = FunctionBuilder("f", [("c", INT)])
+    blocks = [b.fn.entry] + [b.new_block(f"n{i}")
+                             for i in range(n_blocks - 1)]
+    cond = b.read(b.params["c"])
+    for i, block in enumerate(blocks):
+        choice = rng.random()
+        later = blocks[i + 1:] if i + 1 < len(blocks) else []
+        anywhere = blocks  # allow back edges
+        if not later or choice < 0.2:
+            block.terminator = Return(None)
+        elif choice < 0.6:
+            block.terminator = Jump(rng.choice(later))
+        else:
+            t = rng.choice(anywhere)
+            e = rng.choice(later)
+            block.terminator = CondBr(cond, t, e)
+    b.fn.compute_cfg()
+    return b.fn
+
+
+def nx_idoms(fn):
+    graph = nx.DiGraph()
+    graph.add_node(fn.entry.uid)
+    for block in fn.blocks:
+        for succ in block.successors():
+            graph.add_edge(block.uid, succ.uid)
+    return nx.immediate_dominators(graph, fn.entry.uid)
+
+
+def check_against_networkx(fn):
+    dom = DominatorTree(fn)
+    expected = nx_idoms(fn)
+    for block in fn.blocks:
+        ours = dom.idom[block]
+        if block is fn.entry:
+            assert ours is None
+        else:
+            theirs = expected[block.uid]
+            assert ours is not None and ours.uid == theirs, block.name
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_idoms_match_networkx_random_cfgs(seed):
+    fn = random_cfg(seed, n_blocks=4 + seed % 9)
+    check_against_networkx(fn)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_idoms_match_networkx_generated_programs(seed):
+    module = compile_source(random_program(seed % 60, max_stmts=8))
+    for fn in module.functions.values():
+        check_against_networkx(fn)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_dominance_frontier_definition(seed):
+    """DF(b) = {y : b dominates a pred of y, b does not strictly
+    dominate y} — checked against the definition directly."""
+    fn = random_cfg(seed, n_blocks=7)
+    dom = DominatorTree(fn)
+    for b in fn.blocks:
+        expected = set()
+        for y in fn.blocks:
+            if any(dom.dominates(b, p) for p in y.preds) \
+                    and not dom.strictly_dominates(b, y):
+                expected.add(y)
+        assert dom.frontier[b] == expected, b.name
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_dominates_is_partial_order(seed):
+    fn = random_cfg(seed + 100, n_blocks=6)
+    dom = DominatorTree(fn)
+    blocks = fn.blocks
+    for a in blocks:
+        assert dom.dominates(a, a)  # reflexive
+        for b in blocks:
+            if dom.dominates(a, b) and dom.dominates(b, a):
+                assert a is b  # antisymmetric
+            for c in blocks:
+                if dom.dominates(a, b) and dom.dominates(b, c):
+                    assert dom.dominates(a, c)  # transitive

@@ -1,0 +1,65 @@
+"""Unit tests for natural-loop detection."""
+
+from repro.analysis import LoopForest
+from repro.lang import compile_source
+
+
+def loops_of(src, fn="main"):
+    module = compile_source(src)
+    return LoopForest(module.functions[fn])
+
+
+def test_single_loop():
+    forest = loops_of(
+        "void main() { int i; for (i = 0; i < 4; i = i + 1) { print(i); } }"
+    )
+    assert len(forest.loops) == 1
+    loop = forest.loops[0]
+    assert loop.header.name.startswith("for_cond")
+    assert loop.depth == 1
+
+
+def test_no_loops_in_straightline():
+    forest = loops_of("void main() { print(1); }")
+    assert forest.loops == []
+
+
+def test_nested_loops_depth_and_parent():
+    forest = loops_of(
+        "void main() { int i; int j;"
+        " for (i = 0; i < 3; i = i + 1) {"
+        "   for (j = 0; j < 3; j = j + 1) { print(j); }"
+        " } }"
+    )
+    assert len(forest.loops) == 2
+    inner = min(forest.loops, key=lambda l: len(l.blocks))
+    outer = max(forest.loops, key=lambda l: len(l.blocks))
+    assert inner.parent is outer
+    assert outer.parent is None
+    assert inner.depth == 2
+    assert inner.blocks < outer.blocks
+
+
+def test_innermost_maps_body_to_inner_loop():
+    forest = loops_of(
+        "void main() { int i; int j; int s; s = 0;"
+        " for (i = 0; i < 3; i = i + 1) {"
+        "   for (j = 0; j < 3; j = j + 1) { s = s + j; }"
+        "   s = s + i;"
+        " } print(s); }"
+    )
+    inner = min(forest.loops, key=lambda l: len(l.blocks))
+    body = next(b for b in inner.blocks if b.name.startswith("for_body")
+                and b in inner.blocks and forest.innermost(b) is inner)
+    assert forest.loop_depth(body) == 2
+    entry = forest.fn.entry
+    assert forest.innermost(entry) is None
+    assert forest.loop_depth(entry) == 0
+
+
+def test_while_loop_detected():
+    forest = loops_of(
+        "void main() { int i; i = 0; while (i < 5) { i = i + 1; } }"
+    )
+    assert len(forest.loops) == 1
+    assert forest.loops[0].header.name.startswith("while_cond")

@@ -1,0 +1,122 @@
+"""Unit tests for interprocedural mod/ref summaries."""
+
+import pytest
+
+from repro.analysis import compute_modref
+from repro.core import SpecConfig
+from repro.lang import compile_source
+from repro.pipeline import compile_and_run, compile_program
+
+
+def summaries(src):
+    return compute_modref(compile_source(src))
+
+
+def globals_by_name(module):
+    return {g.name: g for g in module.globals}
+
+
+def test_direct_global_mod_and_ref():
+    src = (
+        "int g; int h;"
+        "void f() { g = h + 1; }"
+        "void main() { f(); print(g); }"
+    )
+    module = compile_source(src)
+    s = compute_modref(module)["f"]
+    names_mod = {x.name for x in s.mod_globals}
+    names_ref = {x.name for x in s.ref_globals}
+    assert names_mod == {"g"}
+    assert names_ref == {"h"}
+    assert not s.touches_memory_mod
+
+
+def test_transitive_effects_through_calls():
+    src = (
+        "int g;"
+        "void inner() { g = 1; }"
+        "void outer() { inner(); }"
+        "void main() { outer(); print(g); }"
+    )
+    s = summaries(src)
+    assert {x.name for x in s["outer"].mod_globals} == {"g"}
+    assert {x.name for x in s["main"].mod_globals} == {"g"}
+
+
+def test_recursion_converges():
+    src = (
+        "int g;"
+        "int f(int n) { if (n == 0) { return g; } g = n; return f(n - 1); }"
+        "void main() { print(f(3)); }"
+    )
+    s = summaries(src)
+    assert {x.name for x in s["f"].mod_globals} == {"g"}
+    assert {x.name for x in s["f"].ref_globals} == {"g"}
+
+
+def test_store_sets_memory_flag():
+    src = (
+        "void f(int *p) { *p = 1; }"
+        "void g() { }"
+        "void main() { int a[2]; f(a); g(); print(a[0]); }"
+    )
+    s = summaries(src)
+    assert s["f"].touches_memory_mod
+    assert not s["g"].touches_memory_mod
+    assert not s["g"].touches_memory_ref
+
+
+def test_pure_function_summary_empty():
+    src = (
+        "int sq(int x) { return x * x; }"
+        "void main() { print(sq(4)); }"
+    )
+    s = summaries(src)["sq"]
+    assert not s.mod_globals and not s.ref_globals
+    assert not s.touches_memory_mod and not s.touches_memory_ref
+
+
+def test_modref_enables_promotion_across_pure_call():
+    """The base (no data speculation!) can now keep g in a register
+    across a call that provably never touches it."""
+    src = (
+        "int g;"
+        "int sq(int x) { return x * x; }"
+        "void main() { int a; int b; g = 5;"
+        " a = g; b = sq(2); a = a + g; print(a + b); }"
+    )
+    cfg = SpecConfig.base()
+    compiled = compile_program(src, cfg)
+    ops = [i.op for blk in compiled.program.functions["main"].blocks
+           for i in blk.instrs]
+    assert ops.count("ld") == 1  # second g read promoted, no check needed
+    result = compile_and_run(src, cfg)
+    assert result.output == result.expected == ["14"]
+
+
+def test_modref_disabled_blocks_promotion():
+    src = (
+        "int g;"
+        "int sq(int x) { return x * x; }"
+        "void main() { int a; int b; g = 5;"
+        " a = g; b = sq(2); a = a + g; print(a + b); }"
+    )
+    cfg = SpecConfig.base().but(interprocedural_modref=False)
+    compiled = compile_program(src, cfg)
+    ops = [i.op for blk in compiled.program.functions["main"].blocks
+           for i in blk.instrs]
+    assert ops.count("ld") == 2  # conservative: the call kills g
+    result = compile_and_run(src, cfg)
+    assert result.output == result.expected
+
+
+def test_modref_never_unsafe_on_fuzz_programs():
+    from repro.workloads.fuzz import random_program
+
+    for seed in range(8):
+        src = random_program(seed, max_stmts=8)
+        on = compile_and_run(src, SpecConfig.base(), fuel=2_000_000)
+        off = compile_and_run(
+            src, SpecConfig.base().but(interprocedural_modref=False),
+            fuel=2_000_000)
+        assert on.output == off.output == on.expected

@@ -1,0 +1,137 @@
+"""Unit tests for the Steensgaard points-to analysis."""
+
+from repro.analysis import HeapLoc, Steensgaard
+from repro.ir import Load, Store, VarRead
+from repro.lang import compile_source
+
+
+def analyze(src):
+    module = compile_source(src)
+    return module, Steensgaard(module)
+
+
+def find_local(module, fn, name):
+    f = module.functions[fn]
+    for sym in f.params + f.locals:
+        if sym.name == name:
+            return sym
+    raise AssertionError(name)
+
+
+def addr_of_store(module, fn="main", index=0):
+    stores = [s for _, s in module.functions[fn].statements()
+              if isinstance(s, Store)]
+    return stores[index].addr
+
+
+def test_two_pointers_same_target_unified():
+    m, st = analyze(
+        "void main() { int x; int *p; int *q; p = &x; q = p; *q = 1; }"
+    )
+    x = find_local(m, "main", "x")
+    q_addr = addr_of_store(m)
+    assert x in st.locations(st.class_of_address(q_addr))
+
+
+def test_distinct_targets_not_aliased():
+    m, st = analyze(
+        "void main() { int x; int y; int *p; int *q;"
+        " p = &x; q = &y; *p = 1; *q = 2; }"
+    )
+    a0 = addr_of_store(m, index=0)
+    a1 = addr_of_store(m, index=1)
+    assert not st.may_alias(a0, a1)
+
+
+def test_conditional_assignment_unifies():
+    m, st = analyze(
+        "void main() { int x; int y; int *p;"
+        " if (x) { p = &x; } else { p = &y; } *p = 1; }"
+    )
+    x = find_local(m, "main", "x")
+    y = find_local(m, "main", "y")
+    locs = st.locations(st.class_of_address(addr_of_store(m)))
+    assert x in locs and y in locs
+
+
+def test_heap_location_named_by_site():
+    m, st = analyze("void main() { int *p; p = alloc(8); *p = 1; }")
+    locs = st.locations(st.class_of_address(addr_of_store(m)))
+    assert any(isinstance(l, HeapLoc) for l in locs)
+
+
+def test_distinct_alloc_sites_distinct_classes():
+    m, st = analyze(
+        "void main() { int *p; int *q; p = alloc(8); q = alloc(8);"
+        " *p = 1; *q = 2; }"
+    )
+    assert not st.may_alias(addr_of_store(m, index=0),
+                            addr_of_store(m, index=1))
+
+
+def test_store_through_pointer_links_contents():
+    # **h = &x; then *(*h) aliases x
+    m, st = analyze(
+        "void main() { int x; int **h; int *p; h = alloc(1);"
+        " *h = &x; p = *h; *p = 5; }"
+    )
+    x = find_local(m, "main", "x")
+    locs = st.locations(st.class_of_address(addr_of_store(m, index=1)))
+    assert x in locs
+
+
+def test_interprocedural_param_flow():
+    m, st = analyze(
+        "void f(int *p) { *p = 1; }"
+        "void main() { int x; f(&x); }"
+    )
+    x = find_local(m, "main", "x")
+    locs = st.locations(st.class_of_address(addr_of_store(m, fn="f")))
+    assert x in locs
+
+
+def test_interprocedural_return_flow():
+    m, st = analyze(
+        "int *id(int *p) { return p; }"
+        "void main() { int x; int *q; q = id(&x); *q = 1; }"
+    )
+    x = find_local(m, "main", "x")
+    locs = st.locations(st.class_of_address(addr_of_store(m)))
+    assert x in locs
+
+
+def test_pointer_arithmetic_stays_in_class():
+    m, st = analyze(
+        "void main() { double *p; double *q; p = alloc(10);"
+        " q = p + 4; *q = 1.0; }"
+    )
+    a = addr_of_store(m)
+    p = find_local(m, "main", "p")
+    assert st.may_alias(a, VarRead(p))  # q+0 cells alias p's object
+
+
+def test_array_decay_points_to_array():
+    m, st = analyze(
+        "double a[10]; void main() { double *p; p = a; *p = 1.0; }"
+    )
+    a_sym = m.globals[0]
+    locs = st.locations(st.class_of_address(addr_of_store(m)))
+    assert a_sym in locs
+
+
+def test_non_pointer_has_no_class():
+    m, st = analyze("void main() { int x; x = 1; }")
+    from repro.ir import Const, INT
+    assert st.class_of_address(Const(5, INT)) is None
+    assert st.locations(None) == set()
+
+
+def test_globals_reachable_interprocedurally():
+    m, st = analyze(
+        "int g; int *gp;"
+        "void set() { gp = &g; }"
+        "void main() { set(); *gp = 3; }"
+    )
+    g = m.globals[0]
+    locs = st.locations(st.class_of_address(addr_of_store(m, fn="main")))
+    assert g in locs

@@ -1,0 +1,68 @@
+"""Shared helpers for SSAPRE tests."""
+
+import pytest
+
+from repro.analysis import AliasClassifier
+from repro.core import SpecConfig, optimize_function
+from repro.ir import split_module_critical_edges
+from repro.lang import compile_source
+from repro.profiling import (collect_alias_profile, collect_edge_profile,
+                             run_module)
+from repro.ssa import SpecMode, build_ssa, flagger_for, lower_module
+
+
+def optimize_source(src, config=None, dump=False):
+    """Compile, profile (if needed), optimize, and check semantics.
+
+    Returns (lowered module, per-function stats dict, output lines).
+    """
+    config = config or SpecConfig.base()
+    module = compile_source(src)
+    expected = run_module(module)
+    alias_profile = (collect_alias_profile(module)
+                     if config.needs_alias_profile else None)
+    edge_profile = (collect_edge_profile(module)
+                    if config.use_edge_profile else None)
+    split_module_critical_edges(module)
+    classifier = AliasClassifier(module, use_tbaa=config.use_tbaa)
+    flagger = flagger_for(config.mode, alias_profile)
+    stats = {}
+    ssa_fns = []
+    for fn in module.functions.values():
+        ssa = build_ssa(module, fn, classifier, flagger=flagger)
+        stats[fn.name] = optimize_function(ssa, config,
+                                           edge_profile=edge_profile)
+        ssa_fns.append(ssa)
+        if dump:
+            from repro.ssa import format_ssa
+
+            print(format_ssa(ssa))
+    lowered = lower_module(module, ssa_fns)
+    got = run_module(lowered)
+    assert got == expected, f"semantics changed: {got} != {expected}"
+    return lowered, stats, got
+
+
+def count_loads(module, fn_name=None):
+    """Static count of load expressions + memory-resident scalar reads."""
+    from repro.ir import Load, VarRead, StorageKind
+
+    def is_mem_read(node):
+        if isinstance(node, Load):
+            return True
+        if isinstance(node, VarRead):
+            sym = node.sym
+            return ((sym.kind is StorageKind.GLOBAL or sym.address_taken)
+                    and not sym.is_array)
+        return False
+
+    total = 0
+    fns = ([module.functions[fn_name]] if fn_name
+           else module.functions.values())
+    for fn in fns:
+        for _, stmt in fn.statements():
+            total += sum(1 for e in stmt.walk_exprs() if is_mem_read(e))
+        for _, term in fn.terminators():
+            for top in term.exprs():
+                total += sum(1 for e in top.walk() if is_mem_read(e))
+    return total

@@ -1,0 +1,233 @@
+"""Unit tests for SSAPRE engine internals: lexical keys, occurrence
+collection, version chasing, and Φ-insertion mechanics."""
+
+import pytest
+
+from repro.analysis import AliasClassifier
+from repro.core import PREContext, SSAPRE, collect_expr_classes, lexical_key
+from repro.core.occurrences import LeftOcc, RealOcc, leaf_versions
+from repro.ir import split_module_critical_edges
+from repro.lang import compile_source
+from repro.profiling import collect_alias_profile
+from repro.ssa import SpecMode, build_ssa, flagger_for
+
+
+def ssa_of(src, fn="main", mode=SpecMode.OFF, profile_inputs=None):
+    module = compile_source(src)
+    profile = None
+    if mode is SpecMode.PROFILE:
+        profile = collect_alias_profile(module,
+                                        inputs=profile_inputs or [])
+    split_module_critical_edges(module)
+    classifier = AliasClassifier(module)
+    return build_ssa(module, module.functions[fn], classifier,
+                     flagger=flagger_for(mode, profile))
+
+
+# ---- lexical keys ----------------------------------------------------------
+
+
+def test_lexical_key_ignores_versions():
+    ssa = ssa_of(
+        "void main() { int a; int x; a = 1; x = a + 2; a = 3;"
+        " x = a + 2; print(x); }"
+    )
+    classes = collect_expr_classes(ssa, "arith")
+    add_classes = [ec for ec in classes if ec.key[1] == "+"
+                   and len(ec.real_occs) == 2]
+    assert add_classes, "both a+2 occurrences must share one class"
+
+
+def test_lexical_key_distinguishes_ops_and_order():
+    ssa = ssa_of(
+        "void main() { int a; int b; a = 1; b = 2;"
+        " print(a + b); print(a - b); print(b + a); }"
+    )
+    classes = collect_expr_classes(ssa, "arith")
+    keys = {ec.key for ec in classes}
+    assert len(keys) == 3  # a+b, a-b, b+a all distinct lexically
+
+
+def test_load_key_includes_vvar():
+    src = (
+        "void f(int *p, double *q) { print(*p); print(*q); }"
+        "void main() { int a[2]; double b[2]; f(a, b); }"
+    )
+    ssa = ssa_of(src, fn="f")
+    classes = collect_expr_classes(ssa, "load")
+    load_keys = [ec.key for ec in classes if ec.key[0] == "load"]
+    assert len(set(load_keys)) == 2
+
+
+# ---- occurrence collection ---------------------------------------------------
+
+
+def test_collection_orders_by_dominator_preorder():
+    ssa = ssa_of(
+        "void f(int *p) { int x; x = *p; if (x) { x = *p; } print(x); }"
+        "void main() { int a[2]; f(a); }",
+        fn="f",
+    )
+    classes = collect_expr_classes(ssa, "load")
+    (ec,) = [e for e in classes if e.key[0] == "load"]
+    assert len(ec.real_occs) == 2
+    assert ec.real_occs[0].seq < ec.real_occs[1].seq
+
+
+def test_stores_collected_as_left_occurrences():
+    ssa = ssa_of(
+        "void f(int *p) { *p = 3; print(*p); }"
+        "void main() { int a[2]; f(a); }",
+        fn="f",
+    )
+    classes = collect_expr_classes(ssa, "load", include_stores=True)
+    (ec,) = [e for e in classes if e.key[0] == "load"]
+    assert len(ec.left_occs) == 1
+    assert ec.left_occs[0].forwardable  # stored value is a constant
+
+
+def test_store_only_shapes_dropped():
+    ssa = ssa_of(
+        "void f(int *p) { *p = 3; }"
+        "void main() { int a[2]; f(a); print(a[0]); }",
+        fn="f",
+    )
+    classes = collect_expr_classes(ssa, "load", include_stores=True)
+    assert all(ec.real_occs for ec in classes)
+
+
+def test_include_stores_false_has_no_lefts():
+    ssa = ssa_of(
+        "void f(int *p) { *p = 3; print(*p); }"
+        "void main() { int a[2]; f(a); }",
+        fn="f",
+    )
+    classes = collect_expr_classes(ssa, "load", include_stores=False)
+    assert all(not ec.left_occs for ec in classes)
+
+
+def test_constant_expressions_are_candidates():
+    ssa = ssa_of("void main() { int a[4]; print(a[3]); print(a[3]); }")
+    classes = collect_expr_classes(ssa, "arith")
+    const_addr = [ec for ec in classes if ec.key[0] == "bin"
+                  and ec.key[3][0] == "const"]
+    assert const_addr  # (&a + 3) is a zero-leaf class
+
+
+# ---- version chasing -----------------------------------------------------------
+
+
+def test_chase_skips_unlikely_chi_chain():
+    src = (
+        "void f(int *p, int *q) { int x; x = *p; *q = 1; *q = 2;"
+        " x = x + *p; print(x); }"
+        "void main() { int a[4]; int b[4]; int c; c = 0;"
+        " if (c) { f(a, a); } f(a, b); }"
+    )
+    module = compile_source(src)
+    profile = collect_alias_profile(module)
+    split_module_critical_edges(module)
+    classifier = AliasClassifier(module)
+    ssa = build_ssa(module, module.functions["f"], classifier,
+                    flagger=flagger_for(SpecMode.PROFILE, profile))
+    ctx = PREContext(ssa)
+    classes = collect_expr_classes(ssa, "load", include_stores=False)
+    (ec,) = [e for e in classes if e.key[0] == "load"
+             and len(e.real_occs) == 2]
+    pre = SSAPRE(ctx, ec, allow_data_speculation=True)
+    pre.insert_phis()
+    pre.rename()
+    occ1, occ2 = ec.real_occs
+    assert occ1.cls == occ2.cls
+    assert occ2.speculative  # matched only by skipping TWO weak updates
+
+
+def test_chase_blocked_without_data_speculation():
+    src = (
+        "void f(int *p, int *q) { int x; x = *p; *q = 1;"
+        " x = x + *p; print(x); }"
+        "void main() { int a[4]; int b[4]; int c; c = 0;"
+        " if (c) { f(a, a); } f(a, b); }"
+    )
+    module = compile_source(src)
+    profile = collect_alias_profile(module)
+    split_module_critical_edges(module)
+    classifier = AliasClassifier(module)
+    ssa = build_ssa(module, module.functions["f"], classifier,
+                    flagger=flagger_for(SpecMode.PROFILE, profile))
+    ctx = PREContext(ssa)
+    classes = collect_expr_classes(ssa, "load", include_stores=False)
+    (ec,) = [e for e in classes if e.key[0] == "load"
+             and len(e.real_occs) == 2]
+    pre = SSAPRE(ctx, ec, allow_data_speculation=False)
+    pre.insert_phis()
+    pre.rename()
+    occ1, occ2 = ec.real_occs
+    assert occ1.cls != occ2.cls  # likely χ kills without speculation
+
+
+def test_likely_chi_blocks_chase_even_with_speculation():
+    """A χs (flagged) update is binding: renaming must not skip it."""
+    src = (
+        "void f(int *p, int *q) { int x; x = *p; *q = 1;"
+        " x = x + *p; print(x); }"
+        "void main() { int a[4]; f(a, a); }"   # really aliases: profiled
+    )
+    module = compile_source(src)
+    profile = collect_alias_profile(module)
+    split_module_critical_edges(module)
+    classifier = AliasClassifier(module)
+    ssa = build_ssa(module, module.functions["f"], classifier,
+                    flagger=flagger_for(SpecMode.PROFILE, profile))
+    ctx = PREContext(ssa)
+    classes = collect_expr_classes(ssa, "load", include_stores=False)
+    (ec,) = [e for e in classes if e.key[0] == "load"
+             and len(e.real_occs) == 2]
+    pre = SSAPRE(ctx, ec, allow_data_speculation=True)
+    pre.insert_phis()
+    pre.rename()
+    occ1, occ2 = ec.real_occs
+    assert occ1.cls != occ2.cls
+
+
+# ---- Appendix A Φ-insertion --------------------------------------------------
+
+
+def test_phi_inserted_through_weak_update(mode=SpecMode.PROFILE):
+    """Figure 6's premise: the Φ exists at the merge even though the only
+    path to the second occurrence crosses a (weak) χ."""
+    src = (
+        "void main() { int a; int b; int x; int *p; int c; c = 0;"
+        " if (c) { p = &a; } else { p = &b; }"
+        " a = 7; x = a;"
+        " if (c) { *p = 1; }"
+        " *p = 2;"
+        " x = x + a; print(x + b); }"
+    )
+    module = compile_source(src)
+    profile = collect_alias_profile(module)
+    split_module_critical_edges(module)
+    classifier = AliasClassifier(module)
+    ssa = build_ssa(module, module.functions["main"], classifier,
+                    flagger=flagger_for(SpecMode.PROFILE, profile))
+    ctx = PREContext(ssa)
+    classes = collect_expr_classes(ssa, "load", include_stores=False)
+    a_classes = [ec for ec in classes if ec.key[0] == "var"]
+    assert a_classes
+    for ec in a_classes:
+        pre = SSAPRE(ctx, ec)
+        pre.insert_phis()
+        if len(ec.real_occs) == 2:
+            assert ec.phis  # merge Φ placed despite the killing store
+
+
+def test_leaf_versions_includes_vvar():
+    ssa = ssa_of(
+        "void f(int *p) { print(*p); }"
+        "void main() { int a[2]; f(a); }",
+        fn="f",
+    )
+    classes = collect_expr_classes(ssa, "load")
+    (ec,) = [e for e in classes if e.key[0] == "load"]
+    versions = leaf_versions(ec.real_occs[0].node)
+    assert any(s.is_virtual for s in versions)

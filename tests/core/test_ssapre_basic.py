@@ -1,0 +1,171 @@
+"""Unit tests for classical (non-speculative) SSAPRE behaviour."""
+
+import pytest
+
+from repro.core import SpecConfig
+from repro.ir import Assign, Load
+
+from .conftest import count_loads, optimize_source
+
+
+def spec_kinds(module, fn="main"):
+    return [s.spec_kind for _, s in module.functions[fn].statements()
+            if isinstance(s, Assign) and s.spec_kind]
+
+
+def test_full_redundancy_same_block():
+    src = (
+        "void f(int *p) { int x; int y; x = *p; y = *p; print(x + y); }"
+        "void main() { int a[2]; a[0] = 3; f(a); }"
+    )
+    lowered, stats, _ = optimize_source(src)
+    assert count_loads(lowered, "f") == 1
+    assert stats["f"].promotion.reloads >= 1
+
+
+def test_arith_redundancy():
+    src = (
+        "void main() { int a; int b; a = 3; b = 4;"
+        " print(a * b); print(a * b); }"
+    )
+    lowered, stats, _ = optimize_source(src)
+    assert stats["main"].epre.reloads >= 1
+
+
+def test_partial_redundancy_insertion_diamond():
+    # E computed on one path and after the join: PRE inserts on the other
+    # path, making the join computation fully redundant.
+    src = (
+        "void main() { int a; int b; int c; int x; a = 3; b = 4; c = 1;"
+        " x = 0;"
+        " if (c) { x = a * b; } else { x = 2; }"
+        " print(x + a * b); }"
+    )
+    lowered, stats, _ = optimize_source(src)
+    assert stats["main"].epre.insertions >= 1
+    assert stats["main"].epre.reloads >= 1
+
+
+def test_no_insertion_when_not_downsafe_without_speculation():
+    # E only on one branch, never after the join: insertion on the other
+    # path would be pure loss; DownSafety must prevent it.
+    src = (
+        "void main() { int a; int b; int c; a = 3; b = 4; c = 0;"
+        " if (c) { print(a * b); } else { print(7); } }"
+    )
+    cfg = SpecConfig.base().but(control_speculation=False)
+    lowered, stats, _ = optimize_source(src, cfg)
+    assert stats["main"].epre.insertions == 0
+
+
+def test_loop_invariant_load_hoisted():
+    src = (
+        "void main() {"
+        " double *v; int i; double s; v = alloc(4); v[2] = 2.5; s = 0.0;"
+        " for (i = 0; i < 10; i = i + 1) { s = s + v[2]; }"
+        " print(s); }"
+    )
+    lowered, stats, _ = optimize_source(src)
+    fn = lowered.functions["main"]
+    body = next(b for b in fn.blocks if b.name.startswith("for_body"))
+    body_loads = sum(
+        1 for s in body.stmts for e in s.walk_exprs()
+        if isinstance(e, Load)
+    )
+    assert body_loads == 0  # the v[2] load no longer executes per iteration
+
+
+def test_loop_invariant_not_hoisted_without_control_speculation():
+    # The loop may run zero times, so hoisting is control speculation.
+    src = (
+        "void main() {"
+        " double *v; int i; int n; double s; v = alloc(4); v[2] = 2.5;"
+        " s = 0.0; n = 10;"
+        " for (i = 0; i < n; i = i + 1) { s = s + v[2]; }"
+        " print(s); }"
+    )
+    # (store forwarding would make the value legitimately available
+    # without any speculation, so disable it for this test)
+    cfg = SpecConfig.base().but(control_speculation=False,
+                                store_forwarding=False)
+    lowered, stats, _ = optimize_source(src, cfg)
+    fn = lowered.functions["main"]
+    body = next(b for b in fn.blocks if b.name.startswith("for_body"))
+    body_loads = sum(
+        1 for s in body.stmts for e in s.walk_exprs()
+        if isinstance(e, Load)
+    )
+    assert body_loads == 1  # still loaded in the loop
+
+
+def test_store_forwarding_to_subsequent_load():
+    src = (
+        "void f(int *p, int v) { *p = v; print(*p); }"
+        "void main() { int a[2]; f(a, 42); }"
+    )
+    lowered, stats, _ = optimize_source(src)
+    assert count_loads(lowered, "f") == 0  # load replaced by forwarded reg
+
+
+def test_strength_reduction_and_lftr():
+    src = (
+        "void main() { int i; int s; s = 0;"
+        " for (i = 0; i < 8; i = i + 1) { s = s + i * 12; }"
+        " print(s); }"
+    )
+    lowered, stats, _ = optimize_source(src)
+    fn = lowered.functions["main"]
+    assert stats["main"].lftr_replacements == 1
+    # the multiply is gone from the loop body
+    from repro.ir import Bin
+
+    body = next(b for b in fn.blocks if b.name.startswith("for_body"))
+    muls = [e for s in body.stmts for e in s.walk_exprs()
+            if isinstance(e, Bin) and e.op == "*"]
+    assert muls == []
+    # the induction variable itself was retired by DCE
+    assert stats["main"].dce_removed >= 1
+
+
+def test_lftr_disabled_keeps_test():
+    src = (
+        "void main() { int i; int s; s = 0;"
+        " for (i = 0; i < 8; i = i + 1) { s = s + i * 12; }"
+        " print(s); }"
+    )
+    cfg = SpecConfig.base().but(lftr=False)
+    lowered, stats, _ = optimize_source(src, cfg)
+    assert stats["main"].lftr_replacements == 0
+
+
+def test_unoptimized_config_is_identity_for_loads():
+    src = (
+        "void f(int *p) { int x; int y; x = *p; y = *p; print(x + y); }"
+        "void main() { int a[2]; a[0] = 3; f(a); }"
+    )
+    lowered, stats, _ = optimize_source(src, SpecConfig.unoptimized())
+    assert count_loads(lowered, "f") == 2
+
+
+def test_no_checks_without_data_speculation():
+    src = (
+        "void f(int *p, int *q) { int x; x = *p; *q = 9; x = x + *p;"
+        " print(x); }"
+        "void main() { int a[8]; int b[8]; int c; c = 0;"
+        " if (c) { f(a, a); } f(a, b); }"
+    )
+    lowered, stats, _ = optimize_source(src, SpecConfig.base())
+    assert spec_kinds(lowered, "f") == []
+    assert count_loads(lowered, "f") == 2  # may-alias store blocks PRE
+
+
+def test_call_blocks_promotion_of_globals():
+    src = (
+        "int g;"
+        "void touch() { g = g + 1; }"
+        "void main() { int x; g = 5; x = g; touch(); x = x + g;"
+        " print(x); }"
+    )
+    lowered, stats, _ = optimize_source(src, SpecConfig.base())
+    # the second g read must survive (the call modifies g)
+    assert count_loads(lowered, "main") >= 2

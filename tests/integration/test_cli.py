@@ -1,0 +1,97 @@
+"""CLI tests (python -m repro …)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FIG2 = """
+void f(int *p, int *q) {
+  int x;
+  x = *p;
+  *q = 9;
+  x = x + *p;
+  print(x);
+}
+void main() {
+  int a[8]; int b[8]; int c;
+  c = input();
+  a[0] = 5;
+  if (c) { f(a, a); }
+  f(a, b);
+}
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "fig2.c"
+    path.write_text(FIG2)
+    return str(path)
+
+
+def test_run_prints_program_output(program_file, capsys):
+    rc = main(["run", program_file, "--train", "0", "--ref", "0"])
+    assert rc == 0
+    out = capsys.readouterr()
+    assert out.out.splitlines()[0] == "10"
+    assert "ld.c=1" in out.err
+
+
+def test_run_base_config(program_file, capsys):
+    rc = main(["run", program_file, "--config", "base",
+               "--train", "0", "--ref", "0"])
+    assert rc == 0
+    assert "ld.c=0" in capsys.readouterr().err
+
+
+def test_run_dump_ir(program_file, capsys):
+    rc = main(["run", program_file, "--dump-ir",
+               "--train", "0", "--ref", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[advance]" in out and "[check]" in out
+
+
+def test_compare_table(program_file, capsys):
+    rc = main(["compare", program_file, "--train", "0", "--ref", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "load_reduction_%" in out
+
+
+def test_workloads_list(capsys):
+    rc = main(["workloads", "--list"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for name in ("gzip", "equake", "mcf"):
+        assert name in out
+
+
+def test_workloads_single(capsys):
+    rc = main(["workloads", "--name", "art"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "art" in out and "load_reduction_%" in out
+
+
+def test_parser_rejects_unknown_config(program_file):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", program_file,
+                                   "--config", "bogus"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_json_output(program_file, capsys):
+    import json
+
+    rc = main(["run", program_file, "--train", "0", "--ref", "0",
+               "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["output"] == ["10"]
+    assert payload["stats"]["check_loads"] == 1
+    assert payload["stats"]["misspeculation_ratio"] == 0.0

@@ -1,0 +1,132 @@
+"""Figure 9 fidelity: the paper's smvp uses ``double ***A`` — three
+levels of indirection (``A[Anext][0][0]``).  This exercises the chained
+speculative promotion the paper's Appendix B handles with chk.a: once
+the row pointer ``A[Anext]`` is itself a checked temporary, the loads
+through it chase the check (our ``check_source`` mechanism)."""
+
+import pytest
+
+from repro.core import SpecConfig
+from repro.pipeline import compile_and_run, compile_program
+
+SMVP3 = """
+int seed;
+
+int rnd(int bound) {
+  seed = (seed * 1103 + 12849) % 65536;
+  return seed % bound;
+}
+
+void smvp3(int nodes, double ***A, int *Acol, int *Aindex,
+           double **v, double **w) {
+  int i; int Anext; int Alast; int col;
+  double sum0; double sum1;
+  for (i = 0; i < nodes; i = i + 1) {
+    Anext = Aindex[i];
+    Alast = Aindex[i + 1];
+    sum0 = 0.0; sum1 = 0.0;
+    while (Anext < Alast) {
+      col = Acol[Anext];
+      sum0 = sum0 + A[Anext][0][0] * v[col][0];
+      sum1 = sum1 + A[Anext][1][1] * v[col][1];
+      w[col][0] = w[col][0] + A[Anext][0][0] * v[i][0];
+      w[col][1] = w[col][1] + A[Anext][1][1] * v[i][1];
+      Anext = Anext + 1;
+    }
+    w[i][0] = w[i][0] + sum0;
+    w[i][1] = w[i][1] + sum1;
+  }
+}
+
+void main() {
+  int nodes; int deg; int guard; int nnz; int i; int e; int r;
+  double ***A; int *Acol; int *Aindex; double **v; double **w;
+  double *cell; double check;
+  nodes = input(); deg = input(); guard = input();
+  seed = 42;
+  nnz = nodes * deg;
+  A = alloc(nnz); Acol = alloc(nnz); Aindex = alloc(nodes + 1);
+  v = alloc(nodes); w = alloc(nodes);
+  for (e = 0; e < nnz; e = e + 1) {
+    double **rows;
+    rows = alloc(2);
+    for (r = 0; r < 2; r = r + 1) {
+      cell = alloc(2);
+      cell[0] = 0.5 + rnd(100) * 0.01;
+      cell[1] = 0.25 + rnd(100) * 0.01;
+      rows[r] = cell;
+    }
+    A[e] = rows;
+    Acol[e] = rnd(nodes);
+  }
+  for (i = 0; i <= nodes; i = i + 1) { Aindex[i] = i * deg; }
+  for (i = 0; i < nodes; i = i + 1) {
+    cell = alloc(2);
+    cell[0] = 1.0 + (i % 7) * 0.125;
+    cell[1] = 0.5;
+    v[i] = cell;
+    cell = alloc(2);
+    cell[0] = 0.0; cell[1] = 0.0;
+    w[i] = cell;
+  }
+  if (guard < 0) { smvp3(nodes, A, Acol, Aindex, w, w); }
+  smvp3(nodes, A, Acol, Aindex, v, w);
+  check = 0.0;
+  for (i = 0; i < nodes; i = i + 1) {
+    check = check + w[i][0] + w[i][1];
+  }
+  print(check);
+}
+"""
+
+TRAIN = [6, 2, 0]
+REF = [10, 3, 0]
+
+
+def instr_ops(program, fn):
+    return [i.op for blk in program.functions[fn].blocks
+            for i in blk.instrs]
+
+
+def test_three_level_smvp_correct_under_all_configs():
+    for config in (SpecConfig.base(), SpecConfig.profile(),
+                   SpecConfig.heuristic()):
+        result = compile_and_run(SMVP3, config,
+                                 train_inputs=TRAIN, ref_inputs=REF)
+        assert result.output == result.expected
+
+
+def test_three_level_chained_checks_emitted():
+    compiled = compile_program(SMVP3, SpecConfig.profile(),
+                               train_inputs=TRAIN)
+    ops = instr_ops(compiled.program, "smvp3")
+    assert ops.count("ld.c") >= 2   # chained promotion through levels
+    assert ops.count("ld.a") >= 1
+
+
+def test_three_level_speculation_reduces_loads():
+    base = compile_and_run(SMVP3, SpecConfig.base(),
+                           train_inputs=TRAIN, ref_inputs=REF)
+    spec = compile_and_run(SMVP3, SpecConfig.profile(),
+                           train_inputs=TRAIN, ref_inputs=REF)
+    assert spec.stats.memory_loads < base.stats.memory_loads
+    assert spec.stats.check_misses == 0  # no aliasing materializes
+
+
+def test_three_level_misspeculation_recovers():
+    """Force real aliasing on the ref input (w == v rows for index 0) by
+    passing overlapping structures through a different guard path."""
+    # Reuse the same kernel but alias v and w on the ref run only.
+    src = SMVP3.replace(
+        "if (guard < 0) { smvp3(nodes, A, Acol, Aindex, w, w); }\n"
+        "  smvp3(nodes, A, Acol, Aindex, v, w);",
+        "if (guard < 0) { smvp3(nodes, A, Acol, Aindex, w, w); }\n"
+        "  if (guard > 0) { smvp3(nodes, A, Acol, Aindex, w, w); }\n"
+        "  smvp3(nodes, A, Acol, Aindex, v, w);",
+    )
+    assert "guard > 0" in src
+    result = compile_and_run(src, SpecConfig.profile(),
+                             train_inputs=[6, 2, 0],
+                             ref_inputs=[6, 2, 1])
+    assert result.output == result.expected
+    assert result.stats.check_misses > 0  # the aliased call mis-speculates

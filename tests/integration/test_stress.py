@@ -1,0 +1,86 @@
+"""Stress tests: larger programs and a wider fuzz corpus.
+
+These keep the pipeline honest at sizes beyond the unit tests — deeper
+nesting, more functions, bigger loops — while staying fast enough for
+the default test run.
+"""
+
+import pytest
+
+from repro.core import SpecConfig
+from repro.pipeline import compile_and_run
+from repro.workloads.fuzz import random_program
+
+
+def test_wide_fuzz_corpus_profile_config():
+    """50 extra seeds under the headline configuration."""
+    for seed in range(100, 150):
+        result = compile_and_run(random_program(seed, max_stmts=8),
+                                 SpecConfig.profile(), fuel=2_000_000)
+        assert result.output == result.expected, seed
+
+
+def test_larger_generated_programs():
+    for seed in (7, 23, 77):
+        src = random_program(seed, max_stmts=40)
+        result = compile_and_run(src, SpecConfig.profile(),
+                                 fuel=5_000_000)
+        assert result.output == result.expected, seed
+
+
+def test_deep_call_chain():
+    layers = 12
+    parts = ["int f0(int x) { return x + 1; }"]
+    for i in range(1, layers):
+        parts.append(
+            f"int f{i}(int x) {{ return f{i - 1}(x) + {i}; }}"
+        )
+    parts.append(
+        f"void main() {{ print(f{layers - 1}(5)); }}"
+    )
+    src = "\n".join(parts)
+    result = compile_and_run(src, SpecConfig.base())
+    assert result.output == result.expected
+
+
+def test_many_expression_classes():
+    """Hundreds of distinct PRE candidates in one function."""
+    lines = ["void main() {", "  int s;", "  s = 0;"]
+    for i in range(60):
+        lines.append(f"  int a{i};")
+        lines.append(f"  a{i} = {i} + 1;")
+        lines.append(f"  s = s + a{i} * 3 + a{i} * 3;")
+    lines.append("  print(s);")
+    lines.append("}")
+    result = compile_and_run("\n".join(lines), SpecConfig.base())
+    assert result.output == result.expected
+
+
+def test_deeply_nested_loops():
+    src = (
+        "void main() { int a; int b; int c; int d; int s; s = 0;"
+        " for (a = 0; a < 3; a = a + 1) {"
+        "  for (b = 0; b < 3; b = b + 1) {"
+        "   for (c = 0; c < 3; c = c + 1) {"
+        "    for (d = 0; d < 3; d = d + 1) {"
+        "     s = s + a * 27 + b * 9 + c * 3 + d;"
+        "    } } } }"
+        " print(s); }"
+    )
+    for config in (SpecConfig.base(), SpecConfig.profile()):
+        result = compile_and_run(src, config)
+        assert result.output == result.expected
+
+
+def test_big_mcf_instance():
+    """A 4x-scaled mcf run (one config) to confirm the pipeline and the
+    simulator scale gracefully."""
+    from repro.workloads import get_workload
+    from repro.workloads.runner import run_workload
+    from dataclasses import replace
+
+    mcf = get_workload("mcf")
+    big = replace(mcf, ref_inputs=[8192, 6000, 2, 0])
+    result = run_workload(big, SpecConfig.profile())
+    assert result.output == result.expected
+    assert result.stats.memory_loads > 100_000

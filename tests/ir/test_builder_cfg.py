@@ -1,0 +1,106 @@
+"""Unit tests for the IR builder, CFG utilities and verifier."""
+
+import pytest
+
+from repro.ir import (INT, FunctionBuilder, ModuleBuilder, Return, Symbol,
+                      StorageKind, VerificationError, format_module,
+                      reverse_postorder, verify_module)
+
+
+def build_diamond():
+    """if/else diamond: entry -> (then | else) -> join."""
+    b = FunctionBuilder("f", [("c", INT)], ret_ty=INT)
+    x = b.local("x", INT)
+    then_b, else_b, join = b.new_block("then"), b.new_block("else"), b.new_block("join")
+    b.branch(b.read(b.params["c"]), then_b, else_b)
+    b.set_block(then_b)
+    b.assign(x, 1)
+    b.jump(join)
+    b.set_block(else_b)
+    b.assign(x, 2)
+    b.jump(join)
+    b.set_block(join)
+    b.ret(b.read(x))
+    return b.done(), x
+
+
+def test_diamond_cfg_edges():
+    fn, _ = build_diamond()
+    entry = fn.entry
+    assert len(entry.succs) == 2
+    join = [blk for blk in fn.blocks if blk.name.startswith("join")][0]
+    assert len(join.preds) == 2
+    assert all(entry in p.preds for p in entry.succs)
+
+
+def test_reverse_postorder_entry_first_join_last():
+    fn, _ = build_diamond()
+    order = reverse_postorder(fn.entry)
+    assert order[0] is fn.entry
+    assert order[-1].name.startswith("join")
+    assert len(order) == 4
+
+
+def test_unreachable_blocks_dropped():
+    b = FunctionBuilder("g")
+    dead = b.new_block("dead")
+    dead.terminator = Return(None)
+    b.ret()
+    fn = b.done()
+    assert dead not in fn.blocks
+
+
+def test_module_finalize_numbers_call_sites():
+    mb = ModuleBuilder()
+    f = mb.function("main")
+    p = f.local("p", INT)
+    f.call(p, "alloc", [4])
+    f.call(p, "alloc", [8])
+    f.ret()
+    f.done()
+    module = mb.done()
+    sites = [s.site_id for _, s in module.main.statements() if hasattr(s, "site_id")]
+    assert sites == [0, 1]
+
+
+def test_verifier_accepts_wellformed_module():
+    mb = ModuleBuilder()
+    g = mb.global_var("g", INT)
+    f = mb.function("main")
+    f.assign(g, 3)
+    f.emit_print(f.read(g))
+    f.ret()
+    f.done()
+    verify_module(mb.done())
+
+
+def test_verifier_rejects_undeclared_symbol():
+    mb = ModuleBuilder()
+    f = mb.function("main")
+    rogue = Symbol("rogue", INT, StorageKind.LOCAL)  # never declared
+    f.assign(rogue, 1)
+    f.ret()
+    f.done()
+    with pytest.raises(VerificationError):
+        verify_module(mb.done())
+
+
+def test_verifier_rejects_unknown_callee():
+    mb = ModuleBuilder()
+    f = mb.function("main")
+    f.call(None, "nonexistent", [])
+    f.ret()
+    f.done()
+    with pytest.raises(VerificationError):
+        verify_module(mb.done())
+
+
+def test_printer_mentions_blocks_and_stmts():
+    mb = ModuleBuilder()
+    f = mb.function("main")
+    x = f.local("x", INT)
+    f.assign(x, 42)
+    f.ret()
+    f.done()
+    text = format_module(mb.done())
+    assert "main" in text and "x = 42" in text and "entry" in text

@@ -1,0 +1,86 @@
+"""Unit tests for IR expressions and the syntax-key used by heuristics."""
+
+import pytest
+
+from repro.ir import (FLOAT, INT, AddrOf, Bin, Const, Load, StorageKind,
+                      Symbol, Un, VarRead, ptr, syntax_key)
+
+
+def sym(name, ty=INT, **kw):
+    return Symbol(name, ty, StorageKind.LOCAL, **kw)
+
+
+def test_const_types():
+    assert Const(1, INT).ty == INT
+    assert Const(1.5, FLOAT).ty == FLOAT
+
+
+def test_varread_of_array_decays_to_pointer():
+    a = sym("a", FLOAT, array_size=8)
+    assert VarRead(a).ty == ptr(FLOAT)
+    assert a.address_taken  # arrays are implicitly address-taken
+
+
+def test_varread_of_scalar():
+    x = sym("x", FLOAT)
+    assert VarRead(x).ty == FLOAT
+
+
+def test_addrof_type():
+    x = sym("x", FLOAT)
+    assert AddrOf(x).ty == ptr(FLOAT)
+
+
+def test_load_type_and_children():
+    p = sym("p", ptr(FLOAT))
+    load = Load(VarRead(p), FLOAT)
+    assert load.ty == FLOAT
+    assert load.children() == (VarRead(p),)
+
+
+def test_bin_comparison_yields_int():
+    x, y = sym("x", FLOAT), sym("y", FLOAT)
+    assert Bin("<", VarRead(x), VarRead(y)).ty == INT
+    assert Bin("+", VarRead(x), VarRead(y)).ty == FLOAT
+
+
+def test_bin_pointer_arith():
+    p = sym("p", ptr(INT))
+    e = Bin("+", VarRead(p), Const(4, INT))
+    assert e.ty == ptr(INT)
+
+
+def test_unknown_ops_rejected():
+    with pytest.raises(ValueError):
+        Bin("**", Const(1, INT), Const(2, INT))
+    with pytest.raises(ValueError):
+        Un("abs", Const(1, INT))
+
+
+def test_un_conversions():
+    assert Un("int", Const(1.0, FLOAT)).ty == INT
+    assert Un("float", Const(1, INT)).ty == FLOAT
+    assert Un("-", Const(1.0, FLOAT)).ty == FLOAT
+
+
+def test_walk_postorder():
+    x = sym("x")
+    e = Bin("+", VarRead(x), Const(1, INT))
+    nodes = list(e.walk())
+    assert nodes[-1] is e
+    assert len(nodes) == 3
+
+
+def test_syntax_key_identical_trees_match():
+    p = sym("p", ptr(INT))
+    e1 = Load(Bin("+", VarRead(p), Const(4, INT)), INT)
+    e2 = Load(Bin("+", VarRead(p), Const(4, INT)), INT)
+    assert syntax_key(e1) == syntax_key(e2)
+
+
+def test_syntax_key_distinguishes_symbols_and_shape():
+    p, q = sym("p", ptr(INT)), sym("q", ptr(INT))
+    assert syntax_key(VarRead(p)) != syntax_key(VarRead(q))
+    assert syntax_key(Load(VarRead(p), INT)) != syntax_key(VarRead(p))
+    same_name = sym("p", ptr(INT))
+    assert syntax_key(VarRead(p)) != syntax_key(VarRead(same_name))

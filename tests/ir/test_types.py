@@ -1,0 +1,57 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import FLOAT, INT, Type, common_arith_type, ptr
+
+
+def test_scalar_kinds():
+    assert INT.is_int and not INT.is_float and not INT.is_pointer
+    assert FLOAT.is_float and not FLOAT.is_int
+
+
+def test_pointer_roundtrip():
+    p = ptr(FLOAT)
+    assert p.is_pointer
+    assert p.deref() is not None
+    assert p.deref() == FLOAT
+
+
+def test_double_pointer_str():
+    assert str(ptr(ptr(FLOAT))) == "double**"
+    assert str(INT) == "int"
+    assert str(FLOAT) == "double"
+
+
+def test_deref_non_pointer_raises():
+    with pytest.raises(TypeError):
+        INT.deref()
+
+
+def test_type_equality_by_value():
+    assert ptr(INT) == ptr(INT)
+    assert ptr(INT) != ptr(FLOAT)
+    assert len({ptr(INT), ptr(INT), INT}) == 2
+
+
+def test_invalid_kind_rejected():
+    with pytest.raises(ValueError):
+        Type("short")
+    with pytest.raises(ValueError):
+        Type("ptr")  # pointee required
+    with pytest.raises(ValueError):
+        Type("int", INT)  # scalar with pointee
+
+
+def test_common_arith_type_promotion():
+    assert common_arith_type(INT, INT) == INT
+    assert common_arith_type(INT, FLOAT) == FLOAT
+    assert common_arith_type(FLOAT, INT) == FLOAT
+    assert common_arith_type(FLOAT, FLOAT) == FLOAT
+
+
+def test_common_arith_type_pointers():
+    p = ptr(FLOAT)
+    assert common_arith_type(p, INT) == p
+    assert common_arith_type(INT, p) == p
+    assert common_arith_type(p, p) == INT  # pointer difference

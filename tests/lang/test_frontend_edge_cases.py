@@ -1,0 +1,164 @@
+"""Frontend edge cases and hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import (LexError, LowerError, ParseError, compile_source,
+                        parse, tokenize)
+from repro.profiling import run_module
+
+
+def run(src, inputs=()):
+    return run_module(compile_source(src), inputs=inputs)
+
+
+# ---- precedence / associativity ------------------------------------------
+
+
+def test_left_associativity_of_subtraction():
+    assert run("void main() { print(10 - 3 - 2); }") == ["5"]
+
+
+def test_division_left_associative():
+    assert run("void main() { print(100 / 5 / 2); }") == ["10"]
+
+
+def test_unary_minus_binds_tighter_than_binary():
+    assert run("void main() { print(-2 * 3); }") == ["-6"]
+    assert run("void main() { print(5 - -3); }") == ["8"]
+
+
+def test_shift_precedence_between_additive_and_relational():
+    assert run("void main() { print(1 + 1 << 2); }") == ["8"]
+    assert run("void main() { print(1 << 2 < 5); }") == ["1"]
+
+
+def test_bitwise_and_or_xor_precedence():
+    assert run("void main() { print(1 | 2 & 3 ^ 1); }") == ["3"]
+
+
+def test_logical_or_lowest():
+    assert run("void main() { print(0 || 1 && 0); }") == ["0"]
+    assert run("void main() { print(1 || 1 && 0); }") == ["1"]
+
+
+def test_parentheses_override():
+    assert run("void main() { print((10 - 3) - 2, 10 - (3 - 2)); }") \
+        == ["5 9"]
+
+
+# ---- short circuit ---------------------------------------------------------
+
+
+def test_short_circuit_skips_side_effectless_deref():
+    src = (
+        "void main() { int *p; int ok; p = 0;"
+        " ok = (p != 0) && (p[0] == 1);"
+        " print(ok); }"
+    )
+    assert run(src) == ["0"]
+
+
+def test_short_circuit_or_skips_rhs():
+    src = (
+        "void main() { int *p; int ok; p = 0;"
+        " ok = (p == 0) || (p[0] == 1);"
+        " print(ok); }"
+    )
+    assert run(src) == ["1"]
+
+
+def test_nested_short_circuit():
+    src = (
+        "void main() { int a; int b; a = 1; b = 0;"
+        " print((a && (b || 1)) && (a || b)); }"
+    )
+    assert run(src) == ["1"]
+
+
+# ---- conversions / printing -------------------------------------------------
+
+
+def test_int_truncation_of_negative_float():
+    assert run("void main() { int x; x = -3.7; print(x); }") == ["-3"]
+
+
+def test_print_multiple_values_space_separated():
+    assert run("void main() { print(1, 2.5, 3); }") == ["1 2.5 3"]
+
+
+def test_float_formatting_large_and_small():
+    assert run("void main() { print(123456.789); }") == ["123457"]
+    assert run("void main() { print(0.0001); }") == ["0.0001"]
+
+
+# ---- errors ------------------------------------------------------------------
+
+
+def test_error_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse("void main() { int x }")
+
+
+def test_error_unbalanced_parens():
+    with pytest.raises(ParseError):
+        parse("void main() { print((1 + 2); }")
+
+
+def test_error_assign_to_literal():
+    with pytest.raises(LowerError):
+        compile_source("void main() { 3 = 4; }")
+
+
+def test_error_duplicate_function():
+    with pytest.raises(ValueError):
+        compile_source("void f() { } void f() { } void main() { }")
+
+
+def test_error_address_of_expression():
+    with pytest.raises(LowerError):
+        compile_source("void main() { int x; int *p; p = &(x + 1); }")
+
+
+def test_error_void_in_expression():
+    with pytest.raises(LowerError):
+        compile_source(
+            "void f() { } void main() { int x; x = f(); }"
+        )
+
+
+def test_error_argument_type_arity():
+    with pytest.raises(LowerError):
+        compile_source(
+            "int f(int a, int b) { return a + b; }"
+            "void main() { print(f(1)); }"
+        )
+
+
+# ---- hypothesis: lexer total on printable input ------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=32,
+                                      max_codepoint=126),
+               max_size=60))
+def test_lexer_terminates_or_raises_cleanly(text):
+    try:
+        tokens = tokenize(text)
+    except LexError:
+        return
+    assert tokens[-1].kind == "eof"
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=st.integers(min_value=-50, max_value=50),
+       b=st.integers(min_value=-50, max_value=50),
+       c=st.integers(min_value=1, max_value=9))
+def test_arithmetic_agrees_with_python(a, b, c):
+    out = run(f"void main() {{ print({a} + {b} * {c}, ({a} - {b}) / {c});"
+              f" }}")
+    from repro.profiling import c_div
+
+    expected = f"{a + b * c} {c_div(a - b, c)}"
+    assert out == [expected]

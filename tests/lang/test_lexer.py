@@ -1,0 +1,49 @@
+"""Unit tests for the mini-language lexer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def test_keywords_and_identifiers():
+    toks = tokenize("int x; double yy;")
+    assert [t.kind for t in toks] == [
+        "int", "id", ";", "double", "id", ";", "eof"
+    ]
+    assert toks[1].value == "x"
+
+
+def test_numbers():
+    toks = tokenize("1 42 3.5 .5 2. 1e3 1.5e-2")
+    assert [t.kind for t in toks[:-1]] == [
+        "int_lit", "int_lit", "float", "float", "float", "float", "float"
+    ]
+
+
+def test_multichar_operators_greedy():
+    assert kinds("<= >= == != && || << >> += <")[:-1] == [
+        "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "+=", "<"
+    ]
+
+
+def test_comments_skipped():
+    toks = tokenize("x // line comment\n /* block\ncomment */ y")
+    assert [t.value for t in toks[:-1]] == ["x", "y"]
+
+
+def test_line_numbers_track_newlines():
+    toks = tokenize("a\nb\n\nc")
+    assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+
+def test_lex_error():
+    with pytest.raises(LexError):
+        tokenize("a $ b")
+
+
+def test_alloc_and_print_are_keywords():
+    assert kinds("alloc print")[:-1] == ["alloc", "print"]

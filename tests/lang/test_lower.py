@@ -1,0 +1,146 @@
+"""Unit tests for AST→IR lowering."""
+
+import pytest
+
+from repro.ir import (FLOAT, INT, Assign, Bin, CallStmt, CondBr, Load,
+                      PrintStmt, Store, Un, VarRead, format_module, ptr,
+                      verify_module)
+from repro.lang import LowerError, compile_source
+
+
+def lower(src):
+    module = compile_source(src)
+    verify_module(module)
+    return module
+
+
+def stmts_of(module, name="main"):
+    return [s for _, s in module.functions[name].statements()]
+
+
+def test_simple_assignment_and_print():
+    m = lower("void main() { int x; x = 1 + 2; print(x); }")
+    s = stmts_of(m)
+    assert isinstance(s[0], Assign) and isinstance(s[0].value, Bin)
+    assert isinstance(s[1], PrintStmt)
+
+
+def test_index_lowering_to_load():
+    m = lower(
+        "double f(double *p, int i) { return p[i]; }"
+        "void main() { }"
+    )
+    fn = m.functions["f"]
+    term = fn.entry.terminator
+    assert isinstance(term.value, Load)
+    assert term.value.ty == FLOAT
+    assert isinstance(term.value.addr, Bin) and term.value.addr.op == "+"
+
+
+def test_store_through_pointer():
+    m = lower("void f(int *p) { *p = 3; } void main() { }")
+    (store,) = stmts_of(m, "f")
+    assert isinstance(store, Store) and store.value_ty == INT
+
+
+def test_double_indirection():
+    m = lower("double g(double **v, int i) { return v[i][0]; } void main() {}")
+    term = m.functions["g"].entry.terminator
+    outer = term.value
+    assert isinstance(outer, Load) and outer.ty == FLOAT
+    inner = outer.addr.left if isinstance(outer.addr, Bin) else outer.addr
+    assert isinstance(inner, Load) and inner.ty == ptr(FLOAT)
+
+
+def test_int_to_float_conversion_inserted():
+    m = lower("void main() { double d; d = 1; }")
+    (assign,) = stmts_of(m)
+    assert isinstance(assign.value, Un) and assign.value.op == "float"
+
+
+def test_mixed_arith_promotes():
+    m = lower("void main() { double d; int i; i = 2; d = i * 1.5; }")
+    assign = stmts_of(m)[1]
+    assert assign.value.ty == FLOAT
+
+
+def test_addr_of_marks_address_taken():
+    m = lower("void main() { int x; int *p; p = &x; }")
+    x = [s for s in m.functions["main"].locals if s.name == "x"][0]
+    assert x.address_taken
+
+
+def test_array_decay_in_expression():
+    m = lower("int a[10]; void main() { int x; x = a[3]; }")
+    (assign,) = stmts_of(m)
+    load = assign.value
+    assert isinstance(load, Load)
+    base = load.addr.left
+    assert isinstance(base, VarRead) and base.sym.name == "a"
+
+
+def test_short_circuit_creates_blocks():
+    m = lower("void main() { int x; int y; y = 1; x = y && (y > 1); }")
+    fn = m.functions["main"]
+    assert len(fn.blocks) >= 4  # entry + rhs + short + join
+
+
+def test_call_hoisted_from_expression():
+    m = lower(
+        "int f(int x) { return x + 1; }"
+        "void main() { int y; y = f(2) * 3; }"
+    )
+    s = stmts_of(m)
+    assert isinstance(s[0], CallStmt) and s[0].callee == "f"
+    assert isinstance(s[1], Assign)
+
+
+def test_alloc_lowering():
+    m = lower("void main() { int *p; p = alloc(10); *p = 1; }")
+    s = stmts_of(m)
+    assert isinstance(s[0], CallStmt) and s[0].is_alloc
+    assert s[0].site_id is not None
+
+
+def test_loops_shape():
+    m = lower(
+        "void main() { int i; int s; s = 0;"
+        "for (i = 0; i < 10; i = i + 1) { s = s + i; if (s > 20) { break; } } "
+        "print(s); }"
+    )
+    fn = m.functions["main"]
+    cond_blocks = [b for b in fn.blocks if b.name.startswith("for_cond")]
+    assert len(cond_blocks) == 1
+    assert isinstance(cond_blocks[0].terminator, CondBr)
+    assert len(cond_blocks[0].preds) == 2  # entry path + step back edge
+
+
+def test_continue_targets_step():
+    m = lower(
+        "void main() { int i; for (i = 0; i < 4; i = i + 1) {"
+        " if (i == 2) { continue; } print(i); } }"
+    )
+    verify_module(m)
+
+
+def test_errors():
+    with pytest.raises(LowerError):
+        lower("void main() { x = 1; }")  # unknown name
+    with pytest.raises(LowerError):
+        lower("void main() { int x; *x = 1; }")  # deref non-pointer
+    with pytest.raises(LowerError):
+        lower("void main() { int a[4]; a = 1; }")  # assign to array
+    with pytest.raises(LowerError):
+        lower("void main() { break; }")  # break outside loop
+    with pytest.raises(LowerError):
+        lower("void main() { int x; x = f(1); }")  # unknown function
+    with pytest.raises(LowerError):
+        lower("int f(int a) { return a; } void main() { int x; x = f(); }")
+    with pytest.raises(LowerError):
+        lower("void main() { int x; int x; }")  # duplicate local
+
+
+def test_printer_runs_on_lowered_module():
+    m = lower("int g; void main() { g = 1; print(g); }")
+    text = format_module(m)
+    assert "g = 1" in text

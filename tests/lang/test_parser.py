@@ -1,0 +1,110 @@
+"""Unit tests for the mini-language parser."""
+
+import pytest
+
+from repro.lang import ParseError, parse
+from repro.lang.ast_nodes import (AAssign, ABinary, ACall, AFor, AIf, AIndex,
+                                  ANumber, APrint, AReturn, AUnary, AWhile)
+
+
+def parse_fn_body(body):
+    prog = parse("void main() { %s }" % body)
+    return prog.functions[0].body
+
+
+def test_global_and_function_split():
+    prog = parse("int g; double a[8]; void main() { }")
+    assert [d.name for d in prog.globals] == ["g", "a"]
+    assert prog.globals[1].array_size == 8
+    assert prog.functions[0].name == "main"
+
+
+def test_pointer_types_in_params():
+    prog = parse("double f(double **v, int *w) { return 0.0; }")
+    params = prog.functions[0].params
+    assert params[0].ty.pointer_depth == 2
+    assert params[1].ty.pointer_depth == 1
+
+
+def test_precedence_mul_over_add():
+    (stmt,) = parse_fn_body("int x; x = 1 + 2 * 3;")[1:]
+    assert isinstance(stmt, AAssign)
+    assert isinstance(stmt.value, ABinary) and stmt.value.op == "+"
+    assert stmt.value.right.op == "*"
+
+
+def test_comparison_precedence_below_arith():
+    (stmt,) = parse_fn_body("int x; x = 1 + 2 < 3;")[1:]
+    assert stmt.value.op == "<"
+
+
+def test_index_desugars_to_aindex_chain():
+    (stmt,) = parse_fn_body("int x; x = a[i][j];")[1:]
+    outer = stmt.value
+    assert isinstance(outer, AIndex) and isinstance(outer.base, AIndex)
+
+
+def test_unary_deref_and_addr():
+    stmts = parse_fn_body("int x; *p = x; x = *q;")
+    assert isinstance(stmts[1].target, AUnary) and stmts[1].target.op == "*"
+    assert isinstance(stmts[2].value, AUnary) and stmts[2].value.op == "*"
+
+
+def test_compound_assignment_expanded():
+    (stmt,) = parse_fn_body("int x; x += 2;")[1:]
+    assert isinstance(stmt, AAssign)
+    assert isinstance(stmt.value, ABinary) and stmt.value.op == "+"
+
+
+def test_if_else_chain():
+    (stmt,) = parse_fn_body("if (x) { } else if (y) { } else { }")
+    assert isinstance(stmt, AIf)
+    assert isinstance(stmt.else_body[0], AIf)
+
+
+def test_while_and_for():
+    stmts = parse_fn_body(
+        "while (i < n) { i = i + 1; } for (i = 0; i < n; i = i + 1) { }"
+    )
+    assert isinstance(stmts[0], AWhile)
+    assert isinstance(stmts[1], AFor)
+    assert isinstance(stmts[1].init, AAssign)
+
+
+def test_for_with_empty_clauses():
+    (stmt,) = parse_fn_body("for (;;) { break; }")
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_call_and_print():
+    prog = parse(
+        "int f(int x) { return x; } void main() { int y; y = f(3); print(y); }"
+    )
+    stmts = prog.functions[1].body
+    assert isinstance(stmts[1].value, ACall)
+    assert isinstance(stmts[2], APrint)
+
+
+def test_alloc_intrinsic_parses_as_call():
+    (stmt,) = parse_fn_body("int p; p = alloc(10);")[1:]
+    assert isinstance(stmt.value, ACall) and stmt.value.callee == "alloc"
+
+
+def test_return_without_value():
+    (stmt,) = parse_fn_body("return;")
+    assert isinstance(stmt, AReturn) and stmt.value is None
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse("void main() { x = ; }")
+    with pytest.raises(ParseError):
+        parse("void main() { if x { } }")
+    with pytest.raises(ParseError):
+        parse("main() { }")  # missing return type
+
+
+def test_number_literals():
+    stmts = parse_fn_body("double d; d = 1.5; d = 2;")
+    assert isinstance(stmts[1].value, ANumber) and stmts[1].value.is_float
+    assert not stmts[2].value.is_float

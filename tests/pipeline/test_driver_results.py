@@ -1,0 +1,123 @@
+"""Unit tests for the pipeline driver and results helpers."""
+
+import pytest
+
+from repro.core import SpecConfig
+from repro.pipeline import (Comparison, RunResult, compile_and_run,
+                            compile_program, format_table)
+from repro.target import MachineStats
+
+
+SRC = (
+    "void main() { int x; x = input(); print(x * 2); }"
+)
+
+
+def test_compile_and_run_uses_ref_inputs():
+    result = compile_and_run(SRC, SpecConfig.base(),
+                             train_inputs=[1], ref_inputs=[21])
+    assert result.output == ["42"]
+    assert result.expected == ["42"]
+
+
+def test_profiles_come_from_train_inputs():
+    src = (
+        "void f(int *p, int *q) { int x; x = *p; *q = 1; x = x + *p;"
+        " print(x); }"
+        "void main() { int a[4]; int b[4]; int c; c = input();"
+        " a[0] = 3; if (c) { f(a, a); } else { f(a, b); } }"
+    )
+    # train aliases (c=1): profile sees the collision → no speculation
+    compiled = compile_program(src, SpecConfig.profile(),
+                               train_inputs=[1])
+    ops = [i.op for blk in compiled.program.functions["f"].blocks
+           for i in blk.instrs]
+    assert "ld.c" not in ops
+    # train does not alias (c=0): speculation happens
+    compiled2 = compile_program(src, SpecConfig.profile(),
+                                train_inputs=[0])
+    ops2 = [i.op for blk in compiled2.program.functions["f"].blocks
+            for i in blk.instrs]
+    assert "ld.c" in ops2
+
+
+def test_check_output_detects_divergence(monkeypatch):
+    # force a divergence by sabotaging the machine output
+    import repro.pipeline.driver as driver
+
+    original = driver.run_program
+
+    def bad_run(program, **kwargs):
+        stats, output = original(program, **kwargs)
+        return stats, output + ["SPURIOUS"]
+
+    monkeypatch.setattr(driver, "run_program", bad_run)
+    with pytest.raises(AssertionError, match="diverged"):
+        compile_and_run(SRC, SpecConfig.base(),
+                        train_inputs=[1], ref_inputs=[1])
+
+
+def test_check_output_false_skips_oracle():
+    result = compile_and_run(SRC, SpecConfig.base(), train_inputs=[1],
+                             ref_inputs=[3], check_output=False)
+    assert result.expected is None
+    assert result.output == ["6"]
+
+
+def test_opt_stats_reported_per_function():
+    src = (
+        "int f(int *p) { return *p + *p; }"
+        "void main() { int a[2]; a[0] = 1; print(f(a)); }"
+    )
+    compiled = compile_program(src, SpecConfig.base())
+    assert "f" in compiled.opt_stats
+    assert compiled.opt_stats["f"].promotion.reloads >= 1
+
+
+def test_comparison_metrics():
+    def stats(cycles, loads, checks=0, misses=0, dacc=100):
+        s = MachineStats()
+        s.cycles = cycles
+        s.plain_loads = loads
+        s.check_loads = checks
+        s.check_misses = misses
+        s.data_access_cycles = dacc
+        return s
+
+    base = RunResult(SpecConfig.base(), stats(1000, 100), ["1"])
+    spec = RunResult(SpecConfig.profile(),
+                     stats(900, 80, checks=20, misses=1, dacc=50), ["1"])
+    c = Comparison("x", base, spec)
+    assert c.load_reduction == pytest.approx(1 - 81 / 100)
+    assert c.speedup == pytest.approx(0.1)
+    assert c.data_access_reduction == pytest.approx(0.5)
+    assert c.misspeculation_ratio == pytest.approx(1 / 20)
+    row = c.row()
+    assert row["benchmark"] == "x"
+    assert row["speedup_%"] == pytest.approx(10.0)
+
+
+def test_comparison_zero_division_guards():
+    base = RunResult(SpecConfig.base(), MachineStats(), ["1"])
+    spec = RunResult(SpecConfig.profile(), MachineStats(), ["1"])
+    c = Comparison("empty", base, spec)
+    assert c.load_reduction == 0.0
+    assert c.speedup == 0.0
+    assert c.misspeculation_ratio == 0.0
+
+
+def test_format_table_alignment_and_floats():
+    rows = [
+        {"name": "a", "value": 1.23456, "count": 7},
+        {"name": "long-name", "value": 0.5, "count": 12345},
+    ]
+    text = format_table(rows, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "1.23" in text and "0.50" in text
+    assert all(len(line) == len(lines[1]) or line == "T"
+               for line in lines[:2])
+
+
+def test_format_table_empty():
+    assert format_table([], title="nothing") == "nothing"

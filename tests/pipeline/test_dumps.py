@@ -1,0 +1,71 @@
+"""Tests for the per-phase dump infrastructure."""
+
+import os
+
+import pytest
+
+from repro.core import SpecConfig
+from repro.pipeline import DumpSink, compile_program
+
+SRC = (
+    "void f(int *p, int *q) { int x; x = *p; *q = 9; x = x + *p;"
+    " print(x); }"
+    "void main() { int a[8]; int b[8]; int c; c = input();"
+    " a[0] = 5; if (c) { f(a, a); } f(a, b); }"
+)
+
+
+@pytest.fixture()
+def sink():
+    sink = DumpSink()
+    compile_program(SRC, SpecConfig.profile(), train_inputs=[0],
+                    dumps=sink)
+    return sink
+
+
+def test_phases_in_order(sink):
+    phases = sink.phases()
+    assert phases[0] == "lowered"
+    assert phases[-1] == "machine"
+    assert "optimized" in phases
+    assert any(p.startswith("speculative-ssa f") for p in phases)
+    assert any(p.startswith("after-ssapre f") for p in phases)
+
+
+def test_speculative_ssa_dump_shows_flags(sink):
+    text = sink.get("speculative-ssa f")
+    assert "chis(" in text          # flagged own χ of the store
+    assert "chi(" in text           # unflagged cross χ (weak update)
+
+
+def test_after_ssapre_dump_shows_checks(sink):
+    text = sink.get("after-ssapre f")
+    assert "[check]" in text and "[advance]" in text
+
+
+def test_machine_dump_shows_spec_loads(sink):
+    text = sink.get("machine")
+    assert "ld.a" in text and "ld.c" in text
+
+
+def test_get_unknown_phase_raises(sink):
+    with pytest.raises(KeyError):
+        sink.get("no-such-phase")
+
+
+def test_format_concatenates_all(sink):
+    text = sink.format()
+    for phase in sink.phases():
+        assert phase in text
+
+
+def test_write_dir(tmp_path, sink):
+    sink.write_dir(str(tmp_path))
+    files = sorted(os.listdir(tmp_path))
+    assert files[0].startswith("00_lowered")
+    assert len(files) == len(sink.phases())
+
+
+def test_no_sink_is_free():
+    result = compile_program(SRC, SpecConfig.base(), train_inputs=[0])
+    assert result is not None  # no dumps requested, nothing breaks

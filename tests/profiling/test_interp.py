@@ -1,0 +1,156 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.profiling import InterpError, c_div, c_rem, run_module
+
+
+def run(src, fuel=1_000_000):
+    return run_module(compile_source(src), fuel=fuel)
+
+
+def test_arith_and_print():
+    assert run("void main() { print(1 + 2 * 3); }") == ["7"]
+
+
+def test_c_division_semantics():
+    assert c_div(7, 2) == 3
+    assert c_div(-7, 2) == -3
+    assert c_div(7, -2) == -3
+    assert c_rem(-7, 2) == -1
+    assert c_rem(7, -2) == 1
+    assert c_div(1.0, 2) == 0.5
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(InterpError):
+        run("void main() { print(1 / 0); }")
+
+
+def test_float_formatting():
+    assert run("void main() { print(1.5 + 1.5); }") == ["3"]
+    assert run("void main() { print(1.0 / 3.0); }") == ["0.333333"]
+
+
+def test_control_flow_if_else():
+    src = "void main() { int x; x = 5; if (x > 3) { print(1); } else { print(0); } }"
+    assert run(src) == ["1"]
+
+
+def test_loop_sum():
+    src = (
+        "void main() { int i; int s; s = 0;"
+        " for (i = 0; i < 5; i = i + 1) { s = s + i; } print(s); }"
+    )
+    assert run(src) == ["10"]
+
+
+def test_while_and_break_continue():
+    src = (
+        "void main() { int i; i = 0;"
+        " while (1) { i = i + 1; if (i == 3) { continue; }"
+        " if (i > 5) { break; } print(i); } }"
+    )
+    assert run(src) == ["1", "2", "4", "5"]
+
+
+def test_function_calls_and_recursion():
+    src = (
+        "int fib(int n) { if (n < 2) { return n; }"
+        " return fib(n - 1) + fib(n - 2); }"
+        "void main() { print(fib(10)); }"
+    )
+    assert run(src) == ["55"]
+
+
+def test_pointers_and_heap():
+    src = (
+        "void main() { int *p; int i;"
+        " p = alloc(4);"
+        " for (i = 0; i < 4; i = i + 1) { p[i] = i * i; }"
+        " print(p[3] + p[2]); }"
+    )
+    assert run(src) == ["13"]
+
+
+def test_address_of_scalar():
+    src = (
+        "void main() { int x; int *p; x = 1; p = &x; *p = 42; print(x); }"
+    )
+    assert run(src) == ["42"]
+
+
+def test_globals_initialized_zero_and_shared():
+    src = (
+        "int g;"
+        "void bump() { g = g + 1; }"
+        "void main() { bump(); bump(); print(g); }"
+    )
+    assert run(src) == ["2"]
+
+
+def test_global_array():
+    src = (
+        "double a[3];"
+        "void main() { a[1] = 2.5; print(a[0] + a[1]); }"
+    )
+    assert run(src) == ["2.5"]
+
+
+def test_pointer_aliasing_through_two_names():
+    src = (
+        "void main() { int *p; int *q; p = alloc(2); q = p;"
+        " *p = 7; print(*q); }"
+    )
+    assert run(src) == ["7"]
+
+
+def test_short_circuit_evaluation_avoids_deref():
+    src = (
+        "void main() { int *p; p = 0;"
+        " if ((p != 0) && (*p > 0)) { print(1); } else { print(0); } }"
+    )
+    assert run(src) == ["0"]
+
+
+def test_out_of_bounds_load_raises():
+    with pytest.raises(InterpError):
+        run("void main() { int *p; p = alloc(2); print(p[100]); }")
+
+
+def test_fuel_exhaustion():
+    with pytest.raises(InterpError):
+        run("void main() { while (1) { } }", fuel=1000)
+
+
+def test_conversions():
+    assert run("void main() { int x; x = 3.7; print(x); }") == ["3"]
+    assert run("void main() { double d; d = 3; print(d / 2); }") == ["1.5"]
+
+
+def test_mutual_recursion():
+    src = (
+        "int is_odd(int n);"  # no prototypes — define in order instead
+    )
+    src = (
+        "int dec(int n) { return n - 1; }"
+        "int parity(int n) { if (n == 0) { return 0; }"
+        " return 1 - parity(dec(n)); }"
+        "void main() { print(parity(7)); }"
+    )
+    assert run(src) == ["1"]
+
+
+def test_loc_of_addr_public_api():
+    from repro.lang import compile_source
+    from repro.profiling import Interpreter
+
+    m = compile_source("int g; void main() { g = 1; }")
+    interp = Interpreter(m)
+    interp.run()
+    g = m.globals[0]
+    addr = interp._global_addr[g]
+    assert interp.loc_of_addr(addr) is g
+    assert interp.loc_of_addr(addr + 500) is None
+    assert interp.loc_of_addr(0) is None

@@ -1,0 +1,60 @@
+"""Hypothesis property tests for the interpreter's C semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.profiling import c_div, c_rem
+
+nonzero = st.integers(min_value=-1000, max_value=1000).filter(
+    lambda x: x != 0
+)
+ints = st.integers(min_value=-10_000, max_value=10_000)
+
+
+@given(a=ints, b=nonzero)
+def test_div_rem_reconstruction(a, b):
+    """C identity: (a/b)*b + a%b == a."""
+    assert c_div(a, b) * b + c_rem(a, b) == a
+
+
+@given(a=ints, b=nonzero)
+def test_div_truncates_toward_zero(a, b):
+    q = c_div(a, b)
+    assert abs(q) == abs(a) // abs(b)
+    if q != 0:
+        assert (q > 0) == ((a > 0) == (b > 0))
+
+
+@given(a=ints, b=nonzero)
+def test_rem_sign_follows_dividend(a, b):
+    r = c_rem(a, b)
+    assert abs(r) < abs(b)
+    if r != 0:
+        assert (r > 0) == (a > 0)
+
+
+@given(a=ints, b=nonzero)
+def test_div_matches_float_division_rounded(a, b):
+    assert c_div(a, b) == int(a / b)
+
+
+@given(a=st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e6, max_value=1e6),
+       b=st.floats(min_value=0.5, max_value=1e3))
+def test_float_division_exact(a, b):
+    assert c_div(a, b) == a / b
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_interpreter_deterministic(seed):
+    """Same program + same inputs ⇒ same output (no hidden state)."""
+    from repro.lang import compile_source
+    from repro.profiling import run_module
+    from repro.workloads.fuzz import random_program
+
+    src = random_program(seed % 50, max_stmts=6)
+    module = compile_source(src)
+    first = run_module(module, fuel=1_000_000)
+    module2 = compile_source(src)
+    second = run_module(module2, fuel=1_000_000)
+    assert first == second

@@ -1,0 +1,161 @@
+"""Unit tests for HSSA construction (φ insertion, renaming, µ/χ)."""
+
+import pytest
+
+from repro.analysis import AliasClassifier
+from repro.lang import compile_source
+from repro.ssa import (SAssign, SCall, SLoad, SPhi, SStore, SVarUse,
+                       build_ssa, format_ssa, verify_ssa)
+
+
+def ssa_of(src, fn="main"):
+    module = compile_source(src)
+    classifier = AliasClassifier(module)
+    ssa = build_ssa(module, module.functions[fn], classifier)
+    verify_ssa(ssa)
+    return ssa
+
+
+def find_assigns(ssa, name):
+    out = []
+    for _, stmt in ssa.statements():
+        if isinstance(stmt, SAssign) and stmt.lhs.symbol.name == name:
+            out.append(stmt)
+    return out
+
+
+def find_loads(ssa):
+    from repro.ssa import iter_loads
+    return list(iter_loads(ssa))
+
+
+def test_straightline_versions_increment():
+    ssa = ssa_of("void main() { int x; x = 1; x = 2; print(x); }")
+    a1, a2 = find_assigns(ssa, "x")
+    assert a1.lhs.version == 2  # version 1 is the live-on-entry version
+    assert a2.lhs.version == 3
+    # the print uses the latest version
+    (pr,) = [s for _, s in ssa.statements() if type(s).__name__ == "SPrint"]
+    use = pr.args[0]
+    assert isinstance(use, SVarUse) and use.var is a2.lhs
+
+
+def test_phi_inserted_at_join():
+    ssa = ssa_of(
+        "void main() { int x; int c; c = 1;"
+        " if (c) { x = 1; } else { x = 2; } print(x); }"
+    )
+    phis = [p for b in ssa.blocks for p in b.phis if p.symbol.name == "x"]
+    assert len(phis) == 1
+    phi = phis[0]
+    versions = sorted(a.version for a in phi.args)
+    assert len(set(a.version for a in phi.args)) == 2
+    assert phi.lhs.version not in versions
+
+
+def test_loop_phi_has_back_edge_arg():
+    ssa = ssa_of(
+        "void main() { int i; for (i = 0; i < 3; i = i + 1) { print(i); } }"
+    )
+    cond = next(b for b in ssa.blocks if b.name.startswith("for_cond"))
+    phis = [p for p in cond.phis if p.symbol.name == "i"]
+    assert len(phis) == 1
+    phi = phis[0]
+    # one arg from entry (i=0 def), one from the step block
+    assert len(phi.args) == 2
+    assert phi.args[0] is not phi.args[1]
+
+
+def test_params_get_entry_version():
+    ssa = ssa_of("int f(int n) { return n + 1; } void main() { }", fn="f")
+    term = ssa.entry.term
+    use = term.value.left
+    assert isinstance(use, SVarUse)
+    assert use.var.version == 1
+    assert use.var.def_site == "entry"
+
+
+def test_store_chi_versions_virtual_variable():
+    ssa = ssa_of(
+        "void f(int *p) { int x; x = *p; *p = 1; x = *p; print(x); }"
+        "void main() { int a[2]; f(a); }",
+        fn="f",
+    )
+    (store,) = [s for _, s in ssa.statements() if isinstance(s, SStore)]
+    own = [c for c in store.chis if c.is_own]
+    assert len(own) == 1
+    chi = own[0]
+    assert chi.lhs.version == chi.rhs.version + 1
+    loads = find_loads(ssa)
+    # load before store uses the chi's rhs; load after uses chi's lhs
+    assert loads[0].own_mu.var is chi.rhs
+    assert loads[1].own_mu.var is chi.lhs
+
+
+def test_aliased_scalar_gets_chi_at_store():
+    ssa = ssa_of(
+        "void main() { int a; int *p; p = &a; a = 1; *p = 2; print(a); }"
+    )
+    (store,) = [s for _, s in ssa.statements() if isinstance(s, SStore)]
+    chi_syms = {c.symbol.name for c in store.chis if not c.symbol.is_virtual}
+    assert "a" in chi_syms
+    # and the print(a) use refers to the chi's new version
+    (pr,) = [s for _, s in ssa.statements() if type(s).__name__ == "SPrint"]
+    a_chi = next(c for c in store.chis if c.symbol.name == "a")
+    assert pr.args[0].var is a_chi.lhs
+
+
+def test_direct_assign_to_aliased_scalar_chis_vvar():
+    ssa = ssa_of(
+        "void main() { int a; int x; int *p; p = &a;"
+        " x = *p; a = 3; x = *p; print(x); }"
+    )
+    assigns = find_assigns(ssa, "a")
+    real_def = assigns[-1]
+    assert len(real_def.chis) == 1
+    assert real_def.chis[0].symbol.is_virtual
+    loads = find_loads(ssa)
+    assert loads[1].own_mu.var is real_def.chis[0].lhs
+
+
+def test_call_chis_globals():
+    ssa = ssa_of(
+        "int g;"
+        "void f() { g = 1; }"
+        "void main() { g = 0; f(); print(g); }"
+    )
+    (call,) = [s for _, s in ssa.statements() if isinstance(s, SCall)]
+    g_chis = [c for c in call.chis if c.symbol.name == "g"]
+    assert len(g_chis) == 1
+    (pr,) = [s for _, s in ssa.statements() if type(s).__name__ == "SPrint"]
+    assert pr.args[0].var is g_chis[0].lhs
+
+
+def test_mu_list_matches_alias_class():
+    ssa = ssa_of(
+        "void main() { int a; int b; int *p; int x;"
+        " if (a) { p = &a; } else { p = &b; }"
+        " x = *p; print(x); }"
+    )
+    (load,) = find_loads(ssa)
+    names = {mu.symbol.name for mu in load.mus}
+    assert {"a", "b"} <= names
+    assert load.own_mu.symbol.is_virtual
+
+
+def test_format_ssa_smoke():
+    ssa = ssa_of("void main() { int x; x = 1; print(x); }")
+    text = format_ssa(ssa)
+    assert "x2 = 1" in text
+
+
+def test_verify_catches_double_def():
+    ssa = ssa_of("void main() { int x; x = 1; print(x); }")
+    a = find_assigns(ssa, "x")[0]
+    # sabotage: reuse the same SSAVar in a second def
+    from repro.ssa import SConst, SSAVerificationError
+    from repro.ir import INT
+    dup = SAssign(a.lhs, SConst(9, INT))
+    ssa.entry.stmts.insert(1, dup)
+    with pytest.raises(SSAVerificationError):
+        verify_ssa(ssa)

@@ -1,0 +1,99 @@
+"""Round-trip tests: IR → SSA → IR preserves semantics, plus
+critical-edge splitting."""
+
+import pytest
+
+from repro.analysis import AliasClassifier
+from repro.ir import (CondBr, split_critical_edges,
+                      split_module_critical_edges, verify_module)
+from repro.lang import compile_source
+from repro.profiling import run_module
+from repro.ssa import build_ssa, lower_module, verify_ssa
+
+PROGRAMS = [
+    "void main() { print(1 + 2); }",
+    (
+        "void main() { int i; int s; s = 0;"
+        " for (i = 0; i < 10; i = i + 1) { s = s + i * i; } print(s); }"
+    ),
+    (
+        "void main() { int a; int *p; int x; p = &a; a = 1; *p = 7;"
+        " x = a; print(x); }"
+    ),
+    (
+        "int fib(int n) { if (n < 2) { return n; }"
+        " return fib(n - 1) + fib(n - 2); }"
+        "void main() { print(fib(12)); }"
+    ),
+    (
+        "void main() { double *v; int i; double s; v = alloc(8); s = 0.0;"
+        " for (i = 0; i < 8; i = i + 1) { v[i] = i * 0.5; }"
+        " for (i = 0; i < 8; i = i + 1) { s = s + v[i]; } print(s); }"
+    ),
+    (
+        "int g;"
+        "void bump(int d) { g = g + d; }"
+        "void main() { int i; for (i = 0; i < 3; i = i + 1) { bump(i); }"
+        " print(g); }"
+    ),
+]
+
+
+@pytest.mark.parametrize("src", PROGRAMS)
+def test_ssa_roundtrip_preserves_output(src):
+    module = compile_source(src)
+    expected = run_module(module)
+    classifier = AliasClassifier(module)
+    ssa_fns = [build_ssa(module, fn, classifier)
+               for fn in module.functions.values()]
+    for ssa in ssa_fns:
+        verify_ssa(ssa)
+    lowered = lower_module(module, ssa_fns)
+    verify_module(lowered)
+    assert run_module(lowered) == expected
+
+
+def test_split_critical_edges_loop():
+    # for-loop: cond -> body / exit, body side has one pred; the edge
+    # cond->exit is critical when exit has 2+ preds (e.g. via break).
+    src = (
+        "void main() { int i;"
+        " for (i = 0; i < 10; i = i + 1) {"
+        "   if (i == 5) { break; }"
+        " } print(i); }"
+    )
+    module = compile_source(src)
+    expected = run_module(module)
+    n = split_module_critical_edges(module)
+    assert n >= 1
+    verify_module(module)
+    assert run_module(module) == expected
+    # after splitting, no CondBr successor has multiple preds
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            if isinstance(block.terminator, CondBr):
+                for succ in block.terminator.successors():
+                    assert len(succ.preds) == 1
+
+
+def test_split_is_idempotent():
+    src = (
+        "void main() { int i;"
+        " for (i = 0; i < 10; i = i + 1) { if (i == 5) { break; } }"
+        " print(i); }"
+    )
+    module = compile_source(src)
+    split_module_critical_edges(module)
+    assert split_module_critical_edges(module) == 0
+
+
+def test_roundtrip_after_edge_splitting():
+    src = PROGRAMS[1]
+    module = compile_source(src)
+    expected = run_module(module)
+    split_module_critical_edges(module)
+    classifier = AliasClassifier(module)
+    ssa_fns = [build_ssa(module, fn, classifier)
+               for fn in module.functions.values()]
+    lowered = lower_module(module, ssa_fns)
+    assert run_module(lowered) == expected

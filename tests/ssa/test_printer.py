@@ -1,0 +1,55 @@
+"""Tests for the SSA printer's paper-notation output."""
+
+from repro.analysis import AliasClassifier
+from repro.lang import compile_source
+from repro.profiling import collect_alias_profile
+from repro.ssa import SpecMode, build_ssa, flagger_for, format_ssa
+
+
+def dump(src, mode=SpecMode.OFF, fn="main"):
+    module = compile_source(src)
+    profile = (collect_alias_profile(module)
+               if mode is SpecMode.PROFILE else None)
+    classifier = AliasClassifier(module)
+    ssa = build_ssa(module, module.functions[fn], classifier,
+                    flagger=flagger_for(mode, profile))
+    return format_ssa(ssa)
+
+
+def test_versions_shown():
+    text = dump("void main() { int x; x = 1; x = 2; print(x); }")
+    assert "x2 = 1" in text and "x3 = 2" in text
+    assert "print(x3)" in text
+
+
+def test_phi_notation():
+    text = dump(
+        "void main() { int x; int c; c = 1;"
+        " if (c) { x = 1; } else { x = 2; } print(x); }"
+    )
+    assert "<- phi(" in text
+
+
+def test_chi_and_mu_notation():
+    text = dump(
+        "void main() { int a; int *p; int x; p = &a; a = 1;"
+        " *p = 2; x = *p; print(x); }"
+    )
+    assert "<- chi" in text
+    assert "mu" in text  # the indirect load's µ list
+
+
+def test_speculation_flags_printed_as_chis_mus():
+    src = (
+        "void main() { int a; int b; int x; int *p; int c; c = 0;"
+        " if (c) { p = &a; } else { p = &b; }"
+        " a = 1; *p = 4; x = a; print(x + b); }"
+    )
+    text = dump(src, mode=SpecMode.PROFILE)
+    assert "chis(" in text    # flagged: highly likely (χs)
+    assert "chi(" in text     # unflagged: speculative weak update
+
+
+def test_blocks_labelled():
+    text = dump("void main() { int i; for (i = 0; i < 2; i = i + 1) { } }")
+    assert "entry0:" in text and "for_cond" in text

@@ -1,0 +1,158 @@
+"""Unit tests for the flow-sensitive µ/χ refinement (paper Fig. 4)."""
+
+import pytest
+
+from repro.analysis import AliasClassifier, HeapLoc
+from repro.ir import Load, Store
+from repro.lang import compile_source
+from repro.ssa import (FlowSensitivePointsTo, SStore, build_ssa,
+                       iter_loads, verify_ssa)
+
+
+def analyze(src, fn="main"):
+    module = compile_source(src)
+    function = module.functions[fn]
+    return module, function, FlowSensitivePointsTo(function)
+
+
+def stores_of(fn):
+    return [s for _, s in fn.statements() if isinstance(s, Store)]
+
+
+def test_single_target_refined():
+    src = (
+        "void main() { int a; int b; int *p;"
+        " p = &a; *p = 1; p = &b; *p = 2; print(a + b); }"
+    )
+    module, fn, fs = analyze(src)
+    s1, s2 = stores_of(fn)
+    assert fs.targets_of_store(s1) == frozenset(
+        [next(s for s in fn.locals if s.name == "a")]
+    )
+    assert fs.targets_of_store(s2) == frozenset(
+        [next(s for s in fn.locals if s.name == "b")]
+    )
+
+
+def test_join_merges_targets():
+    src = (
+        "void main() { int a; int b; int *p; int c; c = 1;"
+        " if (c) { p = &a; } else { p = &b; } *p = 9; print(a + b); }"
+    )
+    module, fn, fs = analyze(src)
+    (store,) = stores_of(fn)
+    names = {l.name for l in fs.targets_of_store(store)}
+    assert names == {"a", "b"}
+
+
+def test_alloc_gives_heap_target():
+    src = "void main() { int *p; p = alloc(4); *p = 1; }"
+    module, fn, fs = analyze(src)
+    (store,) = stores_of(fn)
+    targets = fs.targets_of_store(store)
+    assert targets is not None
+    assert all(isinstance(t, HeapLoc) for t in targets)
+
+
+def test_loop_carried_pointer_stays_in_object():
+    src = (
+        "void main() { int *p; int *q; int i; p = alloc(8); q = p;"
+        " for (i = 0; i < 8; i = i + 1) { *q = i; q = q + 1; } }"
+    )
+    module, fn, fs = analyze(src)
+    (store,) = stores_of(fn)
+    targets = fs.targets_of_store(store)
+    assert targets is not None and len(targets) == 1
+
+
+def test_unknown_after_non_alloc_call_result():
+    src = (
+        "int g; int *mk() { return &g; }"
+        "void main() { int *p; p = mk(); *p = 1; }"
+    )
+    module, fn, fs = analyze(src)
+    (store,) = stores_of(fn)
+    assert fs.targets_of_store(store) is None  # unknown → unrefined
+
+
+def test_may_target_unknown_is_conservative():
+    src = (
+        "int g; int *mk() { return &g; }"
+        "void main() { int x; int *p; p = mk(); *p = 1; print(x); }"
+    )
+    module, fn, fs = analyze(src)
+    (store,) = stores_of(fn)
+    x = next(s for s in fn.locals if s.name == "x")
+    assert fs.may_target(id(store), x)
+
+
+def test_refinement_shrinks_chi_lists():
+    """p provably points to a at the store; the χ on b disappears even
+    though Steensgaard merged a and b into one class."""
+    src = (
+        "void main() { int a; int b; int *p; int c; c = 0;"
+        " if (c) { p = &b; print(*p); }"
+        " p = &a;"
+        " *p = 7;"
+        " print(a + b); }"
+    )
+    module = compile_source(src)
+    fn = module.functions["main"]
+    classifier = AliasClassifier(module)
+    unrefined = build_ssa(module, fn, classifier)
+    (store_u,) = [s for _, s in unrefined.statements()
+                  if isinstance(s, SStore)]
+    names_u = {c.symbol.name for c in store_u.chis
+               if not c.symbol.is_virtual}
+
+    module2 = compile_source(src)
+    fn2 = module2.functions["main"]
+    classifier2 = AliasClassifier(module2)
+    fs = FlowSensitivePointsTo(fn2)
+    refined = build_ssa(module2, fn2, classifier2, refinement=fs)
+    verify_ssa(refined)
+    (store_r,) = [s for _, s in refined.statements()
+                  if isinstance(s, SStore)]
+    names_r = {c.symbol.name for c in store_r.chis
+               if not c.symbol.is_virtual}
+    assert "b" in names_u          # equivalence classes say may-alias
+    assert names_r == {"a"}        # flow-sensitivity knows better
+
+
+def test_refined_pipeline_still_correct():
+    from repro.core import SpecConfig
+    from repro.pipeline import compile_and_run
+
+    src = (
+        "void main() { int a; int b; int *p; int c; c = input();"
+        " if (c) { p = &b; } else { p = &a; }"
+        " a = 1; b = 2; *p = 5; print(a + b); }"
+    )
+    for flow_refine in (True, False):
+        cfg = SpecConfig.profile().but(flow_refine=flow_refine)
+        result = compile_and_run(src, cfg, train_inputs=[0],
+                                 ref_inputs=[1])
+        assert result.output == result.expected
+
+
+def test_targets_of_load_and_refine_module():
+    src = (
+        "int helper(int *p) { return p[0]; }"
+        "void main() { int x; int *p; p = &x; x = 4;"
+        " print(helper(p) + *p); }"
+    )
+    module = compile_source(src)
+    refinements = __import__("repro.ssa", fromlist=["refine_module"]).refine_module(module)
+    assert set(refinements) == {"helper", "main"}
+    main_fs = refinements["main"]
+    from repro.ir import Load
+
+    loads = []
+    for _, stmt in module.functions["main"].statements():
+        for e in stmt.walk_exprs():
+            if isinstance(e, Load):
+                loads.append(e)
+    (load,) = loads
+    targets = main_fs.targets_of_load(load)
+    assert targets is not None
+    assert {t.name for t in targets} == {"x"}

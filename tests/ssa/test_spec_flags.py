@@ -1,0 +1,156 @@
+"""Unit tests for speculation-flag assignment (paper §3.2.1 / §3.2.2),
+including a fidelity test for the paper's Example 1."""
+
+from repro.analysis import AliasClassifier
+from repro.lang import compile_source
+from repro.profiling import collect_alias_profile
+from repro.ssa import (SpecMode, SCall, SStore, build_ssa, flagger_for,
+                       iter_loads, verify_ssa)
+
+
+def ssa_with_flags(src, mode, fn="main"):
+    module = compile_source(src)
+    profile = (collect_alias_profile(module)
+               if mode is SpecMode.PROFILE else None)
+    classifier = AliasClassifier(module)
+    ssa = build_ssa(module, module.functions[fn], classifier,
+                    flagger=flagger_for(mode, profile))
+    verify_ssa(ssa)
+    return ssa
+
+
+EXAMPLE1 = (
+    "void main() {"
+    "  int a; int b; int x; int *p; int c;"
+    "  c = 0;"
+    "  if (c) { p = &a; } else { p = &b; }"
+    "  a = 1;"            # s0: a1 =
+    "  *p = 4;"           # s1: *p = 4 with chi(a), chis(b), chi(v)
+    "  x = a;"            # s5: = a2
+    "  a = 4;"            # s6: a3 = 4
+    "  x = x + *p;"       # s8: = *p with mu(a3), mus(b2), mu(v2)
+    "  print(x + b);"
+    "}"
+)
+
+
+def example1_sites(ssa):
+    (store,) = [s for _, s in ssa.statements() if isinstance(s, SStore)]
+    load = [l for l in iter_loads(ssa)][-1]
+    return store, load
+
+
+def test_example1_profile_flags_match_paper():
+    """Paper Example 1: profiling shows *p aliases b but not a, so the
+    store's χ(b) is flagged χs while χ(a) stays a speculative weak
+    update; the load's µ(b) becomes µs while µ(a) stays unflagged."""
+    ssa = ssa_with_flags(EXAMPLE1, SpecMode.PROFILE)
+    store, load = example1_sites(ssa)
+    chi_by_name = {c.symbol.name: c for c in store.chis
+                   if not c.symbol.is_virtual}
+    assert chi_by_name["b"].likely          # chis(b1) — paper s3
+    assert not chi_by_name["a"].likely      # chi(a1) ignorable — paper s2
+    own = next(c for c in store.chis if c.is_own)
+    assert own.likely                       # the store certainly writes v
+    mu_by_name = {m.symbol.name: m for m in load.mus
+                  if not m.symbol.is_virtual}
+    assert mu_by_name["b"].likely           # mus(b2) — paper s7
+    assert not mu_by_name["a"].likely       # mu(a3) ignorable
+    assert load.own_mu.likely
+
+
+def test_example1_off_mode_everything_binding():
+    ssa = ssa_with_flags(EXAMPLE1, SpecMode.OFF)
+    store, load = example1_sites(ssa)
+    assert all(c.likely for c in store.chis)
+    assert all(m.likely for m in load.mus)
+
+
+def test_example1_aggressive_only_own_binding():
+    ssa = ssa_with_flags(EXAMPLE1, SpecMode.AGGRESSIVE)
+    store, load = example1_sites(ssa)
+    assert all(c.likely == c.is_own for c in store.chis)
+
+
+def test_profile_is_input_sensitive():
+    """Same program, c = 1: now p aliases a, so flags flip."""
+    src = EXAMPLE1.replace("c = 0;", "c = 1;")
+    ssa = ssa_with_flags(src, SpecMode.PROFILE)
+    store, _ = example1_sites(ssa)
+    chi_by_name = {c.symbol.name: c for c in store.chis
+                   if not c.symbol.is_virtual}
+    assert chi_by_name["a"].likely
+    assert not chi_by_name["b"].likely
+
+
+def test_never_executed_store_fully_ignorable():
+    src = (
+        "void main() { int a; int *p; int x; p = &a;"
+        " a = 1; if (0) { *p = 2; } x = a; print(x); }"
+    )
+    ssa = ssa_with_flags(src, SpecMode.PROFILE)
+    (store,) = [s for _, s in ssa.statements() if isinstance(s, SStore)]
+    assert all(not c.likely for c in store.chis)
+
+
+FIG2 = (  # Figure 2: store *q between two loads of *p, never aliasing.
+    # The dead call f(a, a) makes p/q may-aliases for the flow-insensitive
+    # static analysis; the executed call passes distinct objects, so the
+    # profile observes no dynamic aliasing — exactly the paper's setup.
+    "void f(int *p, int *q) {"
+    "  int x;"
+    "  x = *p;"
+    "  *q = 9;"
+    "  x = x + *p;"
+    "  print(x);"
+    "}"
+    "void main() { int a[8]; int b[8]; int c; c = 0;"
+    "  if (c) { f(a, a); }"
+    "  f(a, b); }"
+)
+
+
+def test_fig2_profile_cross_vvar_unlikely():
+    module = compile_source(FIG2)
+    profile = collect_alias_profile(module)
+    classifier = AliasClassifier(module)
+    ssa = build_ssa(module, module.functions["f"], classifier,
+                    flagger=flagger_for(SpecMode.PROFILE, profile))
+    (store,) = [s for _, s in ssa.statements() if isinstance(s, SStore)]
+    cross = [c for c in store.chis if c.symbol.is_virtual and not c.is_own]
+    assert len(cross) == 1
+    assert not cross[0].likely  # *q never touched *p's cells at runtime
+
+
+def test_fig2_heuristic_cross_vvar_unlikely():
+    ssa = ssa_with_flags(FIG2, SpecMode.HEURISTIC, fn="f")
+    (store,) = [s for _, s in ssa.statements() if isinstance(s, SStore)]
+    cross = [c for c in store.chis if c.symbol.is_virtual and not c.is_own]
+    assert all(not c.likely for c in cross)
+    own = next(c for c in store.chis if c.is_own)
+    assert own.likely  # rule 1: identical syntax certainly sees the update
+
+
+def test_heuristic_calls_stay_binding():
+    src = (
+        "int g;"
+        "void f() { g = g + 1; }"
+        "void main() { int x; g = 1; f(); x = g; print(x); }"
+    )
+    ssa = ssa_with_flags(src, SpecMode.HEURISTIC)
+    (call,) = [s for _, s in ssa.statements() if isinstance(s, SCall)]
+    assert all(c.likely for c in call.chis)   # rule 3
+    assert all(m.likely for m in call.mus)
+
+
+def test_profile_call_mod_refines_chi():
+    src = (
+        "int g; int h;"
+        "void f() { g = g + 1; }"
+        "void main() { int x; g = 1; h = 2; f(); x = g + h; print(x); }"
+    )
+    ssa = ssa_with_flags(src, SpecMode.PROFILE)
+    (call,) = [s for _, s in ssa.statements() if isinstance(s, SCall)]
+    chi_by_name = {c.symbol.name: c for c in call.chis}
+    assert chi_by_name["g"].likely       # f modifies g
+    assert not chi_by_name["h"].likely   # h untouched by the call

@@ -1,0 +1,71 @@
+"""§3.2.1's list-extension rule: profiled LOCs *missing* from a µ/χ list
+are added as flagged operands.
+
+This matters exactly where TBAA is unsound: a type-punned store (int
+write hitting a double variable's cell) is excluded from the χ list by
+type-based filtering, but the profile observes the overlap — the rule
+re-adds the χ with a flag, so the binding update is respected and the
+program stays correct even under aggressive type-based assumptions.
+"""
+
+import pytest
+
+from repro.analysis import AliasClassifier
+from repro.core import SpecConfig
+from repro.ir import split_module_critical_edges
+from repro.lang import compile_source
+from repro.pipeline import compile_and_run
+from repro.profiling import collect_alias_profile
+from repro.ssa import SpecMode, SStore, build_ssa, flagger_for
+
+# d is a double; p punned to int* writes its cell with an int store.
+PUNNED = (
+    "void main() {"
+    "  double d; int *p; double x;"
+    "  p = &d;"          # ptr conversion: the pun
+    "  d = 1.5;"
+    "  x = d;"
+    "  *p = 7;"          # int-typed store really modifies d
+    "  x = x + d;"       # must observe the new value
+    "  print(x, d);"
+    "}"
+)
+
+
+def build(mode):
+    module = compile_source(PUNNED)
+    profile = (collect_alias_profile(module)
+               if mode is SpecMode.PROFILE else None)
+    split_module_critical_edges(module)
+    classifier = AliasClassifier(module)  # TBAA on
+    ssa = build_ssa(module, module.functions["main"], classifier,
+                    flagger=flagger_for(mode, profile))
+    return ssa
+
+
+def store_chis(ssa):
+    (store,) = [s for _, s in ssa.statements() if isinstance(s, SStore)]
+    return store.chis
+
+
+def test_tbaa_excludes_punned_variable_statically():
+    ssa = build(SpecMode.OFF)
+    names = {c.symbol.name for c in store_chis(ssa)
+             if not c.symbol.is_virtual}
+    assert "d" not in names  # the unsound static view
+
+
+def test_profile_extension_re_adds_flagged_chi():
+    ssa = build(SpecMode.PROFILE)
+    chis = store_chis(ssa)
+    d_chis = [c for c in chis if c.symbol.name == "d"]
+    assert len(d_chis) == 1
+    assert d_chis[0].likely  # χs: binding, not speculatively ignorable
+
+
+def test_punned_program_correct_under_profile():
+    result = compile_and_run(PUNNED, SpecConfig.profile())
+    assert result.output == result.expected
+    # the d reload after the store must be a real (or checked) load that
+    # observes the punned write: the printed d is the stored 7
+    assert result.output[0].split()[1] == "7"

@@ -1,0 +1,39 @@
+"""Golden-output regression pins for every workload.
+
+The reference interpreter defines each workload's semantics; pinning the
+ref-input outputs catches accidental semantic drift in the frontend,
+interpreter or workload sources.  (If a workload is intentionally
+changed, update the pin — the correctness tests will already have
+validated the new behaviour against the interpreter.)
+"""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.profiling import run_module
+from repro.workloads import all_workloads, get_workload
+
+GOLDEN = {
+    "gzip": ["6103"],
+    "vpr": ["142295"],
+    "mcf": ["-20952"],
+    "bzip2": ["589988"],
+    "twolf": ["1245220"],
+    "art": ["40.7595"],
+    "equake": ["552.47"],
+    "ammp": ["0.1206"],
+}
+
+
+def compute(name):
+    w = get_workload(name)
+    return run_module(compile_source(w.source), inputs=w.ref_inputs)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_ref_output(name):
+    assert compute(name) == GOLDEN[name]
+
+
+def test_golden_covers_all_workloads():
+    assert set(GOLDEN) == {w.name for w in all_workloads()}

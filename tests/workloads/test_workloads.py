@@ -1,0 +1,66 @@
+"""Workload integration tests: every workload must run correctly under
+every speculation configuration (the output is checked against the
+reference interpreter inside ``run_workload``)."""
+
+import pytest
+
+from repro.core import SpecConfig
+from repro.workloads import all_workloads, get_workload, run_workload
+
+WORKLOAD_NAMES = [w.name for w in all_workloads()]
+
+CONFIGS = {
+    "base": SpecConfig.base(),
+    "profile": SpecConfig.profile(),
+    "heuristic": SpecConfig.heuristic(),
+}
+
+
+def test_registry_has_eight_workloads():
+    assert len(WORKLOAD_NAMES) == 8
+    assert set(WORKLOAD_NAMES) == {
+        "gzip", "vpr", "mcf", "bzip2", "twolf", "art", "equake", "ammp"
+    }
+
+
+def test_workload_metadata_complete():
+    for w in all_workloads():
+        assert w.spec_name
+        assert w.description
+        assert w.expectation
+        assert w.train_inputs and w.ref_inputs
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_workload_correct_under_config(name, config_name):
+    workload = get_workload(name)
+    result = run_workload(workload, CONFIGS[config_name])
+    assert result.output == result.expected
+    assert result.stats.cycles > 0
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_unoptimized_matches_reference(name):
+    workload = get_workload(name)
+    result = run_workload(workload, SpecConfig.unoptimized())
+    assert result.output == result.expected
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_profile_never_loads_more_than_base(name):
+    """Speculation may only remove memory-accessing loads (up to check
+    misses, which are bounded by check count)."""
+    workload = get_workload(name)
+    base = run_workload(workload, SpecConfig.base())
+    spec = run_workload(workload, SpecConfig.profile())
+    assert spec.stats.memory_loads <= base.stats.memory_loads \
+        + spec.stats.check_misses
+
+
+def test_aggressive_correct_when_aliasing_never_happens():
+    """equake's aliasing never materializes, so even the unsafe
+    upper-bound configuration computes the right answer on this input."""
+    workload = get_workload("equake")
+    result = run_workload(workload, SpecConfig.aggressive())
+    assert result.output == result.expected
