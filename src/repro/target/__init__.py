@@ -1,0 +1,35 @@
+"""``repro.target`` — the IA-64-flavoured machine model.
+
+The measurement half of the reproduction (docs/machine_model.md,
+docs/target_api.md): a virtual-register ISA with the four load flavours
+(``ld``/``ld.a``/``ld.s``/``ld.c``), code generation from the optimized
+IR, the ALAT and the two-level data cache, an in-order scoreboard
+simulator reporting the paper's counters, and a latency-aware list
+scheduler.
+
+Typical use::
+
+    from repro.target import compile_module, run_program, schedule_program
+
+    program = compile_module(optimized_module)
+    schedule_program(program)
+    stats, output = run_program(program, inputs=[...])
+"""
+
+from .alat import ALAT
+from .cache import DataCache
+from .codegen import compile_function, compile_module, compute_max_live
+from .isa import (ALU_OPS, EFFECT_OPS, LOAD_OPS, TERMINATOR_OPS, MBlock,
+                  MFunction, MInstr, MProgram)
+from .machine import MachineError, run_program
+from .scheduler import schedule_function, schedule_program
+from .stats import FnStats, MachineStats
+from .verify import verify_function, verify_program
+
+__all__ = [
+    "ALAT", "ALU_OPS", "DataCache", "EFFECT_OPS", "FnStats", "LOAD_OPS",
+    "MBlock", "MFunction", "MInstr", "MProgram", "MachineError",
+    "MachineStats", "TERMINATOR_OPS", "compile_function", "compile_module",
+    "compute_max_live", "run_program", "schedule_function",
+    "schedule_program", "verify_function", "verify_program",
+]

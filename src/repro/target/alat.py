@@ -1,0 +1,103 @@
+"""The Advanced Load Address Table (ALAT).
+
+The hardware structure behind IA-64 data speculation (docs/machine_model.md):
+``ld.a`` allocates an entry recording *(target register, address)*;
+every ``st`` searches the table and invalidates entries whose address
+matches; ``ld.c`` succeeds iff its register's entry survived with the
+same address.  The table is small and set-associative, so *capacity
+evictions* make even correct speculation occasionally fail — a
+second-order cost the paper's mis-speculation ratios include.
+
+Entries are additionally keyed by an activation serial (``frame``): the
+simulator's virtual registers are per-activation, so without the serial
+a recursive call could hit an entry its caller armed in the *same*
+register number — a false hit the real (physical-register) hardware
+cannot have.
+
+Model invariant (property-tested in ``tests/target``): **a check hit
+implies no store wrote the armed address since the entry was armed.**
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+_Key = Tuple[int, int]  # (activation serial, virtual register)
+
+
+class ALAT:
+    """A ``entries``-entry, ``ways``-way set-associative ALAT, hashed on
+    address, LRU within each set."""
+
+    def __init__(self, entries: int = 32, ways: int = 2) -> None:
+        if entries <= 0 or ways <= 0 or entries % ways:
+            raise ValueError("entries must be a positive multiple of ways")
+        self.entries = entries
+        self.ways = ways
+        self.nsets = entries // ways
+        # set index -> OrderedDict[(frame, reg) -> armed address],
+        # least-recently-used first
+        self._sets: Dict[int, "OrderedDict[_Key, int]"] = {}
+        # reverse index so re-arming a register drops its stale entry
+        # even when the new address hashes to a different set
+        self._home: Dict[_Key, int] = {}
+
+    # ---- lifecycle ------------------------------------------------------
+    def clone(self) -> "ALAT":
+        """A fresh, empty ALAT with the same geometry (``run_program``
+        never mutates the instance it was handed)."""
+        return ALAT(self.entries, self.ways)
+
+    def reset(self) -> None:
+        self._sets.clear()
+        self._home.clear()
+
+    def __len__(self) -> int:
+        return len(self._home)
+
+    # ---- operations -----------------------------------------------------
+    def arm(self, reg: int, addr: int, frame: int = 0) -> None:
+        """``ld.a``: allocate an entry for ``reg`` at ``addr``, evicting
+        the set's LRU entry if the set is full."""
+        key = (frame, reg)
+        old = self._home.pop(key, None)
+        if old is not None:
+            self._sets[old].pop(key, None)
+        index = addr % self.nsets
+        entries = self._sets.get(index)
+        if entries is None:
+            entries = self._sets[index] = OrderedDict()
+        entries[key] = addr
+        self._home[key] = index
+        if len(entries) > self.ways:
+            victim, _ = entries.popitem(last=False)
+            del self._home[victim]
+
+    def check(self, reg: int, addr: int, frame: int = 0) -> bool:
+        """``ld.c``: True iff ``reg``'s entry survived and still names
+        ``addr``.  A hit refreshes the entry's LRU position."""
+        key = (frame, reg)
+        index = self._home.get(key)
+        if index is None:
+            return False
+        entries = self._sets[index]
+        if entries[key] != addr:
+            return False
+        entries.move_to_end(key)
+        return True
+
+    def invalidate(self, addr: int) -> int:
+        """``st``: drop every entry armed at ``addr``.  Returns how many
+        entries were invalidated."""
+        entries = self._sets.get(addr % self.nsets)
+        if not entries:
+            return 0
+        victims = [key for key, armed in entries.items() if armed == addr]
+        for key in victims:
+            del entries[key]
+            del self._home[key]
+        return len(victims)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ALAT {self.entries}x{self.ways}-way, {len(self)} armed>"

@@ -1,0 +1,115 @@
+"""The two-level data cache (docs/machine_model.md §"Memory hierarchy").
+
+Cell-granular lines, LRU within each set.  The one Itanium-specific wrinkle
+is carried over from the paper's §5.2: **floating-point loads bypass L1**
+and are served from L2 at best (9 cycles on the paper's machine vs. 2 for
+an integer L1 hit) — which is precisely why speculative register promotion
+pays so well on the FP benchmarks: every promoted FP load saves ≥ the L2
+latency, not just an L1 hit.
+
+Stores allocate (so a hot structure becomes resident either way) but do
+not stall the pipeline; only load latencies feed the scoreboard.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+
+class _Level:
+    """One set-associative level: set index -> OrderedDict of resident
+    line numbers (LRU first)."""
+
+    __slots__ = ("nsets", "ways", "sets")
+
+    def __init__(self, lines: int, ways: int) -> None:
+        if lines <= 0 or ways <= 0 or lines % ways:
+            raise ValueError("lines must be a positive multiple of ways")
+        self.nsets = lines // ways
+        self.ways = ways
+        self.sets: Dict[int, "OrderedDict[int, None]"] = {}
+
+    def lookup(self, line: int) -> bool:
+        entries = self.sets.get(line % self.nsets)
+        if entries is None or line not in entries:
+            return False
+        entries.move_to_end(line)
+        return True
+
+    def fill(self, line: int) -> None:
+        index = line % self.nsets
+        entries = self.sets.get(index)
+        if entries is None:
+            entries = self.sets[index] = OrderedDict()
+        entries[line] = None
+        entries.move_to_end(line)
+        if len(entries) > self.ways:
+            entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self.sets.clear()
+
+
+class DataCache:
+    """Two-level LRU data cache in cell units."""
+
+    def __init__(self, l1_lines: int = 128, l2_lines: int = 1024,
+                 ways: int = 4, line_cells: int = 8,
+                 l1_latency: int = 2, l2_latency: int = 9,
+                 mem_latency: int = 60) -> None:
+        self.l1_lines = l1_lines
+        self.l2_lines = l2_lines
+        self.ways = ways
+        self.line_cells = line_cells
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.mem_latency = mem_latency
+        self._l1 = _Level(l1_lines, ways)
+        self._l2 = _Level(l2_lines, ways)
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.misses = 0
+
+    # ---- lifecycle ------------------------------------------------------
+    def clone(self, mem_latency: int = None) -> "DataCache":
+        """A fresh, cold cache with the same geometry; ``mem_latency``
+        optionally overridden (the ablation knob)."""
+        return DataCache(self.l1_lines, self.l2_lines, self.ways,
+                         self.line_cells, self.l1_latency, self.l2_latency,
+                         self.mem_latency if mem_latency is None
+                         else mem_latency)
+
+    def reset(self) -> None:
+        self._l1.clear()
+        self._l2.clear()
+        self.l1_hits = self.l2_hits = self.misses = 0
+
+    # ---- accesses -------------------------------------------------------
+    def load(self, addr: int, fp: bool = False) -> int:
+        """Access latency of a load at ``addr``; updates residency."""
+        line = addr // self.line_cells
+        if not fp and self._l1.lookup(line):
+            self.l1_hits += 1
+            return self.l1_latency
+        if self._l2.lookup(line):
+            self.l2_hits += 1
+            if not fp:
+                self._l1.fill(line)
+            return self.l2_latency
+        self.misses += 1
+        self._l2.fill(line)
+        if not fp:
+            self._l1.fill(line)
+        return self.mem_latency
+
+    def store(self, addr: int, fp: bool = False) -> None:
+        """Write-allocate: make the line resident (no pipeline stall)."""
+        line = addr // self.line_cells
+        self._l2.lookup(line) or self._l2.fill(line)
+        if not fp:
+            self._l1.lookup(line) or self._l1.fill(line)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DataCache L1 {self.l1_lines} L2 {self.l2_lines} "
+                f"hits {self.l1_hits}/{self.l2_hits} misses {self.misses}>")

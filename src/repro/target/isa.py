@@ -1,0 +1,236 @@
+"""The IA-64-flavoured virtual-register ISA.
+
+A :class:`MProgram` is the code generator's output and the simulator's
+input: per-function CFGs of :class:`MInstr` over an unbounded virtual
+register file.  The four load flavours carry the paper's speculative
+semantics (docs/machine_model.md):
+
+========  ==========================================================
+``ld``    ordinary load; faults on an unallocated address
+``ld.a``  advanced load — loads *and* arms an ALAT entry; never
+          faults (deferred-exception NaT behaviour)
+``ld.s``  control-speculative load; never faults
+``ld.c``  check load — ALAT hit: the register value stands at ~zero
+          cost; miss: re-executes as a real load and re-arms
+========  ==========================================================
+
+Everything else is a deliberately small RISC: ``movi``/``mov``/``lea``,
+three-address ALU ops named after the IR operators, ``st``, branches,
+``call``/``ret`` and the ``input``/``alloc``/``print`` intrinsics shared
+with the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir import Symbol
+
+#: The load flavours (retired-load counters are split along these).
+LOAD_OPS = frozenset({"ld", "ld.a", "ld.s", "ld.c"})
+
+#: Binary ALU ops, keyed by the IR operator they implement.
+BIN_OP_NAMES = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+    "<": "cmp.lt", "<=": "cmp.le", ">": "cmp.gt", ">=": "cmp.ge",
+    "==": "cmp.eq", "!=": "cmp.ne",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+}
+
+#: Unary ALU ops, keyed by the IR operator.
+UN_OP_NAMES = {
+    "-": "neg", "!": "not", "~": "bnot",
+    "int": "cvt.int", "float": "cvt.float",
+}
+
+ALU_OPS = frozenset(BIN_OP_NAMES.values()) | frozenset(UN_OP_NAMES.values())
+
+#: Ops with externally visible effects whose relative order is frozen.
+EFFECT_OPS = frozenset({"call", "print", "input", "inputf", "alloc"})
+
+#: Block terminators.
+TERMINATOR_OPS = frozenset({"jmp", "br", "ret"})
+
+
+class MInstr:
+    """One machine instruction.
+
+    Attributes:
+        op: opcode string (see module docstring).
+        dest: destination virtual register, or ``None``.
+        srcs: source virtual registers (address first for memory ops).
+        imm: immediate constant (``movi``).
+        sym: the frame/global :class:`~repro.ir.Symbol` (``lea``).
+        callee: target function or intrinsic name (``call``).
+        targets: successor :class:`MBlock` s (``jmp``/``br``).
+        fp: the access moves a floating-point value (memory ops; drives
+            the cache's FP-bypass policy and ``st`` coercion).
+        coerce: ``st`` only — coerce the stored value to float first
+            (set from the IR :class:`~repro.ir.Store`'s declared type).
+    """
+
+    __slots__ = ("op", "dest", "srcs", "imm", "sym", "callee", "targets",
+                 "fp", "coerce")
+
+    def __init__(self, op: str, dest: Optional[int] = None,
+                 srcs: Sequence[int] = (), imm=None,
+                 sym: Optional[Symbol] = None, callee: Optional[str] = None,
+                 targets: Sequence["MBlock"] = (), fp: bool = False,
+                 coerce: bool = False) -> None:
+        self.op = op
+        self.dest = dest
+        self.srcs = tuple(srcs)
+        self.imm = imm
+        self.sym = sym
+        self.callee = callee
+        self.targets = tuple(targets)
+        self.fp = fp
+        self.coerce = coerce
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    @property
+    def uses(self) -> Tuple[int, ...]:
+        """Registers this instruction reads.  ``ld.c`` implicitly reads
+        its own destination: on an ALAT hit the register value stands,
+        so the check depends on the advanced load (or whatever else)
+        that last defined it."""
+        if self.op == "ld.c" and self.dest is not None:
+            return self.srcs + (self.dest,)
+        return self.srcs
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in LOAD_OPS or self.op == "st"
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in TERMINATOR_OPS
+
+    def __str__(self) -> str:
+        parts: List[str] = []
+        if self.dest is not None:
+            parts.append(f"r{self.dest} =")
+        parts.append(self.op + (".f" if self.fp and self.is_mem else ""))
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.sym is not None:
+            parts.append(f"&{self.sym.name}")
+        if self.callee is not None:
+            parts.append(self.callee)
+        if self.srcs:
+            parts.append(", ".join(f"r{s}" for s in self.srcs))
+        if self.targets:
+            parts.append(", ".join(t.name for t in self.targets))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MInstr {self}>"
+
+
+class MBlock:
+    """A machine basic block: a list of instructions ending in exactly
+    one terminator (``jmp``/``br``/``ret``)."""
+
+    __slots__ = ("name", "instrs")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instrs: List[MInstr] = []
+
+    def append(self, instr: MInstr) -> MInstr:
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def terminator(self) -> Optional[MInstr]:
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MBlock {self.name} ({len(self.instrs)} instrs)>"
+
+
+class MFunction:
+    """One compiled procedure.
+
+    Attributes:
+        name: function name.
+        blocks: machine blocks in layout order (entry first); a branch
+            to the lexically-next block is a fall-through, anything else
+            pays the taken-branch penalty.
+        nregs: size of the virtual register file.
+        param_regs: registers receiving the arguments, in order.
+        frame_allocs: ``(symbol, cells)`` pairs the simulator allocates
+            on every activation, in the reference interpreter's order
+            (memory-resident locals first, then address-taken params).
+        max_live: static maximum of simultaneously-live virtual
+            registers (the §5.2 register-pressure proxy), computed by
+            the code generator.
+    """
+
+    __slots__ = ("name", "blocks", "nregs", "param_regs", "frame_allocs",
+                 "max_live")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: List[MBlock] = []
+        self.nregs = 0
+        self.param_regs: List[int] = []
+        self.frame_allocs: List[Tuple[Symbol, int]] = []
+        self.max_live = 0
+
+    def new_block(self, name: str) -> MBlock:
+        block = MBlock(name)
+        self.blocks.append(block)
+        return block
+
+    def instructions(self):
+        for block in self.blocks:
+            for instr in block.instrs:
+                yield block, instr
+
+    def format(self) -> str:
+        lines = [f"func {self.name} "
+                 f"(params {', '.join(f'r{r}' for r in self.param_regs)}; "
+                 f"{self.nregs} regs; max-live {self.max_live})"]
+        for sym, cells in self.frame_allocs:
+            lines.append(f"  frame {sym.name}[{cells}]")
+        for block in self.blocks:
+            lines.append(f"{block.name}:")
+            for instr in block.instrs:
+                lines.append(f"  {instr}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MFunction {self.name}>"
+
+
+class MProgram:
+    """A whole compiled program: globals plus machine functions."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, MFunction] = {}
+        self.globals: List[Tuple[Symbol, int]] = []
+
+    def add_function(self, fn: MFunction) -> MFunction:
+        self.functions[fn.name] = fn
+        return fn
+
+    @property
+    def main(self) -> MFunction:
+        return self.functions["main"]
+
+    def format(self) -> str:
+        parts = []
+        for sym, cells in self.globals:
+            parts.append(f"global {sym.name}[{cells}]")
+        for fn in self.functions.values():
+            parts.append(fn.format())
+        return "\n\n".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MProgram {sorted(self.functions)}>"

@@ -1,0 +1,504 @@
+"""The machine simulator: in-order EPIC-style timing over an exact
+functional execution.
+
+Functional semantics mirror the reference interpreter byte-for-byte
+(same bump allocator, same guard cells, same C-style division, same
+``%.6g`` float printing), so the correctness oracle can compare outputs
+verbatim.  On top of that runs the timing model of
+docs/machine_model.md: ``issue_width`` slots per cycle with
+``mem_ports`` memory ports, a register scoreboard (consumers stall
+until their producer's latency elapses), a taken-branch penalty and a
+small call overhead.  Stall cycles whose binding producer was a load
+are attributed to *data access* — Figure 10's third series.
+
+The speculative flavours meet the :class:`~repro.target.ALAT` here:
+``ld.a`` arms an entry, ``st`` invalidates matching entries, and
+``ld.c`` either rides a surviving entry at ``check_hit_latency``
+(default 0 — the paper's whole premise) or re-executes as a real load,
+counted as a mis-speculation.
+
+Instructions are translated to plain tuples once per run so the
+dispatch loop stays lean enough for the million-instruction workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ir import StorageKind
+from ..profiling.interp import c_div, c_rem
+from .alat import ALAT
+from .cache import DataCache
+from .isa import MFunction, MProgram
+from .stats import FnStats, MachineStats
+
+Value = Union[int, float]
+
+
+class MachineError(Exception):
+    """Raised on a machine-level runtime error (bad address, fuel
+    exhausted, missing main, malformed program)."""
+
+
+# ---- opcode encoding --------------------------------------------------
+
+(_MOVI, _MOV, _LEA, _LD, _LDA, _LDS, _LDC, _ST, _BIN, _UN, _CALL,
+ _INPUT, _INPUTF, _ALLOC, _PRINT, _JMP, _BR, _RET) = range(18)
+
+_LOAD_CODE = {"ld": _LD, "ld.a": _LDA, "ld.s": _LDS, "ld.c": _LDC}
+
+_BIN_FN = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": c_div,
+    "rem": c_rem,
+    "cmp.lt": lambda a, b: int(a < b),
+    "cmp.le": lambda a, b: int(a <= b),
+    "cmp.gt": lambda a, b: int(a > b),
+    "cmp.ge": lambda a, b: int(a >= b),
+    "cmp.eq": lambda a, b: int(a == b),
+    "cmp.ne": lambda a, b: int(a != b),
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+}
+
+_UN_FN = {
+    "neg": lambda a: -a,
+    "not": lambda a: int(not a),
+    "bnot": lambda a: ~int(a),
+    "cvt.int": int,
+    "cvt.float": float,
+}
+
+#: result latency in cycles by ALU op (everything else is 1)
+_ALU_LATENCY = {"mul": 3, "div": 12, "rem": 12}
+
+
+class _TFunc:
+    """One translated function: blocks of instruction tuples."""
+
+    __slots__ = ("name", "blocks", "nregs", "param_regs", "frame_allocs")
+
+    def __init__(self, fn: MFunction) -> None:
+        self.name = fn.name
+        self.nregs = fn.nregs
+        self.param_regs = fn.param_regs
+        self.frame_allocs = fn.frame_allocs
+        index = {id(block): i for i, block in enumerate(fn.blocks)}
+        self.blocks: List[List[tuple]] = []
+        for i, block in enumerate(fn.blocks):
+            out: List[tuple] = []
+            for instr in block.instrs:
+                op = instr.op
+                if op == "movi":
+                    out.append((_MOVI, instr.dest, instr.imm))
+                elif op == "mov":
+                    out.append((_MOV, instr.dest, instr.srcs[0]))
+                elif op == "lea":
+                    out.append((_LEA, instr.dest, instr.sym,
+                                instr.sym.kind is StorageKind.GLOBAL))
+                elif op in _LOAD_CODE:
+                    out.append((_LOAD_CODE[op], instr.dest, instr.srcs[0],
+                                instr.fp))
+                elif op == "st":
+                    out.append((_ST, instr.srcs[0], instr.srcs[1],
+                                instr.coerce, instr.fp))
+                elif op in _BIN_FN:
+                    out.append((_BIN, instr.dest, _BIN_FN[op],
+                                instr.srcs[0], instr.srcs[1],
+                                _ALU_LATENCY.get(op, 1)))
+                elif op in _UN_FN:
+                    out.append((_UN, instr.dest, _UN_FN[op], instr.srcs[0]))
+                elif op == "call":
+                    out.append((_CALL, instr.dest, instr.callee, instr.srcs))
+                elif op == "input":
+                    out.append((_INPUT, instr.dest))
+                elif op == "inputf":
+                    out.append((_INPUTF, instr.dest))
+                elif op == "alloc":
+                    out.append((_ALLOC, instr.dest, instr.srcs[0]))
+                elif op == "print":
+                    out.append((_PRINT, instr.srcs))
+                elif op == "jmp":
+                    target = index[id(instr.targets[0])]
+                    out.append((_JMP, target, target != i + 1))
+                elif op == "br":
+                    then_i = index[id(instr.targets[0])]
+                    else_i = index[id(instr.targets[1])]
+                    out.append((_BR, instr.srcs[0], then_i, else_i,
+                                then_i != i + 1, else_i != i + 1))
+                elif op == "ret":
+                    out.append((_RET, instr.srcs[0] if instr.srcs else None))
+                else:
+                    raise MachineError(f"unknown opcode {op!r}")
+            self.blocks.append(out)
+
+
+class _Machine:
+    """One simulation run: memory + scoreboard + counters."""
+
+    def __init__(self, program: MProgram, inputs: Sequence[Value],
+                 fuel: int, issue_width: int, mem_ports: int,
+                 branch_penalty: int, call_overhead: int,
+                 alat: ALAT, cache: DataCache,
+                 check_hit_latency: int, check_issue_free: bool) -> None:
+        self.funcs = {name: _TFunc(fn)
+                      for name, fn in program.functions.items()}
+        self.inputs = list(inputs)
+        self._input_pos = 0
+        self.fuel = fuel
+        self.issue_width = issue_width
+        self.mem_ports = mem_ports
+        self.branch_penalty = branch_penalty
+        self.call_overhead = call_overhead
+        self.alat = alat
+        self.cache = cache
+        self.check_hit_latency = check_hit_latency
+        self.check_issue_free = check_issue_free
+
+        self.memory: Dict[int, Value] = {}
+        self._next_addr = 16  # matches the interpreter: 0 stays null
+        self._global_addr: Dict[object, int] = {}
+        for sym, cells in program.globals:
+            self._global_addr[sym] = self._allocate(cells)
+        self.output: List[str] = []
+        self.stats = MachineStats()
+        self._frame_serial = 0
+
+        # scoreboard
+        self.cycle = 0
+        self.slots = 0
+        self.ports = 0
+
+    # ---- memory ---------------------------------------------------------
+    def _allocate(self, cells: int) -> int:
+        base = self._next_addr
+        span = cells if cells > 0 else 1
+        self._next_addr += span + 1  # +1 guard cell, like the interpreter
+        memory = self.memory
+        for i in range(span):
+            memory[base + i] = 0
+        return base
+
+    def _next_input(self) -> Value:
+        if self._input_pos >= len(self.inputs):
+            raise MachineError("input stream exhausted")
+        value = self.inputs[self._input_pos]
+        self._input_pos += 1
+        return value
+
+    # ---- running --------------------------------------------------------
+    def run(self) -> Tuple[MachineStats, List[str]]:
+        if "main" not in self.funcs:
+            raise MachineError("program has no main()")
+        self._call(self.funcs["main"], [])
+        self.stats.cycles = self.cycle
+        return self.stats, self.output
+
+    def _call(self, fn: _TFunc, args: List[Value]) -> Optional[Value]:
+        if len(args) != len(fn.param_regs):
+            raise MachineError(f"{fn.name}: arity mismatch")
+        self._frame_serial += 1
+        frame = self._frame_serial
+        regs: List[Value] = [0] * fn.nregs
+        ready = [0] * fn.nregs          # cycle each register's value lands
+        from_load = [False] * fn.nregs  # producer was a load (for Fig. 10)
+        for reg, value in zip(fn.param_regs, args):
+            regs[reg] = value
+        addr_of: Dict[object, int] = {}
+        for sym, cells in fn.frame_allocs:
+            addr_of[sym] = self._allocate(cells)
+
+        fs = self.stats.fn(fn.name)
+        self.cycle += self.call_overhead
+        stats = self.stats
+        memory = self.memory
+        alat = self.alat
+        cache = self.cache
+        issue_width = self.issue_width
+        mem_ports = self.mem_ports
+        blocks = fn.blocks
+        block_index = 0
+        while True:
+            self.fuel -= 1
+            if self.fuel <= 0:
+                raise MachineError("fuel exhausted (infinite loop?)")
+            entered_at = self.cycle
+            next_block = -1
+            retval: Optional[Value] = None
+            returning = False
+            for instr in blocks[block_index]:
+                code = instr[0]
+
+                # -- scoreboard: stall until operands are ready ----------
+                cycle = self.cycle
+                if code <= _LDC and code >= _LD:       # loads
+                    srcs = (instr[2], instr[1]) if code == _LDC \
+                        else (instr[2],)
+                elif code == _ST:
+                    srcs = (instr[1], instr[2])
+                elif code == _BIN:
+                    srcs = (instr[3], instr[4])
+                elif code == _UN:
+                    srcs = (instr[3],)
+                elif code == _MOV:
+                    srcs = (instr[2],)
+                elif code == _CALL:
+                    srcs = instr[3]
+                elif code == _ALLOC:
+                    srcs = (instr[2],)
+                elif code == _PRINT:
+                    srcs = instr[1]
+                elif code == _BR:
+                    srcs = (instr[1],)
+                elif code == _RET:
+                    srcs = (instr[1],) if instr[1] is not None else ()
+                else:
+                    srcs = ()
+                binding_from_load = False
+                t = cycle
+                for src in srcs:
+                    r = ready[src]
+                    if r > t:
+                        t = r
+                        binding_from_load = from_load[src]
+                if t > cycle:
+                    if binding_from_load:
+                        stats.data_access_cycles += t - cycle
+                    cycle = t
+                    self.slots = 0
+                    self.ports = 0
+
+                # -- issue: consume a slot (and a port for memory ops) ---
+                free_check = self.check_issue_free and code == _LDC
+                if not free_check:
+                    if self.slots >= issue_width:
+                        cycle += 1
+                        self.slots = 0
+                        self.ports = 0
+                    if _LD <= code <= _ST and self.ports >= mem_ports:
+                        cycle += 1
+                        self.slots = 0
+                        self.ports = 0
+                    self.slots += 1
+                    if _LD <= code <= _ST:
+                        self.ports += 1
+                self.cycle = cycle
+                stats.instructions += 1
+                fs.instructions += 1
+
+                # -- execute ---------------------------------------------
+                if code == _BIN:
+                    dest = instr[1]
+                    regs[dest] = instr[2](regs[instr[3]], regs[instr[4]])
+                    ready[dest] = cycle + instr[5]
+                    from_load[dest] = False
+                elif code == _MOVI:
+                    dest = instr[1]
+                    regs[dest] = instr[2]
+                    ready[dest] = cycle + 1
+                    from_load[dest] = False
+                elif code == _MOV:
+                    dest = instr[1]
+                    regs[dest] = regs[instr[2]]
+                    ready[dest] = cycle + 1
+                    from_load[dest] = False
+                elif code == _LEA:
+                    dest = instr[1]
+                    regs[dest] = self._global_addr[instr[2]] if instr[3] \
+                        else addr_of[instr[2]]
+                    ready[dest] = cycle + 1
+                    from_load[dest] = False
+                elif code == _LD:
+                    dest = instr[1]
+                    addr = int(regs[instr[2]])
+                    try:
+                        regs[dest] = memory[addr]
+                    except KeyError:
+                        raise MachineError(
+                            f"load from unallocated address {addr}"
+                        ) from None
+                    ready[dest] = cycle + cache.load(addr, instr[3])
+                    from_load[dest] = True
+                    stats.plain_loads += 1
+                    fs.plain_loads += 1
+                elif code == _LDA:
+                    dest = instr[1]
+                    addr = int(regs[instr[2]])
+                    value = memory.get(addr)
+                    if value is None:
+                        regs[dest] = 0      # deferred fault: NaT as zero
+                    else:
+                        regs[dest] = value
+                        alat.arm(dest, addr, frame)
+                    ready[dest] = cycle + cache.load(addr, instr[3])
+                    from_load[dest] = True
+                    stats.advanced_loads += 1
+                    fs.advanced_loads += 1
+                elif code == _LDS:
+                    dest = instr[1]
+                    addr = int(regs[instr[2]])
+                    regs[dest] = memory.get(addr, 0)
+                    ready[dest] = cycle + cache.load(addr, instr[3])
+                    from_load[dest] = True
+                    stats.spec_loads += 1
+                    fs.spec_loads += 1
+                elif code == _LDC:
+                    dest = instr[1]
+                    addr = int(regs[instr[2]])
+                    stats.check_loads += 1
+                    fs.check_loads += 1
+                    if alat.check(dest, addr, frame):
+                        # hit: the register value stands at ~zero cost
+                        ready[dest] = cycle + self.check_hit_latency
+                        from_load[dest] = False
+                    else:
+                        try:
+                            regs[dest] = memory[addr]
+                        except KeyError:
+                            raise MachineError(
+                                f"check load from unallocated address "
+                                f"{addr}") from None
+                        alat.arm(dest, addr, frame)
+                        ready[dest] = cycle + cache.load(addr, instr[3])
+                        from_load[dest] = True
+                        stats.check_misses += 1
+                        fs.check_misses += 1
+                elif code == _ST:
+                    addr = int(regs[instr[1]])
+                    if addr not in memory:
+                        raise MachineError(
+                            f"store to unallocated address {addr}")
+                    value = regs[instr[2]]
+                    if instr[3]:
+                        value = float(value)
+                    memory[addr] = value
+                    alat.invalidate(addr)
+                    cache.store(addr, instr[4])
+                    stats.stores += 1
+                    fs.stores += 1
+                elif code == _JMP:
+                    next_block = instr[1]
+                    if instr[2]:
+                        self.cycle = cycle + 1 + self.branch_penalty
+                        self.slots = 0
+                        self.ports = 0
+                    break
+                elif code == _BR:
+                    if regs[instr[1]]:
+                        next_block, taken = instr[2], instr[4]
+                    else:
+                        next_block, taken = instr[3], instr[5]
+                    if taken:
+                        self.cycle = cycle + 1 + self.branch_penalty
+                        self.slots = 0
+                        self.ports = 0
+                    break
+                elif code == _RET:
+                    if instr[1] is not None:
+                        retval = regs[instr[1]]
+                    returning = True
+                    break
+                elif code == _CALL:
+                    callee = self.funcs.get(instr[2])
+                    if callee is None:
+                        raise MachineError(f"call to unknown function "
+                                           f"{instr[2]!r}")
+                    result = self._call(callee,
+                                        [regs[s] for s in instr[3]])
+                    fs = self.stats.fn(fn.name)
+                    dest = instr[1]
+                    if dest is not None:
+                        if result is None:
+                            raise MachineError(
+                                f"void result of {instr[2]} used")
+                        regs[dest] = result
+                        ready[dest] = self.cycle
+                        from_load[dest] = False
+                    entered_at = self.cycle  # callee cycles are its own
+                elif code == _UN:
+                    dest = instr[1]
+                    regs[dest] = instr[2](regs[instr[3]])
+                    ready[dest] = cycle + 1
+                    from_load[dest] = False
+                elif code == _INPUT or code == _INPUTF:
+                    dest = instr[1]
+                    value = self._next_input()
+                    regs[dest] = float(value) if code == _INPUTF \
+                        else int(value)
+                    ready[dest] = cycle + 1
+                    from_load[dest] = False
+                elif code == _ALLOC:
+                    dest = instr[1]
+                    regs[dest] = self._allocate(int(regs[instr[2]]))
+                    ready[dest] = cycle + 1
+                    from_load[dest] = False
+                elif code == _PRINT:
+                    parts = []
+                    for src in instr[1]:
+                        value = regs[src]
+                        parts.append(f"{value:.6g}"
+                                     if isinstance(value, float)
+                                     else str(value))
+                    self.output.append(" ".join(parts))
+            fs.cycles += self.cycle - entered_at
+            if returning:
+                self.cycle += self.call_overhead
+                return retval
+            if next_block < 0:
+                raise MachineError(f"{fn.name}: block without terminator")
+            block_index = next_block
+
+
+def run_program(program: MProgram, inputs: Sequence[Value] = (),
+                fuel: int = 200_000_000, *,
+                issue_width: int = 4, mem_ports: int = 2,
+                branch_penalty: int = 1, call_overhead: int = 2,
+                alat: Optional[ALAT] = None,
+                cache: Optional[DataCache] = None,
+                check_hit_latency: int = 0,
+                check_latency: Optional[int] = None,
+                check_issue_free: bool = False,
+                mem_latency: Optional[int] = None,
+                machine_overrides: Optional[dict] = None
+                ) -> Tuple[MachineStats, List[str]]:
+    """Simulate ``program`` on the IA-64-flavoured machine.
+
+    Returns ``(MachineStats, output lines)``.  ``inputs`` feeds the
+    ``input()``/``inputf()`` intrinsics; ``fuel`` bounds executed basic
+    blocks.  The keyword knobs (see docs/machine_model.md) configure the
+    machine; ``machine_overrides`` may carry the same knobs as a dict
+    (they win over the direct keywords).  ``check_latency`` is accepted
+    as an alias of ``check_hit_latency``; ``mem_latency`` overrides the
+    cache's memory latency without replacing its geometry.
+
+    The passed ``alat``/``cache`` objects are treated as *configuration*:
+    the run clones them cold rather than mutating them, so one object can
+    parameterize many runs.
+    """
+    if machine_overrides:
+        return run_program(program, inputs, fuel,
+                           **{**dict(issue_width=issue_width,
+                                     mem_ports=mem_ports,
+                                     branch_penalty=branch_penalty,
+                                     call_overhead=call_overhead,
+                                     alat=alat, cache=cache,
+                                     check_hit_latency=check_hit_latency,
+                                     check_latency=check_latency,
+                                     check_issue_free=check_issue_free,
+                                     mem_latency=mem_latency),
+                              **machine_overrides})
+    if check_latency is not None:
+        check_hit_latency = check_latency
+    alat = alat.clone() if alat is not None else ALAT()
+    cache = cache.clone(mem_latency) if cache is not None \
+        else DataCache(**({} if mem_latency is None
+                          else {"mem_latency": mem_latency}))
+    machine = _Machine(program, inputs, fuel, issue_width, mem_ports,
+                       branch_penalty, call_overhead, alat, cache,
+                       check_hit_latency, check_issue_free)
+    return machine.run()

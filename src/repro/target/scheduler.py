@@ -1,0 +1,131 @@
+"""Latency-aware list scheduling of machine code (docs/machine_model.md).
+
+Each block is rescheduled independently: build the dependence DAG, then
+greedily issue the ready instruction with the greatest critical-path
+height (longest latency-weighted path to the end of the block), breaking
+ties by original order so scheduling is deterministic and a no-op on
+already-optimal code.
+
+Ordering rules, from strongest to weakest:
+
+* the terminator stays last;
+* effect instructions (``call``/``print``/``input``/``alloc``) keep
+  their relative order and never cross a memory access (calls may read
+  and write memory);
+* stores stay ordered with each other and **no load moves across a
+  store in either direction**.  This subsumes the ALAT rule the model
+  documents: hoisting an ``ld.c`` above a store could let the check hit
+  an entry the store was about to invalidate — a missed mis-speculation,
+  i.e. a miscompile, not a slowdown;
+* register dependences: RAW, WAR and WAW (virtual registers are not
+  renamed, and ``ld.c`` *reads* its own destination).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .isa import EFFECT_OPS, MBlock, MFunction, MInstr, MProgram
+
+#: static latency estimates used for priority (not for correctness)
+_HEIGHT = {"ld": 6, "ld.a": 6, "ld.s": 6, "ld.c": 1,
+           "mul": 3, "div": 12, "rem": 12}
+
+
+def _schedule_block(block: MBlock) -> None:
+    instrs = block.instrs
+    if len(instrs) <= 2:
+        return
+    term = instrs[-1] if instrs[-1].is_terminator else None
+    body = instrs[:-1] if term is not None else list(instrs)
+    n = len(body)
+    if n <= 1:
+        return
+
+    succs: List[List[int]] = [[] for _ in range(n)]
+    npreds = [0] * n
+
+    def edge(a: int, b: int) -> None:
+        succs[a].append(b)
+        npreds[b] += 1
+
+    last_def: Dict[int, int] = {}
+    last_uses: Dict[int, List[int]] = {}
+    last_store = -1
+    last_effect = -1
+    # every load since the last store/effect barrier: the next barrier
+    # needs an edge from each of them, not just the most recent one (a
+    # load blocked behind a long-latency chain must still not sink past
+    # a later store)
+    pending_loads: List[int] = []
+    for i, instr in enumerate(body):
+        for reg in instr.uses:                       # RAW
+            if reg in last_def:
+                edge(last_def[reg], i)
+            last_uses.setdefault(reg, []).append(i)
+        if instr.dest is not None:
+            if instr.dest in last_def:               # WAW
+                edge(last_def[instr.dest], i)
+            for use in last_uses.get(instr.dest, ()):  # WAR
+                if use != i:
+                    edge(use, i)
+            last_def[instr.dest] = i
+            last_uses[instr.dest] = []
+        if instr.op == "st":
+            if last_store >= 0:    # stores stay ordered with each other
+                edge(last_store, i)
+            for load in pending_loads:  # no load sinks below a store
+                edge(load, i)
+            if last_effect >= 0:
+                edge(last_effect, i)
+            last_store = i
+            pending_loads = []
+        elif instr.is_load:
+            if last_store >= 0:    # a load never hoists above a store
+                edge(last_store, i)
+            if last_effect >= 0:
+                edge(last_effect, i)
+            pending_loads.append(i)
+        elif instr.op in EFFECT_OPS:
+            if last_store >= 0:    # calls may read and write memory
+                edge(last_store, i)
+            for load in pending_loads:
+                edge(load, i)
+            if last_effect >= 0:
+                edge(last_effect, i)
+            last_effect = i
+            pending_loads = []
+
+    height = [0] * n
+    for i in range(n - 1, -1, -1):
+        below = max((height[s] for s in succs[i]), default=0)
+        height[i] = below + _HEIGHT.get(body[i].op, 1)
+
+    # greedy list scheduling: highest critical path first, stable on ties
+    import heapq
+
+    ready = [(-height[i], i) for i in range(n) if npreds[i] == 0]
+    heapq.heapify(ready)
+    order: List[MInstr] = []
+    while ready:
+        _, i = heapq.heappop(ready)
+        order.append(body[i])
+        for s in succs[i]:
+            npreds[s] -= 1
+            if npreds[s] == 0:
+                heapq.heappush(ready, (-height[s], s))
+    assert len(order) == n, "dependence cycle in block (scheduler bug)"
+    block.instrs = order + ([term] if term is not None else [])
+
+
+def schedule_function(fn: MFunction) -> None:
+    """Reschedule every block of ``fn`` in place."""
+    for block in fn.blocks:
+        _schedule_block(block)
+
+
+def schedule_program(program: MProgram) -> MProgram:
+    """Reschedule every function in place; returns ``program``."""
+    for fn in program.functions.values():
+        schedule_function(fn)
+    return program

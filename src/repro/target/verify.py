@@ -1,0 +1,84 @@
+"""Structural sanity checks over generated machine code.
+
+``verify_program`` runs after codegen (and after scheduling) in the
+pipeline driver; it catches malformed programs before they reach the
+simulator, where the same defects would surface as confusing runtime
+faults.  Raises :class:`~repro.target.MachineError`.
+"""
+
+from __future__ import annotations
+
+from .isa import (ALU_OPS, EFFECT_OPS, LOAD_OPS, TERMINATOR_OPS, MFunction,
+                  MProgram)
+from .machine import MachineError
+
+_NEEDS_DEST = LOAD_OPS | ALU_OPS | {"movi", "mov", "lea", "input", "inputf",
+                                    "alloc"}
+_KNOWN_OPS = (_NEEDS_DEST | TERMINATOR_OPS | EFFECT_OPS | {"st"})
+
+
+def _fail(fn: MFunction, where: str, message: str) -> None:
+    raise MachineError(f"{fn.name}/{where}: {message}")
+
+
+def verify_function(fn: MFunction, program: MProgram) -> None:
+    if not fn.blocks:
+        raise MachineError(f"{fn.name}: no blocks")
+    own_blocks = {id(b) for b in fn.blocks}
+    for reg in fn.param_regs:
+        if not 0 <= reg < fn.nregs:
+            raise MachineError(f"{fn.name}: parameter register r{reg} out "
+                               f"of range (nregs={fn.nregs})")
+    for block in fn.blocks:
+        if not block.instrs:
+            _fail(fn, block.name, "empty block")
+        for pos, instr in enumerate(block.instrs):
+            last = pos == len(block.instrs) - 1
+            if instr.op not in _KNOWN_OPS:
+                _fail(fn, block.name, f"unknown opcode {instr.op!r}")
+            if instr.is_terminator != last:
+                _fail(fn, block.name,
+                      f"{instr.op} {'missing' if last else 'mid-block'}"
+                      " terminator")
+            if instr.op in _NEEDS_DEST and instr.dest is None:
+                _fail(fn, block.name, f"{instr.op} without destination")
+            if instr.op == "st" and (instr.dest is not None
+                                     or len(instr.srcs) != 2):
+                _fail(fn, block.name, "malformed store")
+            if instr.op == "lea" and instr.sym is None:
+                _fail(fn, block.name, "lea without symbol")
+            for reg in instr.srcs + ((instr.dest,)
+                                     if instr.dest is not None else ()):
+                if not 0 <= reg < fn.nregs:
+                    _fail(fn, block.name,
+                          f"register r{reg} out of range "
+                          f"(nregs={fn.nregs})")
+            expected = {"jmp": 1, "br": 2, "ret": 0}.get(instr.op)
+            if expected is not None and len(instr.targets) != expected:
+                _fail(fn, block.name, f"{instr.op} with "
+                                      f"{len(instr.targets)} targets")
+            for target in instr.targets:
+                if id(target) not in own_blocks:
+                    _fail(fn, block.name,
+                          f"branch to foreign block {target.name}")
+            if instr.op == "call":
+                callee = program.functions.get(instr.callee)
+                if callee is None:
+                    _fail(fn, block.name,
+                          f"call to unknown function {instr.callee!r}")
+                elif len(instr.srcs) != len(callee.param_regs):
+                    _fail(fn, block.name,
+                          f"call to {instr.callee} with {len(instr.srcs)} "
+                          f"args (expects {len(callee.param_regs)})")
+
+
+def verify_program(program: MProgram) -> MProgram:
+    """Check every function; raises :class:`MachineError` on the first
+    defect.  Returns ``program`` for chaining."""
+    if "main" not in program.functions:
+        raise MachineError("program has no main()")
+    if program.functions["main"].param_regs:
+        raise MachineError("main() must take no parameters")
+    for fn in program.functions.values():
+        verify_function(fn, program)
+    return program

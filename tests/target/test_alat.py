@@ -1,0 +1,148 @@
+"""ALAT unit tests + the safety-invariant property test.
+
+The invariant that makes data speculation sound (docs/machine_model.md):
+**a check hit implies no store wrote the armed address since the entry
+was armed.**  Misses are always allowed (capacity evictions just cost a
+re-load); false *hits* would be miscompiles.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.target import ALAT
+
+
+def test_arm_then_check_hits():
+    alat = ALAT()
+    alat.arm(3, 100)
+    assert alat.check(3, 100)
+    assert alat.check(3, 100)  # a hit does not consume the entry
+
+
+def test_check_requires_matching_address():
+    alat = ALAT()
+    alat.arm(3, 100)
+    assert not alat.check(3, 101)
+
+
+def test_check_requires_matching_register():
+    alat = ALAT()
+    alat.arm(3, 100)
+    assert not alat.check(4, 100)
+
+
+def test_store_invalidates_matching_address():
+    alat = ALAT()
+    alat.arm(3, 100)
+    alat.arm(4, 132)
+    assert alat.invalidate(100) == 1
+    assert not alat.check(3, 100)
+    assert alat.check(4, 132)  # unrelated entry survives
+
+
+def test_invalidate_unknown_address_is_noop():
+    alat = ALAT()
+    alat.arm(3, 100)
+    assert alat.invalidate(999) == 0
+    assert alat.check(3, 100)
+
+
+def test_rearm_same_register_drops_stale_entry():
+    """A register tracks one address: re-arming must not leave a stale
+    entry behind, even when the new address hashes to another set."""
+    alat = ALAT(entries=32, ways=2)
+    alat.arm(3, 100)
+    alat.arm(3, 101)          # different set (101 % 16 != 100 % 16)
+    assert len(alat) == 1
+    assert not alat.check(3, 100)
+    assert alat.check(3, 101)
+
+
+def test_capacity_eviction_is_lru_within_set():
+    alat = ALAT(entries=4, ways=2)  # 2 sets
+    # three addresses in the same set (multiples of nsets=2)
+    alat.arm(1, 10)
+    alat.arm(2, 12)
+    alat.check(1, 10)         # touch: entry for r1 becomes MRU
+    alat.arm(3, 14)           # evicts the LRU entry (r2)
+    assert alat.check(1, 10)
+    assert not alat.check(2, 12)
+    assert alat.check(3, 14)
+
+
+def test_frames_do_not_collide():
+    """Recursion: the same register number in two activations must not
+    share an entry (virtual registers are per-frame, physical ones are
+    not — the frame serial restores the hardware's behaviour)."""
+    alat = ALAT()
+    alat.arm(3, 100, frame=1)
+    assert not alat.check(3, 100, frame=2)
+    alat.arm(3, 108, frame=2)
+    assert alat.check(3, 100, frame=1)
+
+
+def test_clone_is_cold_and_same_geometry():
+    alat = ALAT(entries=8, ways=4)
+    alat.arm(1, 10)
+    clone = alat.clone()
+    assert (clone.entries, clone.ways) == (8, 4)
+    assert len(clone) == 0
+    assert alat.check(1, 10)  # original untouched
+
+
+def test_reset_clears_everything():
+    alat = ALAT()
+    alat.arm(1, 10)
+    alat.reset()
+    assert not alat.check(1, 10)
+    assert len(alat) == 0
+
+
+def test_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        ALAT(entries=5, ways=2)
+    with pytest.raises(ValueError):
+        ALAT(entries=0, ways=1)
+
+
+# ---- the safety invariant, property-tested ----------------------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("arm"), st.integers(0, 7), st.integers(0, 25)),
+        st.tuples(st.just("store"), st.integers(0, 25)),
+        st.tuples(st.just("check"), st.integers(0, 7), st.integers(0, 25)),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(ops=_ops, entries=st.sampled_from([2, 4, 8, 32]),
+       ways=st.sampled_from([1, 2]))
+def test_check_hit_implies_no_intervening_store(ops, entries, ways):
+    """Against a shadow model: whenever the ALAT reports a hit, the
+    register must have been armed at exactly that address and no store
+    to it may have happened since.  (The converse — shadow-clean but
+    ALAT miss — is allowed: capacity evictions.)"""
+    alat = ALAT(entries=entries, ways=ways)
+    armed = {}  # reg -> (addr, clean)
+    for op in ops:
+        if op[0] == "arm":
+            _, reg, addr = op
+            alat.arm(reg, addr)
+            armed[reg] = (addr, True)
+        elif op[0] == "store":
+            _, addr = op
+            alat.invalidate(addr)
+            for reg, (a, clean) in list(armed.items()):
+                if a == addr:
+                    armed[reg] = (a, False)
+        else:
+            _, reg, addr = op
+            if alat.check(reg, addr):
+                assert reg in armed, "hit for a register never armed"
+                a, clean = armed[reg]
+                assert a == addr, "hit at a different address than armed"
+                assert clean, "hit despite an intervening store"

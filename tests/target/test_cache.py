@@ -1,0 +1,86 @@
+"""DataCache unit tests: hierarchy latencies, LRU, the FP L1 bypass."""
+
+import pytest
+
+from repro.target import DataCache
+
+
+def _cache(**kw):
+    kw.setdefault("l1_lines", 4)
+    kw.setdefault("l2_lines", 8)
+    kw.setdefault("ways", 2)
+    kw.setdefault("line_cells", 8)
+    return DataCache(**kw)
+
+
+def test_miss_then_l1_hit():
+    cache = _cache()
+    assert cache.load(0) == cache.mem_latency
+    assert cache.load(0) == cache.l1_latency
+    assert cache.load(7) == cache.l1_latency  # same line
+    assert (cache.misses, cache.l1_hits) == (1, 2)
+
+
+def test_l2_hit_after_l1_eviction():
+    cache = _cache()  # L1: 2 sets x 2 ways; lines 0,2,4 share set 0
+    cache.load(0 * 8)
+    cache.load(2 * 8)
+    cache.load(4 * 8)                       # evicts line 0 from L1
+    assert cache.load(0 * 8) == cache.l2_latency  # still in the larger L2
+    assert cache.l2_hits == 1
+
+
+def test_l1_lru_is_refreshed_by_hits():
+    cache = _cache()
+    cache.load(0 * 8)
+    cache.load(2 * 8)
+    cache.load(0 * 8)                       # line 0 becomes MRU
+    cache.load(4 * 8)                       # evicts line 2, not line 0
+    assert cache.load(0 * 8) == cache.l1_latency
+    assert cache.load(2 * 8) == cache.l2_latency
+
+
+def test_fp_loads_bypass_l1():
+    """Itanium FP loads are served from L2 at best (paper §5.2) — the
+    reason promoted FP loads save ≥ the L2 latency."""
+    cache = _cache()
+    assert cache.load(0, fp=True) == cache.mem_latency
+    assert cache.load(0, fp=True) == cache.l2_latency  # never an L1 hit
+    # and the FP access did not install the line in L1:
+    assert cache.load(0, fp=False) == cache.l2_latency
+
+
+def test_int_fill_then_fp_still_pays_l2():
+    cache = _cache()
+    cache.load(0, fp=False)                 # resident in both levels
+    assert cache.load(0, fp=True) == cache.l2_latency
+
+
+def test_store_write_allocates_without_latency():
+    cache = _cache()
+    cache.store(0)
+    assert cache.load(0) == cache.l1_latency
+
+
+def test_clone_is_cold_and_can_override_mem_latency():
+    cache = _cache()
+    cache.load(0)
+    clone = cache.clone(mem_latency=99)
+    assert clone.mem_latency == 99
+    assert clone.l1_lines == cache.l1_lines
+    assert clone.load(0) == 99              # cold: first access misses
+    assert cache.load(0) == cache.l1_latency  # original state untouched
+
+
+def test_reset_clears_residency_and_counters():
+    cache = _cache()
+    cache.load(0)
+    cache.load(0)
+    cache.reset()
+    assert (cache.l1_hits, cache.l2_hits, cache.misses) == (0, 0, 0)
+    assert cache.load(0) == cache.mem_latency
+
+
+def test_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        DataCache(l1_lines=3, ways=2)

@@ -1,0 +1,149 @@
+"""Simulator semantics: speculative load flavours, counter algebra,
+faults, and the machine knobs."""
+
+import pytest
+
+from repro.target import (ALAT, MFunction, MInstr, MProgram, MachineError,
+                          run_program, verify_program)
+
+
+def _program(body_builder):
+    """A one-function MProgram: ``body_builder(block)`` appends the body;
+    a ``ret`` is added automatically."""
+    program = MProgram()
+    fn = MFunction("main")
+    fn.nregs = 16
+    block = fn.new_block("entry")
+    body_builder(block)
+    block.append(MInstr("ret"))
+    program.add_function(fn)
+    verify_program(program)
+    return program
+
+
+def _spec_roundtrip(invalidate: bool):
+    """alloc one cell; st 7; ld.a; (optionally st 9 to the same address);
+    ld.c; print the checked register."""
+    def build(b):
+        b.append(MInstr("movi", dest=0, imm=1))
+        b.append(MInstr("alloc", dest=1, srcs=(0,)))
+        b.append(MInstr("movi", dest=2, imm=7))
+        b.append(MInstr("st", srcs=(1, 2)))
+        b.append(MInstr("ld.a", dest=3, srcs=(1,)))
+        if invalidate:
+            b.append(MInstr("movi", dest=4, imm=9))
+            b.append(MInstr("st", srcs=(1, 4)))
+        b.append(MInstr("ld.c", dest=3, srcs=(1,)))
+        b.append(MInstr("print", srcs=(3,)))
+    return _program(build)
+
+
+def test_check_hit_keeps_value_and_skips_memory():
+    stats, output = run_program(_spec_roundtrip(invalidate=False))
+    assert output == ["7"]
+    assert (stats.advanced_loads, stats.check_loads, stats.check_misses) \
+        == (1, 1, 0)
+    assert stats.memory_loads == 1      # only the ld.a touched memory
+    assert stats.loads_retired == 2
+    assert stats.redundant_loads == 1
+    assert stats.misspeculation_ratio == 0.0
+
+
+def test_store_to_armed_address_forces_check_miss():
+    stats, output = run_program(_spec_roundtrip(invalidate=True))
+    assert output == ["9"]              # the re-load sees the new value
+    assert (stats.advanced_loads, stats.check_loads, stats.check_misses) \
+        == (1, 1, 1)
+    assert stats.memory_loads == 2      # ld.a + the check's re-load
+    assert stats.redundant_loads == 0
+    assert stats.misspeculation_ratio == 1.0
+
+
+def test_counter_algebra_holds():
+    stats, _ = run_program(_spec_roundtrip(invalidate=True))
+    assert stats.loads_retired == (stats.plain_loads + stats.advanced_loads
+                                   + stats.spec_loads + stats.check_loads)
+    assert stats.memory_loads == (stats.plain_loads + stats.advanced_loads
+                                  + stats.spec_loads + stats.check_misses)
+    assert stats.redundant_loads == stats.check_loads - stats.check_misses
+    d = stats.to_dict()
+    assert d["check_misses"] == 1 and d["cycles"] == stats.cycles
+
+
+def test_tiny_alat_turns_hits_into_capacity_misses():
+    """The ablation mechanism: same program, smaller ALAT, more
+    mis-speculation.  With 0 entries every check must re-load."""
+    program = _spec_roundtrip(invalidate=False)
+    stats, output = run_program(program, alat=ALAT(entries=1, ways=1))
+    assert output == ["7"]
+    # a 1-entry ALAT still holds the single armed entry:
+    assert stats.check_misses == 0
+    stats2, output2 = run_program(program,
+                                  machine_overrides={"alat": ALAT(1, 1)})
+    assert output2 == ["7"] and stats2.check_misses == 0
+
+
+def test_plain_load_from_unallocated_address_faults():
+    def build(b):
+        b.append(MInstr("movi", dest=0, imm=5000))
+        b.append(MInstr("ld", dest=1, srcs=(0,)))
+    with pytest.raises(MachineError):
+        run_program(_program(build))
+
+
+def test_speculative_loads_never_fault():
+    """ld.a / ld.s from a wild address deliver 0 instead of faulting —
+    the deferred-exception (NaT) behaviour; and the failed ld.a does not
+    arm, so the ld.c re-executes as a real (faulting) load."""
+    def build(b):
+        b.append(MInstr("movi", dest=0, imm=5000))
+        b.append(MInstr("ld.a", dest=1, srcs=(0,)))
+        b.append(MInstr("ld.s", dest=2, srcs=(0,)))
+        b.append(MInstr("print", srcs=(1,)))
+        b.append(MInstr("print", srcs=(2,)))
+    stats, output = run_program(_program(build))
+    assert output == ["0", "0"]
+    assert (stats.advanced_loads, stats.spec_loads) == (1, 1)
+
+    def build_checked(b):
+        build(b)
+        b.append(MInstr("ld.c", dest=1, srcs=(0,)))
+    with pytest.raises(MachineError):
+        run_program(_program(build_checked))
+
+
+def test_fuel_exhaustion_faults():
+    program = MProgram()
+    fn = MFunction("main")
+    fn.nregs = 1
+    block = fn.new_block("loop")
+    block.append(MInstr("jmp", targets=(block,)))
+    program.add_function(fn)
+    with pytest.raises(MachineError):
+        run_program(program, fuel=100)
+
+
+def test_input_stream():
+    def build(b):
+        b.append(MInstr("input", dest=0))
+        b.append(MInstr("print", srcs=(0,)))
+    _, output = run_program(_program(build), inputs=[42])
+    assert output == ["42"]
+    with pytest.raises(MachineError):
+        run_program(_program(build), inputs=[])
+
+
+def test_alat_and_cache_arguments_are_not_mutated():
+    alat = ALAT()
+    alat.arm(9, 123)
+    run_program(_spec_roundtrip(invalidate=False), alat=alat)
+    assert alat.check(9, 123)           # configuration object untouched
+
+
+def test_check_hit_latency_prices_checks_like_loads():
+    program = _spec_roundtrip(invalidate=False)
+    fast, _ = run_program(program)
+    slow, _ = run_program(program, check_hit_latency=8)
+    slower, _ = run_program(program, machine_overrides={"check_latency": 8})
+    assert fast.cycles < slow.cycles
+    assert slow.cycles == slower.cycles  # alias knob, same meaning

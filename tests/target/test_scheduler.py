@@ -1,0 +1,210 @@
+"""List-scheduler ordering tests.
+
+The correctness-critical rule: **no load crosses a store in either
+direction** — in particular an ``ld.c`` must never hoist above a store,
+or the check could hit an ALAT entry the store was about to invalidate
+(a missed mis-speculation, i.e. a miscompile).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.target import MBlock, MFunction, MInstr, schedule_function
+
+
+def _block(instrs, name="b0", terminate=True):
+    fn = MFunction("f")
+    block = fn.new_block(name)
+    for instr in instrs:
+        block.append(instr)
+    if terminate:
+        block.append(MInstr("ret"))
+    return fn, block
+
+
+def _ops(block):
+    return [i.op for i in block.instrs]
+
+
+def test_ldc_never_hoists_above_store():
+    # r1 = ld.a [r0]; st [r2] <- r3; r1 = ld.c [r0]
+    fn, block = _block([
+        MInstr("ld.a", dest=1, srcs=(0,)),
+        MInstr("st", srcs=(2, 3)),
+        MInstr("ld.c", dest=1, srcs=(0,)),
+    ])
+    schedule_function(fn)
+    ops = _ops(block)
+    assert ops.index("st") < ops.index("ld.c")
+    assert ops.index("ld.a") < ops.index("st")
+
+
+def test_plain_load_never_sinks_below_store():
+    # the other direction: a load before a store stays before it
+    fn, block = _block([
+        MInstr("ld", dest=1, srcs=(0,)),
+        MInstr("st", srcs=(2, 3)),
+    ])
+    schedule_function(fn)
+    assert _ops(block).index("ld") < _ops(block).index("st")
+
+
+def test_independent_load_hoists_above_long_alu_chain():
+    # the load (height 6) should issue before the cheap ALU op
+    fn, block = _block([
+        MInstr("add", dest=4, srcs=(2, 3)),
+        MInstr("ld", dest=1, srcs=(0,)),
+    ])
+    schedule_function(fn)
+    assert _ops(block) == ["ld", "add", "ret"]
+
+
+def test_raw_dependence_preserved():
+    fn, block = _block([
+        MInstr("movi", dest=0, imm=8),
+        MInstr("ld", dest=1, srcs=(0,)),
+        MInstr("add", dest=2, srcs=(1, 1)),
+    ])
+    schedule_function(fn)
+    assert _ops(block) == ["movi", "ld", "add", "ret"]
+
+
+def test_ldc_implicit_dest_read_orders_after_lda():
+    """ld.c reads its own destination (the value the ld.a produced), so
+    it can never be scheduled before the ld.a that defines it — even
+    with no store in between."""
+    fn, block = _block([
+        MInstr("ld.a", dest=1, srcs=(0,)),
+        MInstr("ld.c", dest=1, srcs=(0,)),
+    ])
+    schedule_function(fn)
+    assert _ops(block) == ["ld.a", "ld.c", "ret"]
+
+
+def test_blocked_load_does_not_sink_below_store():
+    """Regression: a load stuck behind a long-latency chain (here a div)
+    must still not sink below a later store, even when the store's
+    critical-path height exceeds the load's.  An address-blind model
+    must keep program order between every load/store pair."""
+    body = [
+        MInstr("movi", dest=2, imm=7),
+        MInstr("movi", dest=3, imm=3),
+        MInstr("div", dest=1, srcs=(2, 3)),
+        MInstr("ld", dest=4, srcs=(1,)),     # blocked behind the div
+        MInstr("ld", dest=5, srcs=(0,)),
+        MInstr("movi", dest=6, imm=1),
+        MInstr("st", srcs=(0, 6)),           # tall: WAR chain below it
+        MInstr("movi", dest=0, imm=32),
+        MInstr("ld", dest=7, srcs=(0,)),
+    ]
+    fn, block = _block(list(body))
+    schedule_function(fn)
+    pos = {id(i): k for k, i in enumerate(block.instrs)}
+    assert pos[id(body[3])] < pos[id(body[6])]
+
+
+def test_effects_stay_ordered():
+    fn, block = _block([
+        MInstr("print", srcs=(1,)),
+        MInstr("print", srcs=(2,)),
+        MInstr("call", dest=3, callee="g"),
+    ])
+    schedule_function(fn)
+    assert [(i.op, i.srcs) for i in block.instrs[:2]] == \
+        [("print", (1,)), ("print", (2,))]
+    assert _ops(block)[2] == "call"
+
+
+def test_terminator_stays_last():
+    fn, block = _block([
+        MInstr("ld", dest=1, srcs=(0,)),
+        MInstr("add", dest=2, srcs=(1, 1)),
+    ])
+    schedule_function(fn)
+    assert block.instrs[-1].op == "ret"
+
+
+def test_scheduling_is_deterministic_and_idempotent():
+    def build():
+        return _block([
+            MInstr("movi", dest=0, imm=16),
+            MInstr("ld", dest=1, srcs=(0,)),
+            MInstr("movi", dest=2, imm=3),
+            MInstr("mul", dest=3, srcs=(1, 2)),
+            MInstr("st", srcs=(0, 3)),
+        ])
+
+    fn_a, block_a = build()
+    fn_b, block_b = build()
+    schedule_function(fn_a)
+    schedule_function(fn_b)
+    assert [str(i) for i in block_a.instrs] == \
+        [str(i) for i in block_b.instrs]
+    before = [str(i) for i in block_a.instrs]
+    schedule_function(fn_a)  # idempotent: already-scheduled code is a fixpoint
+    assert [str(i) for i in block_a.instrs] == before
+
+
+# ---- property test: random blocks keep their dependences ---------------
+
+@st.composite
+def _random_body(draw):
+    instrs = []
+    for _ in range(draw(st.integers(2, 14))):
+        kind = draw(st.sampled_from(["movi", "add", "ld", "ld.a", "ld.c",
+                                     "st"]))
+        reg = lambda: draw(st.integers(0, 5))
+        if kind == "movi":
+            instrs.append(MInstr("movi", dest=reg(), imm=draw(
+                st.integers(0, 99))))
+        elif kind == "add":
+            instrs.append(MInstr("add", dest=reg(), srcs=(reg(), reg())))
+        elif kind == "st":
+            instrs.append(MInstr("st", srcs=(reg(), reg())))
+        else:
+            instrs.append(MInstr(kind, dest=reg(), srcs=(reg(),)))
+    return instrs
+
+
+@settings(max_examples=200, deadline=None)
+@given(_random_body())
+def test_schedule_preserves_dependences(body):
+    fn, block = _block(body)
+    originals = list(body)
+    schedule_function(fn)
+    scheduled = block.instrs[:-1]
+    # a permutation of the same instruction objects
+    assert sorted(map(id, scheduled)) == sorted(map(id, originals))
+    pos = {id(i): k for k, i in enumerate(scheduled)}
+
+    def before(a, b):
+        assert pos[id(a)] < pos[id(b)], f"{a} reordered past {b}"
+
+    last_def = {}
+    last_uses = {}
+    last_store = None
+    pending_loads = []
+    for instr in originals:
+        for reg in instr.uses:
+            if reg in last_def:
+                before(last_def[reg], instr)       # RAW
+            last_uses.setdefault(reg, []).append(instr)
+        if instr.dest is not None:
+            if instr.dest in last_def:
+                before(last_def[instr.dest], instr)  # WAW
+            for use in last_uses.get(instr.dest, ()):
+                if use is not instr:
+                    before(use, instr)             # WAR
+            last_def[instr.dest] = instr
+            last_uses[instr.dest] = []
+        if instr.op == "st":
+            if last_store is not None:             # stores stay ordered
+                before(last_store, instr)
+            for load in pending_loads:             # no load sinks below st
+                before(load, instr)
+            last_store = instr
+            pending_loads = []
+        elif instr.is_load:
+            if last_store is not None:             # no load hoists above st
+                before(last_store, instr)
+            pending_loads.append(instr)

@@ -1,0 +1,32 @@
+"""Smoke tier: one compile-and-simulate per workload (`pytest -m smoke`).
+
+Each case runs a whole SPEC2000-shaped workload through the full
+pipeline under the profile-guided configuration; `check_output=True`
+makes `compile_and_run` verify the machine output against the reference
+interpreter, so a pass certifies the end-to-end stack — frontend, SSAPRE,
+codegen, scheduler, simulator — on that program.
+"""
+
+import pytest
+
+from repro.core import SpecConfig
+from repro.workloads import all_workloads, get_workload, run_workload
+
+_NAMES = [w.name for w in all_workloads()]
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("name", _NAMES)
+def test_workload_runs_and_matches_interpreter(name):
+    result = run_workload(get_workload(name), SpecConfig.profile(),
+                          check_output=True)
+    assert result.output, f"{name} produced no output"
+    assert result.stats.cycles > 0
+    assert result.stats.loads_retired > 0
+    assert result.stats.misspeculation_ratio <= 1.0
+
+
+@pytest.mark.smoke
+def test_workload_registry_is_figure10_shaped():
+    assert _NAMES == ["gzip", "vpr", "mcf", "bzip2",
+                      "twolf", "art", "equake", "ammp"]
