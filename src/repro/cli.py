@@ -4,14 +4,23 @@ Usage::
 
     python -m repro run FILE [--config base|profile|heuristic|aggressive]
                              [--train 1,2,3] [--ref 4,5,6] [--dump-ir]
+                             [--inject SCENARIO] [--inject-seed N]
     python -m repro compare FILE [--train ...] [--ref ...]
     python -m repro workloads [--list | --name NAME]
+    python -m repro campaign [--scenarios poison,storm] [--seeds 0,1,2]
+                             [--adversary empty|shuffle|invert]
     python -m repro figures [--out DIR]
 
 ``run`` compiles and simulates one mini-C file and prints its output and
 counters; ``compare`` prints the base-vs-speculative row for a file;
-``workloads`` runs the bundled SPEC2000-shaped programs; ``figures``
+``workloads`` runs the bundled SPEC2000-shaped programs; ``campaign``
+runs the seeded fault-injection campaign (docs/recovery.md); ``figures``
 regenerates every table of the paper's evaluation into a directory.
+
+Exit codes: 0 success, 1 the simulated output diverged from the
+reference interpreter (the readable diff is printed), 2 the run
+exhausted its fuel (the function and instruction count are reported as
+a diagnostic, not a stack trace).
 """
 
 from __future__ import annotations
@@ -21,8 +30,9 @@ import sys
 from typing import List, Optional, Sequence
 
 from .core import SpecConfig
-from .pipeline import Comparison, compile_and_run, compile_program, \
-    format_table
+from .errors import FuelExhausted
+from .pipeline import Comparison, OutputMismatch, compile_and_run, \
+    compile_program, format_table
 
 _CONFIGS = {
     "unoptimized": SpecConfig.unoptimized,
@@ -53,17 +63,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                    train_inputs=_parse_inputs(args.train))
         print(format_module(compiled.optimized))
         print()
-    result = compile_and_run(
-        source, config,
-        train_inputs=_parse_inputs(args.train),
-        ref_inputs=_parse_inputs(args.ref),
-        check_output=not args.no_check,
-    )
+    machine_kwargs = {}
+    if args.inject != "none":
+        from .hazards import make_injector
+
+        machine_kwargs["injector"] = make_injector(args.inject,
+                                                   args.inject_seed)
+    try:
+        result = compile_and_run(
+            source, config,
+            train_inputs=_parse_inputs(args.train),
+            ref_inputs=_parse_inputs(args.ref),
+            check_output=not args.no_check,
+            fuel=args.fuel,
+            machine_kwargs=machine_kwargs,
+        )
+    except OutputMismatch as exc:
+        print(exc.diff(), file=sys.stderr)
+        return 1
+    except FuelExhausted as exc:
+        print(f"error: fuel exhausted in {exc.context()} — "
+              f"likely an infinite loop in the program (or raise fuel)",
+              file=sys.stderr)
+        return 2
+    for d in result.diagnostics:
+        print(f"note: {d}", file=sys.stderr)
     if args.json:
         import json
 
         print(json.dumps({"output": result.output,
-                          "stats": result.stats.to_dict()}, indent=2))
+                          "stats": result.stats.to_dict(),
+                          "degraded": result.degraded}, indent=2))
         return 0
     for line in result.output:
         print(line)
@@ -72,7 +102,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"instructions={s.instructions} loads={s.memory_loads} "
           f"(plain={s.plain_loads} ld.a={s.advanced_loads} "
           f"ld.s={s.spec_loads} ld.c={s.check_loads} "
-          f"misses={s.check_misses})", file=sys.stderr)
+          f"misses={s.check_misses} deferred={s.deferred_faults} "
+          f"recovered={s.spec_recoveries})", file=sys.stderr)
     return 0
 
 
@@ -106,6 +137,21 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .hazards import ADVERSARIES, run_campaign
+
+    transform = ADVERSARIES[args.adversary] if args.adversary else None
+    names = args.workloads.split(",") if args.workloads else None
+    report = run_campaign(
+        workload_names=names,
+        scenarios=tuple(args.scenarios.split(",")),
+        seeds=[int(s) for s in args.seeds.split(",")],
+        profile_transform=transform,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     import subprocess
 
@@ -131,6 +177,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip the interpreter oracle")
     run.add_argument("--json", action="store_true",
                      help="emit output + counters as JSON")
+    from .hazards import SCENARIOS
+
+    run.add_argument("--inject", choices=sorted(SCENARIOS),
+                     default="none",
+                     help="perturb the simulation with this fault-"
+                          "injection scenario (docs/recovery.md)")
+    run.add_argument("--inject-seed", type=int, default=0,
+                     help="seed for the injection decision stream")
+    run.add_argument("--fuel", type=int, default=50_000_000,
+                     help="interpreter step budget (simulator gets 4x)")
     run.set_defaults(fn=_cmd_run)
 
     compare = sub.add_parser("compare", help="base vs speculative")
@@ -149,6 +205,23 @@ def build_parser() -> argparse.ArgumentParser:
                            default="profile")
     workloads.set_defaults(fn=_cmd_workloads)
 
+    campaign = sub.add_parser(
+        "campaign", help="seeded fault-injection campaign: every "
+                         "perturbed run must match the reference "
+                         "interpreter")
+    campaign.add_argument("--workloads",
+                          help="comma-separated workload names "
+                               "(default: all, incl. recovery set)")
+    campaign.add_argument("--scenarios", default="poison,storm,chaos",
+                          help="comma-separated injection scenarios")
+    campaign.add_argument("--seeds", default="0,1,2",
+                          help="comma-separated injector seeds")
+    campaign.add_argument("--adversary", choices=("empty", "shuffle",
+                                                  "invert"),
+                          help="feed the compiler this adversarial "
+                               "alias-profile transform")
+    campaign.set_defaults(fn=_cmd_campaign)
+
     figures = sub.add_parser("figures",
                              help="regenerate every paper figure")
     figures.set_defaults(fn=_cmd_figures)
@@ -158,3 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - `python -m repro.cli`
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Shared typed exceptions.
+
+:class:`FuelExhausted` is the base for "the program ran out of fuel"
+in both execution engines — the reference interpreter raises
+:class:`repro.profiling.interp.InterpFuelExhausted` and the machine
+simulator raises :class:`repro.target.MachineFuelExhausted`, each also
+subclassing its engine's native error so existing ``except`` clauses
+keep working.  The pipeline driver catches the shared base and reports
+a diagnostic (function + instruction context) instead of a stack trace.
+"""
+
+from __future__ import annotations
+
+
+class FuelExhausted(Exception):
+    """A bounded execution ran out of fuel.
+
+    Attributes:
+        function: name of the function being executed, or ``None``.
+        instruction: engine-specific position context (a block label,
+            statement repr, ...), or ``None``.
+    """
+
+    function = None
+    instruction = None
+
+    def context(self) -> str:
+        """One-line human-readable position for diagnostics."""
+        where = self.function or "?"
+        if self.instruction is not None:
+            where += f" @ {self.instruction}"
+        return where

@@ -1,0 +1,26 @@
+"""``repro.hazards`` — deterministic fault injection and the
+differential-testing campaign (docs/recovery.md).
+
+The paper's premise is that speculation is *safe to be wrong*: the ALAT
+catches data misspeculation and ``chk.s`` catches control
+misspeculation.  This package stress-tests that premise.  An
+:class:`Injector` perturbs the machine mid-run from a seeded stream —
+spurious NaT deferrals under ``ld.s``, forced ALAT evictions and cache
+flushes after stores — while the adversarial profile transforms
+(:func:`empty_profile` / :func:`shuffle_profile` /
+:func:`invert_profile`) feed the compiler deliberately wrong alias
+profiles.  :func:`run_campaign` drives both across the SPEC-shaped
+workloads and checks every injected run still matches the reference
+interpreter bit-for-bit: recovery may cost cycles, never correctness.
+"""
+
+from .campaign import CampaignReport, InjectedRun, run_campaign
+from .injector import SCENARIOS, Injector, make_injector
+from .profiles import (ADVERSARIES, empty_profile, invert_profile,
+                       shuffle_profile)
+
+__all__ = [
+    "ADVERSARIES", "CampaignReport", "InjectedRun", "Injector", "SCENARIOS",
+    "empty_profile", "invert_profile", "make_injector", "run_campaign",
+    "shuffle_profile",
+]

@@ -1,0 +1,138 @@
+"""The differential fault-injection campaign.
+
+For every workload: compile once (optionally through an adversarial
+profile transform), run the reference interpreter once on the *original*
+program — the correctness oracle — then simulate the optimized program
+under every ``(scenario, seed)`` perturbation and require bit-for-bit
+output equality.  An injected run may cost extra cycles (replays,
+check misses, cold caches); it must never change a single output line.
+
+The campaign is the repository's standing proof of the recovery
+tentpole: ``pytest -m faultinject`` runs it seeded and bounded, and the
+CLI exposes it as ``python -m repro.cli campaign``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..core import SpecConfig
+from ..pipeline import compile_program
+from ..profiling import run_module
+from ..target import MachineError, run_program
+from ..workloads import all_workloads, get_workload, recovery_workloads
+from ..workloads.runner import _machine_kwargs
+from .injector import make_injector
+
+
+@dataclass
+class InjectedRun:
+    """One perturbed simulation checked against the oracle."""
+
+    workload: str
+    scenario: str
+    seed: int
+    ok: bool
+    cycles: int = 0
+    deferred_faults: int = 0
+    spec_recoveries: int = 0
+    check_misses: int = 0
+    replay_loads: int = 0
+    error: str = ""
+
+
+@dataclass
+class CampaignReport:
+    """All runs of one campaign, plus the per-workload compile notes."""
+
+    runs: List[InjectedRun] = field(default_factory=list)
+    degraded: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[InjectedRun]:
+        return [r for r in self.runs if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def total_recoveries(self) -> int:
+        return sum(r.spec_recoveries for r in self.runs)
+
+    def summary(self) -> str:
+        lines = [f"campaign: {len(self.runs)} injected runs, "
+                 f"{len(self.failures)} mismatches, "
+                 f"{sum(r.deferred_faults for r in self.runs)} deferred "
+                 f"faults, {self.total_recoveries} chk.s recoveries, "
+                 f"{sum(r.check_misses for r in self.runs)} check misses"]
+        for r in self.failures:
+            lines.append(f"  FAIL {r.workload} scenario={r.scenario} "
+                         f"seed={r.seed}: {r.error or 'output mismatch'}")
+        if self.degraded:
+            lines.append(f"  degraded functions: {', '.join(self.degraded)}")
+        return "\n".join(lines)
+
+
+def run_campaign(workload_names: Optional[Sequence[str]] = None,
+                 config: Optional[SpecConfig] = None,
+                 scenarios: Sequence[str] = ("poison", "storm", "chaos"),
+                 seeds: Iterable[int] = (0, 1, 2),
+                 profile_transform: Optional[Callable] = None,
+                 fuel: int = 50_000_000) -> CampaignReport:
+    """Run the differential campaign (see module docstring).
+
+    Each workload is compiled **once** per campaign; only the simulator
+    re-runs per ``(scenario, seed)``, so a 200-run campaign costs eight
+    compiles, not two hundred.
+    """
+    workloads = ([get_workload(n) for n in workload_names]
+                 if workload_names is not None
+                 else all_workloads() + recovery_workloads())
+    # Default: data speculation from the alias profile, but *static*
+    # control speculation — the edge profile would prove the recovery
+    # workloads' guards hot and optimize their ld.s sites away, leaving
+    # the poison scenario nothing to poison.
+    config = config or SpecConfig.profile().but(use_edge_profile=False)
+    seeds = list(seeds)
+    report = CampaignReport()
+    for workload in workloads:
+        compiled = compile_program(workload.source, config,
+                                   train_inputs=workload.train_inputs,
+                                   fuel=fuel,
+                                   profile_transform=profile_transform)
+        report.degraded.extend(f"{workload.name}:{fn}"
+                               for fn in compiled.degraded)
+        expected = run_module(compiled.original, fuel=fuel,
+                              inputs=workload.ref_inputs)
+        kwargs = _machine_kwargs()
+        for scenario in scenarios:
+            for seed in seeds:
+                injector = make_injector(scenario, seed)
+                run = InjectedRun(workload.name, scenario, seed, ok=False)
+                try:
+                    stats, output = run_program(
+                        compiled.program, inputs=workload.ref_inputs,
+                        fuel=4 * fuel, injector=injector, **kwargs)
+                except MachineError as exc:
+                    run.error = str(exc)
+                else:
+                    run.ok = output == expected
+                    if not run.ok:
+                        run.error = _first_divergence(expected, output)
+                    run.cycles = stats.cycles
+                    run.deferred_faults = stats.deferred_faults
+                    run.spec_recoveries = stats.spec_recoveries
+                    run.check_misses = stats.check_misses
+                    run.replay_loads = stats.replay_loads
+                report.runs.append(run)
+    return report
+
+
+def _first_divergence(expected: List[str], actual: List[str]) -> str:
+    for i, (want, got) in enumerate(zip(expected, actual)):
+        if want != got:
+            return f"line {i}: expected {want!r}, got {got!r}"
+    return (f"length mismatch: expected {len(expected)} lines, "
+            f"got {len(actual)}")

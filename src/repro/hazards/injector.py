@@ -1,0 +1,118 @@
+"""Seeded machine-level fault injection.
+
+An :class:`Injector` rides along a simulation
+(``run_program(..., injector=...)``) and perturbs it at the two points
+where the architecture promises recovery:
+
+* **control-speculative loads** — :meth:`Injector.poison_load` may turn
+  an ``ld.s`` into a spurious deferred fault: the load delivers NaT
+  exactly as if its address had been unmapped, and the ``chk.s``
+  recovery block must replay it and restore the real value.  (``ld.a``
+  is deliberately *not* poisoned: a real advanced load faults
+  immediately rather than deferring, so its value may be consumed
+  before any check — poisoning it would inject a wrong execution, not
+  a recoverable misspeculation);
+* **stores** — :meth:`Injector.after_store` may force an ALAT capacity
+  eviction (turning later check hits into replays) or flush the data
+  cache (making later loads slower).
+
+Every decision comes from one ``random.Random(seed)`` stream, so a
+given ``(program, inputs, seed, rates)`` tuple perturbs identically on
+every run — failures found by the campaign are replayable.
+``run_program`` clones the injector before running (the same
+configuration-object convention as the ALAT and cache); clones share
+the :attr:`telemetry` counter so the caller still sees what happened.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+#: Named perturbation profiles for the campaign and the CLI ``--inject``
+#: flag.  Rates are per-opportunity probabilities.
+SCENARIOS = {
+    "none": {},
+    # spurious deferred faults under control speculation: every ld.s has
+    # a 5% chance of delivering NaT instead of its value
+    "poison": {"sload_nat_rate": 0.05},
+    # adversarial store storm: 25% of stores also evict a random ALAT
+    # entry, so correct data speculation still misses its checks
+    "storm": {"alat_evict_rate": 0.25},
+    # cold-cache adversary: 2% of stores flush all residency
+    "flush": {"cache_flush_rate": 0.02},
+    # everything at once
+    "chaos": {"sload_nat_rate": 0.10,
+              "alat_evict_rate": 0.25, "cache_flush_rate": 0.01},
+}
+
+
+class Injector:
+    """Deterministic fault injector (see module docstring).
+
+    Args:
+        seed: seeds the decision stream; same seed → same perturbation.
+        sload_nat_rate: probability an ``ld.s`` spuriously defers.
+        alat_evict_rate: probability a store also evicts one random
+            ALAT entry.
+        cache_flush_rate: probability a store also flushes the cache.
+    """
+
+    def __init__(self, seed: int = 0, *, sload_nat_rate: float = 0.0,
+                 alat_evict_rate: float = 0.0,
+                 cache_flush_rate: float = 0.0) -> None:
+        self.seed = seed
+        self.sload_nat_rate = sload_nat_rate
+        self.alat_evict_rate = alat_evict_rate
+        self.cache_flush_rate = cache_flush_rate
+        self._rng = random.Random(seed)
+        #: what the injector actually did, summed across clones
+        self.telemetry: Counter = Counter()
+
+    def clone(self) -> "Injector":
+        """A fresh injector with the same seed and rates (rewound
+        decision stream) sharing this one's telemetry counter."""
+        fresh = Injector(self.seed,
+                         sload_nat_rate=self.sload_nat_rate,
+                         alat_evict_rate=self.alat_evict_rate,
+                         cache_flush_rate=self.cache_flush_rate)
+        fresh.telemetry = self.telemetry
+        return fresh
+
+    # ---- hooks called by the machine ------------------------------------
+    def poison_load(self, op: str, addr: int) -> bool:
+        """Should this control-speculative load spuriously defer?
+        Called for every executed ``ld.s`` with a mapped address."""
+        rate = self.sload_nat_rate
+        if rate and self._rng.random() < rate:
+            self.telemetry[f"poison:{op}"] += 1
+            return True
+        return False
+
+    def after_store(self, alat, cache) -> None:
+        """Post-store perturbation: forced eviction / cache flush."""
+        if self.alat_evict_rate and self._rng.random() < self.alat_evict_rate:
+            if alat.evict_one(self._rng):
+                self.telemetry["alat-evict"] += 1
+        if self.cache_flush_rate \
+                and self._rng.random() < self.cache_flush_rate:
+            cache.flush()
+            self.telemetry["cache-flush"] += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rates = {k: v for k, v in (
+            ("ld.s", self.sload_nat_rate),
+            ("evict", self.alat_evict_rate), ("flush", self.cache_flush_rate),
+        ) if v}
+        return f"<Injector seed={self.seed} {rates}>"
+
+
+def make_injector(scenario: str, seed: int = 0) -> Injector:
+    """Build the injector for a named :data:`SCENARIOS` entry."""
+    try:
+        rates = SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown injection scenario {scenario!r} "
+            f"(choose from {', '.join(sorted(SCENARIOS))})") from None
+    return Injector(seed, **rates)

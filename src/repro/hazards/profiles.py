@@ -1,0 +1,97 @@
+"""Adversarial alias-profile transforms.
+
+Di Pierro & Wiklicky's point about probabilistic analyses applies to
+the paper's §3.2.1 scheme directly: an alias profile is a *probability
+estimate* collected on the training input, and it lies on inputs it
+never saw.  These transforms manufacture the worst case — profiles
+that are deliberately, maximally wrong — and feed them through the
+pipeline (``compile_program(..., profile_transform=...)``).  The
+compiled program then speculates past aliases that really happen and
+checks for aliases that never do; the differential campaign verifies
+the ALAT + ``chk.s`` recovery machinery absorbs all of it.
+
+Each transform returns a **new** :class:`AliasProfile`; the input is
+never mutated (the real profile may parameterize other builds).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict
+
+from ..profiling.alias_profile import AliasProfile
+
+
+def _clone(profile: AliasProfile) -> AliasProfile:
+    out = AliasProfile(profile.granularity)
+    for attr in ("load_locs", "store_locs", "load_sublocs",
+                 "store_sublocs"):
+        dst = getattr(out, attr)
+        for key, counter in getattr(profile, attr).items():
+            dst[key] = Counter(counter)
+    out.load_count = Counter(profile.load_count)
+    out.store_count = Counter(profile.store_count)
+    for attr in ("call_mod", "call_ref", "call_mod_sub", "call_ref_sub"):
+        dst = getattr(out, attr)
+        for key, locs in getattr(profile, attr).items():
+            dst[key] = set(locs)
+    return out
+
+
+def empty_profile(profile: AliasProfile) -> AliasProfile:
+    """The maximally optimistic lie: every site claims it never touched
+    any LOC (and never executed).  The flagger then marks *every*
+    may-alias unlikely — speculation past all real aliasing."""
+    return AliasProfile(profile.granularity)
+
+
+def shuffle_profile(profile: AliasProfile, seed: int = 0) -> AliasProfile:
+    """Permute the observed LOC sets among sites: each load/store site
+    reports some *other* site's footprint.  Likely aliases become
+    unlikely and vice versa, site by site."""
+    out = _clone(profile)
+    rng = random.Random(seed)
+    for attr in ("load_locs", "store_locs", "load_sublocs",
+                 "store_sublocs", "call_mod", "call_ref",
+                 "call_mod_sub", "call_ref_sub"):
+        table: Dict = getattr(out, attr)
+        keys = list(table)
+        values = [table[k] for k in keys]
+        rng.shuffle(values)
+        for key, value in zip(keys, values):
+            table[key] = value
+    return out
+
+
+def invert_profile(profile: AliasProfile) -> AliasProfile:
+    """Complement each site's LOC set within the union of all observed
+    LOCs: every alias that really happened is reported as never seen,
+    and every LOC the site never touched is reported as likely.  The
+    compiler both speculates past real aliasing *and* drags spurious
+    operands into µ/χ lists."""
+    out = _clone(profile)
+    for loc_attr, sub_attr in (("load_locs", "load_sublocs"),
+                               ("store_locs", "store_sublocs")):
+        locs: Dict[int, Counter] = getattr(out, loc_attr)
+        sublocs: Dict[int, Counter] = getattr(out, sub_attr)
+        all_locs = set()
+        for counter in locs.values():
+            all_locs.update(counter)
+        all_sublocs = set()
+        for counter in sublocs.values():
+            all_sublocs.update(counter)
+        for key, counter in list(locs.items()):
+            locs[key] = Counter({loc: 1 for loc in all_locs - set(counter)})
+        for key, counter in list(sublocs.items()):
+            sublocs[key] = Counter(
+                {sub: 1 for sub in all_sublocs - set(counter)})
+    return out
+
+
+#: name → transform, for the CLI and the campaign
+ADVERSARIES = {
+    "empty": empty_profile,
+    "shuffle": shuffle_profile,
+    "invert": invert_profile,
+}

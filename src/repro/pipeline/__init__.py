@@ -1,11 +1,13 @@
 """End-to-end pipeline (source → speculative SSAPRE → simulated IA-64)."""
 
 from ..core import SpecConfig
-from .driver import CompileResult, compile_and_run, compile_program
+from .driver import (CompileResult, Diagnostic, compile_and_run,
+                     compile_program)
 from .dumps import DumpSink
-from .results import Comparison, RunResult, format_table
+from .results import Comparison, OutputMismatch, RunResult, format_table
 
 __all__ = [
-    "Comparison", "CompileResult", "DumpSink", "RunResult", "SpecConfig",
-    "compile_and_run", "compile_program", "format_table",
+    "Comparison", "CompileResult", "Diagnostic", "DumpSink",
+    "OutputMismatch", "RunResult", "SpecConfig", "compile_and_run",
+    "compile_program", "format_table",
 ]

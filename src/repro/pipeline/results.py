@@ -9,6 +9,35 @@ from ..core import OptStats, SpecConfig
 from ..target import MachineStats, MProgram
 
 
+class OutputMismatch(AssertionError):
+    """The simulated program's output diverged from the reference
+    interpreter's.  Subclasses ``AssertionError`` so existing
+    ``pytest.raises(AssertionError)`` / bare-assert callers keep
+    working, but carries both transcripts and renders a readable diff."""
+
+    def __init__(self, expected: List[str], actual: List[str]) -> None:
+        self.expected = expected
+        self.actual = actual
+        super().__init__(self.diff())
+
+    def diff(self, context: int = 3) -> str:
+        """First divergence plus a few lines of surrounding context."""
+        want, got = self.expected, self.actual
+        n = max(len(want), len(got))
+        first = next((i for i in range(n)
+                      if (want[i] if i < len(want) else None)
+                      != (got[i] if i < len(got) else None)), n)
+        lines = [f"simulated output diverged from the reference at line "
+                 f"{first} (expected {len(want)} lines, got {len(got)})"]
+        for i in range(max(0, first - context),
+                       min(n, first + context + 1)):
+            w = want[i] if i < len(want) else "<missing>"
+            g = got[i] if i < len(got) else "<missing>"
+            marker = "!" if w != g else " "
+            lines.append(f" {marker} {i:4d}  expected {w!r:24}  got {g!r}")
+        return "\n".join(lines)
+
+
 @dataclass
 class RunResult:
     """One compiled-and-simulated execution."""
@@ -19,6 +48,10 @@ class RunResult:
     expected: Optional[List[str]] = None
     opt_stats: Dict[str, OptStats] = field(default_factory=dict)
     program: Optional[MProgram] = None
+    #: fail-safe incidents the driver absorbed while compiling
+    diagnostics: List = field(default_factory=list)
+    #: function name → ladder rung it degraded to ("unoptimized" worst)
+    degraded: Dict[str, str] = field(default_factory=dict)
 
     @property
     def total_checks(self) -> int:

@@ -25,6 +25,7 @@ import bisect
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.locs import HeapLoc, Loc
+from ..errors import FuelExhausted
 from ..ir import (AddrOf, Assign, BasicBlock, Bin, CallStmt, CondBr, Const,
                   Expr, Function, Jump, Load, Module, PrintStmt, Return,
                   StorageKind, Store, Symbol, Un, VarRead)
@@ -35,6 +36,18 @@ Value = Union[int, float]
 class InterpError(Exception):
     """Raised on a runtime error (bad address, missing main, fuel
     exhausted)."""
+
+
+class InterpFuelExhausted(FuelExhausted, InterpError):
+    """Fuel ran out in the reference interpreter.  Carries function +
+    block context for the driver's diagnostics."""
+
+    def __init__(self, function: str, block: str) -> None:
+        super().__init__(
+            f"fuel exhausted (infinite loop?) in {function} at block "
+            f"{block}")
+        self.function = function
+        self.instruction = block
 
 
 class Tracer:
@@ -232,7 +245,7 @@ class Interpreter:
             assert term is not None
             self.fuel -= 1
             if self.fuel <= 0:
-                raise InterpError("fuel exhausted (infinite loop?)")
+                raise InterpFuelExhausted(fn.name, block.name)
             if isinstance(term, Return):
                 result = (
                     self._eval(frame, term.value)

@@ -1,10 +1,12 @@
 """``repro.target`` — the IA-64-flavoured machine model.
 
 The measurement half of the reproduction (docs/machine_model.md,
-docs/target_api.md): a virtual-register ISA with the four load flavours
-(``ld``/``ld.a``/``ld.s``/``ld.c``), code generation from the optimized
-IR, the ALAT and the two-level data cache, an in-order scoreboard
-simulator reporting the paper's counters, and a latency-aware list
+docs/target_api.md, docs/recovery.md): a virtual-register ISA with the
+five load flavours (``ld``/``ld.a``/``ld.s``/``ld.c``/``ld.r``) and the
+``chk.s`` misspeculation check, code generation from the optimized IR
+(including per-``ld.s`` recovery blocks), the ALAT and the two-level
+data cache, an in-order scoreboard simulator with NaT deferred-fault
+semantics reporting the paper's counters, and a latency-aware list
 scheduler.
 
 Typical use::
@@ -21,7 +23,7 @@ from .cache import DataCache
 from .codegen import compile_function, compile_module, compute_max_live
 from .isa import (ALU_OPS, EFFECT_OPS, LOAD_OPS, TERMINATOR_OPS, MBlock,
                   MFunction, MInstr, MProgram)
-from .machine import MachineError, run_program
+from .machine import NAT, MachineError, MachineFuelExhausted, run_program
 from .scheduler import schedule_function, schedule_program
 from .stats import FnStats, MachineStats
 from .verify import verify_function, verify_program
@@ -29,7 +31,8 @@ from .verify import verify_function, verify_program
 __all__ = [
     "ALAT", "ALU_OPS", "DataCache", "EFFECT_OPS", "FnStats", "LOAD_OPS",
     "MBlock", "MFunction", "MInstr", "MProgram", "MachineError",
-    "MachineStats", "TERMINATOR_OPS", "compile_function", "compile_module",
-    "compute_max_live", "run_program", "schedule_function",
-    "schedule_program", "verify_function", "verify_program",
+    "MachineFuelExhausted", "MachineStats", "NAT", "TERMINATOR_OPS",
+    "compile_function", "compile_module", "compute_max_live", "run_program",
+    "schedule_function", "schedule_program", "verify_function",
+    "verify_program",
 ]

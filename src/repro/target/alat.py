@@ -87,6 +87,28 @@ class ALAT:
         entries.move_to_end(key)
         return True
 
+    def disarm(self, reg: int, frame: int = 0) -> None:
+        """``ld.a`` that *deferred* (NaT): the register no longer holds a
+        checkable value, so any stale entry from an earlier arm must go —
+        otherwise the following ``ld.c`` would hit and let NaT leak."""
+        key = (frame, reg)
+        index = self._home.pop(key, None)
+        if index is not None:
+            self._sets[index].pop(key, None)
+
+    def evict_one(self, rng) -> bool:
+        """Forced capacity eviction (fault injection): drop one armed
+        entry chosen by ``rng``.  Returns True iff an entry was dropped.
+        Deterministic for a given rng state: candidates are visited in
+        sorted-key order, so the choice depends only on table contents
+        and the rng stream."""
+        if not self._home:
+            return False
+        key = rng.choice(sorted(self._home))
+        index = self._home.pop(key)
+        self._sets[index].pop(key, None)
+        return True
+
     def invalidate(self, addr: int) -> int:
         """``st``: drop every entry armed at ``addr``.  Returns how many
         entries were invalidated."""

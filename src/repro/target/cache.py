@@ -85,6 +85,12 @@ class DataCache:
         self._l2.clear()
         self.l1_hits = self.l2_hits = self.misses = 0
 
+    def flush(self) -> None:
+        """Drop all residency but keep the hit/miss counters (fault
+        injection: a flush makes later loads slower, never wrong)."""
+        self._l1.clear()
+        self._l2.clear()
+
     # ---- accesses -------------------------------------------------------
     def load(self, addr: int, fp: bool = False) -> int:
         """Access latency of a load at ``addr``; updates residency."""

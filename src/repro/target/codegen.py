@@ -14,6 +14,16 @@ clever part — with two points of interest:
   embedded loads as non-faulting ``ld.s`` — they execute on paths where
   the original program might not have reached them.
 
+* **Misspeculation recovery.**  Every control-speculative assign
+  (``sload``, and compound ``advance`` templates with embedded
+  ``ld.s``) is followed by a ``chk.s`` on its result register: the
+  emitting block is split, the check falls through to the continuation
+  on a real value, and on NaT branches to an out-of-line recovery
+  block that *replays the whole assign* with non-speculative ``ld.r``
+  loads before jumping back to the continuation (docs/recovery.md).
+  Bare ``ld.a`` advances need no ``chk.s``: their ``ld.c`` re-executes
+  the load on an ALAT miss, which is already a full replay.
+
 * **Storage classes.**  Register-candidate symbols live in virtual
   registers.  Globals and address-taken locals live in memory; their
   direct reads/writes become ``lea`` + ``ld``/``st`` — the load
@@ -29,8 +39,8 @@ from typing import Dict, List, Optional
 from ..ir import (AddrOf, Assign, BasicBlock, Bin, CallStmt, CondBr, Const,
                   Expr, Function, Jump, Load, Module, PrintStmt, Return,
                   StorageKind, Store, Symbol, Un, VarRead)
-from .isa import (BIN_OP_NAMES, UN_OP_NAMES, MBlock, MFunction, MInstr,
-                  MProgram)
+from .isa import (BIN_OP_NAMES, LOAD_OPS, UN_OP_NAMES, MBlock, MFunction,
+                  MInstr, MProgram)
 
 _SPEC_LOAD_OP = {"advance": "ld.a", "check": "ld.c", "sload": "ld.s"}
 
@@ -48,6 +58,12 @@ class _FunctionCodegen:
         self._reg_of: Dict[Symbol, int] = {}
         self._nregs = 0
         self._block_map: Dict[BasicBlock, MBlock] = {}
+        # layout segments per IR block (head + chk.s continuations) and
+        # the out-of-line recovery blocks, appended after everything
+        self._segments: Dict[BasicBlock, List[MBlock]] = {}
+        self._segment_of: Optional[BasicBlock] = None
+        self._recovery: List[MBlock] = []
+        self._nsplits = 0
 
     # ---- registers ------------------------------------------------------
     def _fresh_reg(self) -> int:
@@ -85,7 +101,7 @@ class _FunctionCodegen:
             blocks.remove(fn.entry)
             blocks.insert(0, fn.entry)
         for block in blocks:
-            self._block_map[block] = out.new_block(block.name)
+            self._block_map[block] = MBlock(block.name)
 
         entry = self._block_map[fn.entry]
         # Address-taken parameters: spill the incoming register to the
@@ -97,6 +113,12 @@ class _FunctionCodegen:
 
         for block in blocks:
             self._lower_block(block, self._block_map[block])
+        # Layout: each block's segments in flow order (chk.s falls
+        # through to its continuation), recovery blocks out of line at
+        # the end so the no-misspeculation path never pays for them.
+        for block in blocks:
+            out.blocks.extend(self._segments[block])
+        out.blocks.extend(self._recovery)
         out.nregs = self._nregs
         out.max_live = compute_max_live(out)
         return out
@@ -177,34 +199,63 @@ class _FunctionCodegen:
         elif value_reg != self.reg_of(sym):
             out.append(MInstr("mov", self.reg_of(sym), (value_reg,)))
 
-    def _lower_assign(self, out: MBlock, stmt: Assign) -> None:
+    def _lower_assign(self, out: MBlock, stmt: Assign) -> MBlock:
+        """Lower one assign; returns the block subsequent code goes
+        into (a new continuation when the assign grew a ``chk.s``)."""
         sym, value, kind = stmt.sym, stmt.value, stmt.spec_kind
         if kind in _SPEC_LOAD_OP and not _is_memory_resident(sym):
             op = _SPEC_LOAD_OP[kind]
+            start = len(out.instrs)
+            compound = False
             if isinstance(value, Load):
                 addr = self._emit_expr(out, value.addr)
                 out.append(MInstr(op, self.reg_of(sym), (addr,),
                                   fp=value.value_ty.is_float))
-                return
-            if isinstance(value, VarRead) and _is_memory_resident(value.sym):
+            elif isinstance(value, VarRead) \
+                    and _is_memory_resident(value.sym):
                 self._emit_scalar_load(out, value.sym, op, self.reg_of(sym))
-                return
-            # Compound speculative template (control-speculative
-            # insertion): no single load to flavour — evaluate it with
-            # non-faulting embedded loads.
-            self._emit_expr(out, value, dest=self.reg_of(sym),
-                            nonfaulting=kind in ("sload", "advance"))
-            return
+            else:
+                # Compound speculative template (control-speculative
+                # insertion): no single load to flavour — evaluate it
+                # with non-faulting embedded loads.
+                self._emit_expr(out, value, dest=self.reg_of(sym),
+                                nonfaulting=kind in ("sload", "advance"))
+                compound = True
+            if kind == "sload" or (kind == "advance" and compound):
+                return self._emit_check(out, start, self.reg_of(sym))
+            return out
         if _is_memory_resident(sym):
             reg = self._emit_expr(out, value)
             self._assign_to(out, sym, reg)
         else:
             self._emit_expr(out, value, dest=self.reg_of(sym))
+        return out
+
+    def _emit_check(self, out: MBlock, start: int, reg: int) -> MBlock:
+        """Terminate ``out`` with ``chk.s reg`` and build the recovery
+        block: a copy of the assign's span (``out.instrs[start:]``)
+        with every load replayed as non-speculative ``ld.r``, jumping
+        back to the continuation block this returns."""
+        self._nsplits += 1
+        cont = MBlock(f"{out.name}.c{self._nsplits}")
+        rec = MBlock(f"{out.name}.r{self._nsplits}")
+        for instr in out.instrs[start:]:
+            rec.append(MInstr("ld.r" if instr.op in LOAD_OPS else instr.op,
+                              instr.dest, instr.srcs, instr.imm, instr.sym,
+                              instr.callee, instr.targets, instr.fp,
+                              instr.coerce))
+        rec.append(MInstr("jmp", targets=(cont,)))
+        out.append(MInstr("chk.s", srcs=(reg,), targets=(cont, rec)))
+        self._segments[self._segment_of].append(cont)
+        self._recovery.append(rec)
+        return cont
 
     def _lower_block(self, block: BasicBlock, out: MBlock) -> None:
+        self._segments[block] = [out]
+        self._segment_of = block
         for stmt in block.stmts:
             if isinstance(stmt, Assign):
-                self._lower_assign(out, stmt)
+                out = self._lower_assign(out, stmt)
             elif isinstance(stmt, Store):
                 addr = self._emit_expr(out, stmt.addr)
                 value = self._emit_expr(out, stmt.value)

@@ -9,10 +9,22 @@ semantics (docs/machine_model.md):
 ``ld``    ordinary load; faults on an unallocated address
 ``ld.a``  advanced load — loads *and* arms an ALAT entry; never
           faults (deferred-exception NaT behaviour)
-``ld.s``  control-speculative load; never faults
+``ld.s``  control-speculative load; never faults — a bad address
+          delivers the NaT poison, which propagates through ALU ops
+          until a ``chk.s`` catches it
 ``ld.c``  check load — ALAT hit: the register value stands at ~zero
           cost; miss: re-executes as a real load and re-arms
+``ld.r``  recovery replay load — re-executes a deferred ``ld.s``
+          non-speculatively inside a ``chk.s`` recovery block; a
+          still-unmapped cell reads as zero (the architectural
+          NaT-consumption value) instead of faulting
 ========  ==========================================================
+
+``chk.s r, cont, recover`` is the misspeculation check: a block
+terminator that falls through to ``cont`` when ``r`` holds a real
+value and branches to the (out-of-line) ``recover`` block when ``r``
+is NaT; recovery replays the load(s) with ``ld.r`` and jumps back to
+``cont`` (docs/recovery.md).
 
 Everything else is a deliberately small RISC: ``movi``/``mov``/``lea``,
 three-address ALU ops named after the IR operators, ``st``, branches,
@@ -27,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..ir import Symbol
 
 #: The load flavours (retired-load counters are split along these).
-LOAD_OPS = frozenset({"ld", "ld.a", "ld.s", "ld.c"})
+LOAD_OPS = frozenset({"ld", "ld.a", "ld.s", "ld.c", "ld.r"})
 
 #: Binary ALU ops, keyed by the IR operator they implement.
 BIN_OP_NAMES = {
@@ -48,8 +60,9 @@ ALU_OPS = frozenset(BIN_OP_NAMES.values()) | frozenset(UN_OP_NAMES.values())
 #: Ops with externally visible effects whose relative order is frozen.
 EFFECT_OPS = frozenset({"call", "print", "input", "inputf", "alloc"})
 
-#: Block terminators.
-TERMINATOR_OPS = frozenset({"jmp", "br", "ret"})
+#: Block terminators.  ``chk.s`` is control flow: fall through on a
+#: real value, branch to the recovery block on NaT.
+TERMINATOR_OPS = frozenset({"jmp", "br", "ret", "chk.s"})
 
 
 class MInstr:

@@ -17,6 +17,16 @@ The speculative flavours meet the :class:`~repro.target.ALAT` here:
 (default 0 — the paper's whole premise) or re-executes as a real load,
 counted as a mis-speculation.
 
+Deferred exceptions are modelled with the :data:`NAT` poison token
+(IA-64's "Not a Thing"): a speculative load that cannot complete —
+unmapped address, or a fault injected by a
+:class:`~repro.hazards.Injector` — delivers ``NAT`` instead of raising.
+The poison propagates through ALU ops, ``mov`` and call arguments; a
+non-speculative consumer (plain ``ld``/``st`` address, store value,
+branch condition, ``print``, ``alloc``) raises :class:`MachineError`,
+and ``chk.s`` branches to its recovery block, which replays the loads
+with ``ld.r`` (docs/recovery.md).
+
 Instructions are translated to plain tuples once per run so the
 dispatch loop stays lean enough for the million-instruction workloads.
 """
@@ -25,6 +35,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..errors import FuelExhausted
 from ..ir import StorageKind
 from ..profiling.interp import c_div, c_rem
 from .alat import ALAT
@@ -40,12 +51,43 @@ class MachineError(Exception):
     exhausted, missing main, malformed program)."""
 
 
+class MachineFuelExhausted(FuelExhausted, MachineError):
+    """Fuel ran out in the simulator.  Carries the function and block
+    being executed so the driver can report a diagnostic instead of a
+    stack trace."""
+
+    def __init__(self, function: str, block: str, instructions: int) -> None:
+        super().__init__(
+            f"fuel exhausted (infinite loop?) in {function} at block "
+            f"{block} after {instructions} instructions")
+        self.function = function
+        self.instruction = block
+        self.instructions = instructions
+
+
+class _NaT:
+    """The deferred-exception poison token.  A singleton compared by
+    identity (``value is NAT``); it deliberately supports *no*
+    arithmetic — the simulator checks for it explicitly, so any leak
+    into a Python operator is a loud bug, not silent corruption."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "NaT"
+
+
+#: The one NaT value speculative loads deliver on a deferred fault.
+NAT = _NaT()
+
+
 # ---- opcode encoding --------------------------------------------------
 
-(_MOVI, _MOV, _LEA, _LD, _LDA, _LDS, _LDC, _ST, _BIN, _UN, _CALL,
- _INPUT, _INPUTF, _ALLOC, _PRINT, _JMP, _BR, _RET) = range(18)
+(_MOVI, _MOV, _LEA, _LD, _LDA, _LDS, _LDC, _LDR, _ST, _BIN, _UN, _CALL,
+ _INPUT, _INPUTF, _ALLOC, _PRINT, _JMP, _BR, _RET, _CHK) = range(20)
 
-_LOAD_CODE = {"ld": _LD, "ld.a": _LDA, "ld.s": _LDS, "ld.c": _LDC}
+_LOAD_CODE = {"ld": _LD, "ld.a": _LDA, "ld.s": _LDS, "ld.c": _LDC,
+              "ld.r": _LDR}
 
 _BIN_FN = {
     "add": lambda a, b: a + b,
@@ -131,6 +173,11 @@ class _TFunc:
                     else_i = index[id(instr.targets[1])]
                     out.append((_BR, instr.srcs[0], then_i, else_i,
                                 then_i != i + 1, else_i != i + 1))
+                elif op == "chk.s":
+                    cont_i = index[id(instr.targets[0])]
+                    rec_i = index[id(instr.targets[1])]
+                    out.append((_CHK, instr.srcs[0], cont_i, rec_i,
+                                cont_i != i + 1, rec_i != i + 1))
                 elif op == "ret":
                     out.append((_RET, instr.srcs[0] if instr.srcs else None))
                 else:
@@ -145,7 +192,8 @@ class _Machine:
                  fuel: int, issue_width: int, mem_ports: int,
                  branch_penalty: int, call_overhead: int,
                  alat: ALAT, cache: DataCache,
-                 check_hit_latency: int, check_issue_free: bool) -> None:
+                 check_hit_latency: int, check_issue_free: bool,
+                 injector=None) -> None:
         self.funcs = {name: _TFunc(fn)
                       for name, fn in program.functions.items()}
         self.inputs = list(inputs)
@@ -159,6 +207,7 @@ class _Machine:
         self.cache = cache
         self.check_hit_latency = check_hit_latency
         self.check_issue_free = check_issue_free
+        self.injector = injector
 
         self.memory: Dict[int, Value] = {}
         self._next_addr = 16  # matches the interpreter: 0 stays null
@@ -219,6 +268,7 @@ class _Machine:
         memory = self.memory
         alat = self.alat
         cache = self.cache
+        injector = self.injector
         issue_width = self.issue_width
         mem_ports = self.mem_ports
         blocks = fn.blocks
@@ -226,7 +276,8 @@ class _Machine:
         while True:
             self.fuel -= 1
             if self.fuel <= 0:
-                raise MachineError("fuel exhausted (infinite loop?)")
+                raise MachineFuelExhausted(fn.name, f"#{block_index}",
+                                           stats.instructions)
             entered_at = self.cycle
             next_block = -1
             retval: Optional[Value] = None
@@ -236,11 +287,13 @@ class _Machine:
 
                 # -- scoreboard: stall until operands are ready ----------
                 cycle = self.cycle
-                if code <= _LDC and code >= _LD:       # loads
+                if code <= _LDR and code >= _LD:       # loads
                     srcs = (instr[2], instr[1]) if code == _LDC \
                         else (instr[2],)
                 elif code == _ST:
                     srcs = (instr[1], instr[2])
+                elif code == _CHK:
+                    srcs = (instr[1],)
                 elif code == _BIN:
                     srcs = (instr[3], instr[4])
                 elif code == _UN:
@@ -294,7 +347,12 @@ class _Machine:
                 # -- execute ---------------------------------------------
                 if code == _BIN:
                     dest = instr[1]
-                    regs[dest] = instr[2](regs[instr[3]], regs[instr[4]])
+                    a = regs[instr[3]]
+                    b = regs[instr[4]]
+                    if a is NAT or b is NAT:
+                        regs[dest] = NAT    # poison propagates
+                    else:
+                        regs[dest] = instr[2](a, b)
                     ready[dest] = cycle + instr[5]
                     from_load[dest] = False
                 elif code == _MOVI:
@@ -315,7 +373,12 @@ class _Machine:
                     from_load[dest] = False
                 elif code == _LD:
                     dest = instr[1]
-                    addr = int(regs[instr[2]])
+                    a = regs[instr[2]]
+                    if a is NAT:
+                        raise MachineError(
+                            "load address is NaT (unchecked speculative "
+                            "value reached a non-speculative load)")
+                    addr = int(a)
                     try:
                         regs[dest] = memory[addr]
                     except KeyError:
@@ -328,28 +391,74 @@ class _Machine:
                     fs.plain_loads += 1
                 elif code == _LDA:
                     dest = instr[1]
-                    addr = int(regs[instr[2]])
-                    value = memory.get(addr)
-                    if value is None:
-                        regs[dest] = 0      # deferred fault: NaT as zero
+                    a = regs[instr[2]]
+                    if a is NAT:
+                        regs[dest] = NAT    # poison propagates, no arm
+                        alat.disarm(dest, frame)
+                        ready[dest] = cycle + 1
                     else:
-                        regs[dest] = value
-                        alat.arm(dest, addr, frame)
-                    ready[dest] = cycle + cache.load(addr, instr[3])
+                        addr = int(a)
+                        value = memory.get(addr)
+                        # no injector hook here: a real ld.a faults
+                        # immediately (only ld.s defers), so its value may
+                        # be consumed before any check — poisoning it would
+                        # inject a wrong execution, not a misspeculation
+                        if value is None:
+                            regs[dest] = NAT    # deferred fault
+                            alat.disarm(dest, frame)
+                            stats.deferred_faults += 1
+                            fs.deferred_faults += 1
+                        else:
+                            regs[dest] = value
+                            alat.arm(dest, addr, frame)
+                        ready[dest] = cycle + cache.load(addr, instr[3])
                     from_load[dest] = True
                     stats.advanced_loads += 1
                     fs.advanced_loads += 1
                 elif code == _LDS:
                     dest = instr[1]
-                    addr = int(regs[instr[2]])
-                    regs[dest] = memory.get(addr, 0)
-                    ready[dest] = cycle + cache.load(addr, instr[3])
+                    a = regs[instr[2]]
+                    if a is NAT:
+                        regs[dest] = NAT    # poison propagates
+                        ready[dest] = cycle + 1
+                    else:
+                        addr = int(a)
+                        value = memory.get(addr)
+                        if value is None or (
+                                injector is not None
+                                and injector.poison_load("ld.s", addr)):
+                            regs[dest] = NAT    # deferred fault
+                            stats.deferred_faults += 1
+                            fs.deferred_faults += 1
+                        else:
+                            regs[dest] = value
+                        ready[dest] = cycle + cache.load(addr, instr[3])
                     from_load[dest] = True
                     stats.spec_loads += 1
                     fs.spec_loads += 1
+                elif code == _LDR:
+                    dest = instr[1]
+                    a = regs[instr[2]]
+                    if a is NAT:
+                        raise MachineError(
+                            "ld.r address is NaT (recovery block did not "
+                            "replay the address chain)")
+                    addr = int(a)
+                    # replay never faults: an unmapped cell reads as the
+                    # architectural zero the seed's ld.s delivered
+                    regs[dest] = memory.get(addr, 0)
+                    ready[dest] = cycle + cache.load(addr, instr[3])
+                    from_load[dest] = True
+                    stats.replay_loads += 1
+                    fs.replay_loads += 1
                 elif code == _LDC:
                     dest = instr[1]
-                    addr = int(regs[instr[2]])
+                    a = regs[instr[2]]
+                    if a is NAT:
+                        raise MachineError(
+                            "check-load address is NaT (unchecked "
+                            "speculative value)")
+                    addr = int(a)
                     stats.check_loads += 1
                     fs.check_loads += 1
                     if alat.check(dest, addr, frame):
@@ -369,11 +478,16 @@ class _Machine:
                         stats.check_misses += 1
                         fs.check_misses += 1
                 elif code == _ST:
-                    addr = int(regs[instr[1]])
+                    a = regs[instr[1]]
+                    value = regs[instr[2]]
+                    if a is NAT or value is NAT:
+                        raise MachineError(
+                            "store consumed NaT (unchecked speculative "
+                            "value reached memory)")
+                    addr = int(a)
                     if addr not in memory:
                         raise MachineError(
                             f"store to unallocated address {addr}")
-                    value = regs[instr[2]]
                     if instr[3]:
                         value = float(value)
                     memory[addr] = value
@@ -381,6 +495,8 @@ class _Machine:
                     cache.store(addr, instr[4])
                     stats.stores += 1
                     fs.stores += 1
+                    if injector is not None:
+                        injector.after_store(alat, cache)
                 elif code == _JMP:
                     next_block = instr[1]
                     if instr[2]:
@@ -389,10 +505,30 @@ class _Machine:
                         self.ports = 0
                     break
                 elif code == _BR:
-                    if regs[instr[1]]:
+                    cond = regs[instr[1]]
+                    if cond is NAT:
+                        raise MachineError(
+                            "branch condition is NaT (unchecked "
+                            "speculative value reached control flow)")
+                    if cond:
                         next_block, taken = instr[2], instr[4]
                     else:
                         next_block, taken = instr[3], instr[5]
+                    if taken:
+                        self.cycle = cycle + 1 + self.branch_penalty
+                        self.slots = 0
+                        self.ports = 0
+                    break
+                elif code == _CHK:
+                    stats.spec_checks += 1
+                    fs.spec_checks += 1
+                    if regs[instr[1]] is NAT:
+                        # deferred fault caught: enter the recovery block
+                        stats.spec_recoveries += 1
+                        fs.spec_recoveries += 1
+                        next_block, taken = instr[3], instr[5]
+                    else:
+                        next_block, taken = instr[2], instr[4]
                     if taken:
                         self.cycle = cycle + 1 + self.branch_penalty
                         self.slots = 0
@@ -422,7 +558,8 @@ class _Machine:
                     entered_at = self.cycle  # callee cycles are its own
                 elif code == _UN:
                     dest = instr[1]
-                    regs[dest] = instr[2](regs[instr[3]])
+                    a = regs[instr[3]]
+                    regs[dest] = NAT if a is NAT else instr[2](a)
                     ready[dest] = cycle + 1
                     from_load[dest] = False
                 elif code == _INPUT or code == _INPUTF:
@@ -434,13 +571,22 @@ class _Machine:
                     from_load[dest] = False
                 elif code == _ALLOC:
                     dest = instr[1]
-                    regs[dest] = self._allocate(int(regs[instr[2]]))
+                    a = regs[instr[2]]
+                    if a is NAT:
+                        raise MachineError(
+                            "alloc size is NaT (unchecked speculative "
+                            "value)")
+                    regs[dest] = self._allocate(int(a))
                     ready[dest] = cycle + 1
                     from_load[dest] = False
                 elif code == _PRINT:
                     parts = []
                     for src in instr[1]:
                         value = regs[src]
+                        if value is NAT:
+                            raise MachineError(
+                                "print consumed NaT (unchecked "
+                                "speculative value reached output)")
                         parts.append(f"{value:.6g}"
                                      if isinstance(value, float)
                                      else str(value))
@@ -464,6 +610,7 @@ def run_program(program: MProgram, inputs: Sequence[Value] = (),
                 check_latency: Optional[int] = None,
                 check_issue_free: bool = False,
                 mem_latency: Optional[int] = None,
+                injector=None,
                 machine_overrides: Optional[dict] = None
                 ) -> Tuple[MachineStats, List[str]]:
     """Simulate ``program`` on the IA-64-flavoured machine.
@@ -478,7 +625,11 @@ def run_program(program: MProgram, inputs: Sequence[Value] = (),
 
     The passed ``alat``/``cache`` objects are treated as *configuration*:
     the run clones them cold rather than mutating them, so one object can
-    parameterize many runs.
+    parameterize many runs.  ``injector`` (a
+    :class:`repro.hazards.Injector`) is cloned the same way and gets to
+    perturb the run: poison speculative loads, force ALAT evictions and
+    flush the cache after stores — never affecting a correct program's
+    output, only its cycle count (docs/recovery.md).
     """
     if machine_overrides:
         return run_program(program, inputs, fuel,
@@ -490,7 +641,8 @@ def run_program(program: MProgram, inputs: Sequence[Value] = (),
                                      check_hit_latency=check_hit_latency,
                                      check_latency=check_latency,
                                      check_issue_free=check_issue_free,
-                                     mem_latency=mem_latency),
+                                     mem_latency=mem_latency,
+                                     injector=injector),
                               **machine_overrides})
     if check_latency is not None:
         check_hit_latency = check_latency
@@ -498,7 +650,9 @@ def run_program(program: MProgram, inputs: Sequence[Value] = (),
     cache = cache.clone(mem_latency) if cache is not None \
         else DataCache(**({} if mem_latency is None
                           else {"mem_latency": mem_latency}))
+    if injector is not None:
+        injector = injector.clone()
     machine = _Machine(program, inputs, fuel, issue_width, mem_ports,
                        branch_penalty, call_overhead, alat, cache,
-                       check_hit_latency, check_issue_free)
+                       check_hit_latency, check_issue_free, injector)
     return machine.run()

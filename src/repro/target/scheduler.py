@@ -8,7 +8,11 @@ already-optimal code.
 
 Ordering rules, from strongest to weakest:
 
-* the terminator stays last;
+* the terminator stays last — and ``chk.s`` *is* a terminator, so a
+  speculation check can never drift past the stores, effects or
+  branches it guards: everything it must precede lives in later
+  blocks, and the ``ld.s`` it checks is pinned before it by the RAW
+  dependence on the checked register;
 * effect instructions (``call``/``print``/``input``/``alloc``) keep
   their relative order and never cross a memory access (calls may read
   and write memory);
@@ -28,7 +32,7 @@ from typing import Dict, List
 from .isa import EFFECT_OPS, MBlock, MFunction, MInstr, MProgram
 
 #: static latency estimates used for priority (not for correctness)
-_HEIGHT = {"ld": 6, "ld.a": 6, "ld.s": 6, "ld.c": 1,
+_HEIGHT = {"ld": 6, "ld.a": 6, "ld.s": 6, "ld.c": 1, "ld.r": 6,
            "mul": 3, "div": 12, "rem": 12}
 
 

@@ -35,16 +35,20 @@ class FnStats:
     check_loads: int = 0
     check_misses: int = 0
     stores: int = 0
+    deferred_faults: int = 0
+    spec_checks: int = 0
+    spec_recoveries: int = 0
+    replay_loads: int = 0
 
     @property
     def loads_retired(self) -> int:
         return (self.plain_loads + self.advanced_loads + self.spec_loads
-                + self.check_loads)
+                + self.check_loads + self.replay_loads)
 
     @property
     def memory_loads(self) -> int:
         return (self.plain_loads + self.advanced_loads + self.spec_loads
-                + self.check_misses)
+                + self.check_misses + self.replay_loads)
 
 
 @dataclass
@@ -62,13 +66,22 @@ class MachineStats:
     #: stall cycles whose binding producer was a load (Figure 10's
     #: "data access" series)
     data_access_cycles: int = 0
+    #: ``ld.s``/``ld.a`` that hit an unmapped (or injector-poisoned)
+    #: address and delivered NaT instead of faulting
+    deferred_faults: int = 0
+    #: executed ``chk.s`` instructions
+    spec_checks: int = 0
+    #: ``chk.s`` that caught a NaT and entered a recovery block
+    spec_recoveries: int = 0
+    #: retired ``ld.r`` replay loads (recovery-block re-executions)
+    replay_loads: int = 0
     fn_stats: Dict[str, FnStats] = field(default_factory=dict)
 
     # ---- derived counters ----------------------------------------------
     @property
     def loads_retired(self) -> int:
         return (self.plain_loads + self.advanced_loads + self.spec_loads
-                + self.check_loads)
+                + self.check_loads + self.replay_loads)
 
     @property
     def total_loads(self) -> int:
@@ -79,7 +92,7 @@ class MachineStats:
     def memory_loads(self) -> int:
         """Loads that reached the memory pipeline (check hits excluded)."""
         return (self.plain_loads + self.advanced_loads + self.spec_loads
-                + self.check_misses)
+                + self.check_misses + self.replay_loads)
 
     @property
     def redundant_loads(self) -> int:
@@ -125,6 +138,10 @@ class MachineStats:
             "check_ratio": self.check_ratio,
             "misspeculation_ratio": self.misspeculation_ratio,
             "data_access_cycles": self.data_access_cycles,
+            "deferred_faults": self.deferred_faults,
+            "spec_checks": self.spec_checks,
+            "spec_recoveries": self.spec_recoveries,
+            "replay_loads": self.replay_loads,
         }
 
     def fn(self, name: str) -> FnStats:

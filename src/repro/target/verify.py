@@ -45,6 +45,9 @@ def verify_function(fn: MFunction, program: MProgram) -> None:
             if instr.op == "st" and (instr.dest is not None
                                      or len(instr.srcs) != 2):
                 _fail(fn, block.name, "malformed store")
+            if instr.op == "chk.s" and (instr.dest is not None
+                                        or len(instr.srcs) != 1):
+                _fail(fn, block.name, "malformed chk.s")
             if instr.op == "lea" and instr.sym is None:
                 _fail(fn, block.name, "lea without symbol")
             for reg in instr.srcs + ((instr.dest,)
@@ -53,7 +56,8 @@ def verify_function(fn: MFunction, program: MProgram) -> None:
                     _fail(fn, block.name,
                           f"register r{reg} out of range "
                           f"(nregs={fn.nregs})")
-            expected = {"jmp": 1, "br": 2, "ret": 0}.get(instr.op)
+            expected = {"jmp": 1, "br": 2, "ret": 0,
+                        "chk.s": 2}.get(instr.op)
             if expected is not None and len(instr.targets) != expected:
                 _fail(fn, block.name, f"{instr.op} with "
                                       f"{len(instr.targets)} targets")

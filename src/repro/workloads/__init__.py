@@ -1,9 +1,10 @@
 """SPEC2000-shaped workloads and the benchmark runner."""
 
-from .base import Workload, all_workloads, get_workload, register
+from .base import (Workload, all_workloads, get_workload,
+                   recovery_workloads, register)
 from .runner import run_workload, compare_workload
 
 __all__ = [
     "Workload", "all_workloads", "compare_workload", "get_workload",
-    "register", "run_workload",
+    "recovery_workloads", "register", "run_workload",
 ]

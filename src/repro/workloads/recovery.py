@@ -1,0 +1,140 @@
+"""Recovery-shaped workloads (misspeculation stress, docs/recovery.md).
+
+The eight SPEC2000-shaped programs in :mod:`.programs` exercise *data*
+speculation — the ALAT, ``ld.a``/``ld.c`` — but their loads are never
+guarded by a hot branch, so the compiler has no reason to emit a single
+control-speculative ``ld.s``.  These two additions reproduce the other
+half of the paper's Figure 1: bounds-guarded table lookups whose loads
+hoist above the guard as ``ld.s`` + ``chk.s``.  Out-of-range keys make
+the hoisted load read past its allocation, so a clean (uninjected) run
+already takes genuine NaT deferrals and ``chk.s`` recoveries; the
+fault-injection campaign then piles spurious deferrals, ALAT evictions
+and cache flushes on top.
+
+Named after the two SPEC2000 integer benchmarks whose hot loops have
+exactly this shape: 197.parser's bounds-checked dictionary lookup and
+186.crafty's attack-table probes.
+"""
+
+from __future__ import annotations
+
+from .base import Workload, register
+
+# ---------------------------------------------------------------------------
+# parser — 197.parser: guarded dictionary lookup
+# ---------------------------------------------------------------------------
+
+PARSER_SOURCE = """
+int seed;
+
+int rnd(int bound) {
+  seed = (seed * 1103 + 12849) % 65536;
+  return seed % bound;
+}
+
+int lookup(int *dict, int ndict, int key, int reps) {
+  int i; int hits; int v;
+  hits = 0;
+  for (i = 0; i < reps; i = i + 1) {
+    if (key < ndict) {
+      v = dict[key];
+      hits = hits + v + i;
+    }
+  }
+  return hits;
+}
+
+void main() {
+  int ndict; int nwords; int reps; int guard;
+  int *dict; int w; int key; int total;
+  ndict = input(); nwords = input(); reps = input(); guard = input();
+  seed = 7;
+  dict = alloc(ndict);
+  for (w = 0; w < ndict; w = w + 1) { dict[w] = rnd(97); }
+  if (guard < 0) { total = lookup(dict, dict[0], 0, 1); }
+  total = 0;
+  for (w = 0; w < nwords; w = w + 1) {
+    key = rnd(ndict + ndict / 4);
+    total = (total + lookup(dict, ndict, key, reps)) % 1000003;
+  }
+  print(total);
+}
+"""
+
+register(Workload(
+    name="parser",
+    spec_name="197.parser",
+    description="bounds-guarded dictionary lookup: the guarded "
+                "dict[key] hoists above the branch as ld.s + chk.s; "
+                "~1 in 5 keys is out of range, so the speculative load "
+                "reads past the allocation and defers a real NaT that "
+                "the check recovers",
+    source=PARSER_SOURCE,
+    train_inputs=[64, 40, 6, 0],
+    ref_inputs=[64, 300, 10, 0],
+    expectation="control speculation: deferred faults and chk.s "
+                "recoveries on the clean run, all benign",
+))
+
+# ---------------------------------------------------------------------------
+# crafty — 186.crafty: attack-table probes across board updates
+# ---------------------------------------------------------------------------
+
+CRAFTY_SOURCE = """
+int seed;
+
+int rnd(int bound) {
+  seed = (seed * 1103 + 12849) % 65536;
+  return seed % bound;
+}
+
+int probe(int *board, int *attack, int *bonus, int n, int sq, int depth) {
+  int d; int score; int a; int b; int cell;
+  score = 0;
+  for (d = 0; d < depth; d = d + 1) {
+    if (sq < n) {
+      a = attack[sq];
+      b = bonus[sq];
+      cell = d - (d / n) * n;
+      board[cell] = board[cell] + 1;
+      score = score + a + b + board[cell];
+    }
+  }
+  return score;
+}
+
+void main() {
+  int n; int probes; int depth; int guard;
+  int *board; int *attack; int *bonus; int p; int sq; int total;
+  n = input(); probes = input(); depth = input(); guard = input();
+  seed = 29;
+  board = alloc(n); attack = alloc(n); bonus = alloc(n);
+  for (p = 0; p < n; p = p + 1) {
+    board[p] = 0;
+    attack[p] = rnd(11);
+    bonus[p] = rnd(5);
+  }
+  if (guard < 0) { total = probe(attack, attack, bonus, n, 0, 1); }
+  total = 0;
+  for (p = 0; p < probes; p = p + 1) {
+    sq = rnd(n + n / 8);
+    total = (total + probe(board, attack, bonus, n, sq, depth)) % 1000003;
+  }
+  print(total);
+}
+"""
+
+register(Workload(
+    name="crafty",
+    spec_name="186.crafty",
+    description="bounds-guarded attack-table probes across board[] "
+                "updates: attack[sq] and bonus[sq] hoist above the "
+                "guard as advanced loads, so out-of-range probes defer "
+                "real NaTs while the board[] stores keep the ALAT "
+                "busy",
+    source=CRAFTY_SOURCE,
+    train_inputs=[32, 30, 8, 0],
+    ref_inputs=[32, 200, 12, 0],
+    expectation="mixed control + data speculation; recovery on "
+                "out-of-range probes",
+))

@@ -1,0 +1,141 @@
+"""Injector unit tests: determinism, cloning, scenarios, adversarial
+profile transforms."""
+
+import random
+
+import pytest
+
+from repro.hazards import (ADVERSARIES, Injector, SCENARIOS, empty_profile,
+                           invert_profile, make_injector, shuffle_profile)
+from repro.lang import compile_source
+from repro.profiling import collect_alias_profile
+from repro.target import ALAT, DataCache
+
+
+def test_same_seed_same_decisions():
+    a = Injector(seed=9, sload_nat_rate=0.5)
+    b = Injector(seed=9, sload_nat_rate=0.5)
+    decisions_a = [a.poison_load("ld.s", i) for i in range(50)]
+    decisions_b = [b.poison_load("ld.s", i) for i in range(50)]
+    assert decisions_a == decisions_b
+    assert any(decisions_a) and not all(decisions_a)
+
+
+def test_clone_rewinds_stream_and_shares_telemetry():
+    inj = Injector(seed=4, sload_nat_rate=0.5)
+    first = [inj.poison_load("ld.s", i) for i in range(20)]
+    clone = inj.clone()
+    assert [clone.poison_load("ld.s", i) for i in range(20)] == first
+    # telemetry accumulated across both
+    assert inj.telemetry["poison:ld.s"] == 2 * sum(first)
+
+
+def test_zero_rates_never_perturb():
+    inj = Injector(seed=1)
+    assert not any(inj.poison_load("ld.s", i) for i in range(100))
+    alat = ALAT(entries=4, ways=2)
+    alat.arm(0, 3)
+    cache = DataCache()
+    for _ in range(50):
+        inj.after_store(alat, cache)
+    assert len(alat) == 1
+    assert not inj.telemetry
+
+
+def test_after_store_evicts_and_flushes():
+    inj = Injector(seed=2, alat_evict_rate=1.0, cache_flush_rate=1.0)
+    alat = ALAT(entries=4, ways=2)
+    alat.arm(0, 3)
+    cache = DataCache()
+    cache.load(100, False)
+    inj.after_store(alat, cache)
+    assert len(alat) == 0
+    assert inj.telemetry["alat-evict"] == 1
+    assert inj.telemetry["cache-flush"] == 1
+    # no entries left: further evictions are no-ops, not errors
+    inj.after_store(alat, cache)
+    assert inj.telemetry["alat-evict"] == 1
+
+
+def test_make_injector_validates_scenario():
+    for name in SCENARIOS:
+        make_injector(name, seed=1)
+    with pytest.raises(ValueError, match="unknown injection scenario"):
+        make_injector("meltdown")
+
+
+def test_alat_evict_one_is_deterministic():
+    def build():
+        alat = ALAT(entries=8, ways=2)
+        for reg in range(5):
+            alat.arm(reg, reg * 3)
+        return alat
+
+    a, b = build(), build()
+    a.evict_one(random.Random(7))
+    b.evict_one(random.Random(7))
+    assert a._home.keys() == b._home.keys()
+
+
+# ---------------------------------------------------------------------------
+# adversarial profiles
+# ---------------------------------------------------------------------------
+
+SRC = """
+void kernel(int *p, int *q, int n) {
+  int i; int x;
+  for (i = 0; i < n; i = i + 1) {
+    x = p[0];
+    q[i] = x + i;
+    x = p[0];
+  }
+}
+void main() {
+  int a[8]; int b[8]; int g;
+  g = input();
+  a[0] = 3;
+  if (g < 0) { kernel(a, a, 8); }
+  kernel(a, b, 8);
+  print(b[7]);
+}
+"""
+
+
+def _profile():
+    return collect_alias_profile(compile_source(SRC), inputs=[0])
+
+
+def test_transforms_do_not_mutate_the_input():
+    profile = _profile()
+    before = {k: dict(v) for k, v in profile.load_locs.items()}
+    for transform in ADVERSARIES.values():
+        transform(profile)
+    after = {k: dict(v) for k, v in profile.load_locs.items()}
+    assert before == after
+
+
+def test_empty_profile_is_empty():
+    adv = empty_profile(_profile())
+    assert not adv.load_locs and not adv.store_locs
+    assert not adv.load_count and not adv.store_count
+
+
+def test_invert_complements_within_observed_locs():
+    profile = _profile()
+    adv = invert_profile(profile)
+    all_locs = set()
+    for counter in profile.load_locs.values():
+        all_locs.update(counter)
+    for site, counter in profile.load_locs.items():
+        assert set(adv.load_locs[site]) == all_locs - set(counter)
+
+
+def test_shuffle_is_a_permutation():
+    from collections import Counter
+
+    profile = _profile()
+    adv = shuffle_profile(profile, seed=5)
+    assert Counter(frozenset(c.items())
+                   for c in profile.load_locs.values()) \
+        == Counter(frozenset(c.items()) for c in adv.load_locs.values())
+    assert set(profile.load_locs) == set(adv.load_locs)

@@ -95,3 +95,103 @@ def test_run_json_output(program_file, capsys):
     assert payload["output"] == ["10"]
     assert payload["stats"]["check_loads"] == 1
     assert payload["stats"]["misspeculation_ratio"] == 0.0
+
+
+GUARDED = """
+int lookup(int *t, int n, int k) {
+  int i; int s; int v; s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (k < n) { v = t[k]; s = s + v + i; }
+  }
+  return s;
+}
+void main() {
+  int t[8]; int j; int acc; acc = 0;
+  for (j = 0; j < 8; j = j + 1) { t[j] = j * 3; }
+  for (j = 0; j < 40; j = j + 1) {
+    acc = acc + lookup(t, 8, j - (j / 8) * 8);
+  }
+  print(acc);
+}
+"""
+
+
+@pytest.fixture()
+def guarded_file(tmp_path):
+    path = tmp_path / "guarded.c"
+    path.write_text(GUARDED)
+    return str(path)
+
+
+def test_run_with_injection_still_checks_the_oracle(guarded_file, capsys):
+    rc = main(["run", guarded_file, "--config", "base",
+               "--inject", "chaos", "--inject-seed", "5"])
+    assert rc == 0
+    out = capsys.readouterr()
+    # injected deferrals were taken and recovered
+    assert "deferred=" in out.err and "deferred=0" not in out.err
+    assert "recovered=0" not in out.err
+
+
+def test_run_injection_seed_is_reproducible(guarded_file, capsys):
+    def run(seed):
+        rc = main(["run", guarded_file, "--config", "base",
+                   "--inject", "poison", "--inject-seed", seed])
+        assert rc == 0
+        err = capsys.readouterr().err
+        # the counters line (SSA temp numbering in diagnostics varies
+        # across in-process compiles; the injection must not)
+        return [l for l in err.splitlines() if l.startswith("---")]
+
+    assert run("3") == run("3")
+
+
+def test_run_rejects_unknown_scenario(guarded_file):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", guarded_file,
+                                   "--inject", "meltdown"])
+
+
+def test_oracle_mismatch_exits_nonzero_with_diff(program_file, capsys,
+                                                 monkeypatch):
+    import repro.pipeline.driver as driver
+
+    original = driver.run_program
+
+    def corrupted(program, **kwargs):
+        stats, output = original(program, **kwargs)
+        return stats, output + ["SPURIOUS"]
+
+    monkeypatch.setattr(driver, "run_program", corrupted)
+    rc = main(["run", program_file, "--train", "0", "--ref", "0"])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "diverged" in err and "SPURIOUS" in err
+
+
+def test_fuel_exhaustion_exits_2_with_diagnostic(tmp_path, capsys):
+    path = tmp_path / "loop.c"
+    path.write_text("void main() { int i; i = 0;"
+                    " while (i < 2) { i = 0; } }")
+    rc = main(["run", str(path), "--no-check", "--fuel", "20000"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "fuel exhausted" in err and "main" in err
+    assert "Traceback" not in err
+
+
+def test_campaign_subcommand(capsys):
+    rc = main(["campaign", "--workloads", "parser,gzip",
+               "--scenarios", "poison,storm", "--seeds", "0,1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "8 injected runs" in out
+    assert "0 mismatches" in out
+
+
+def test_campaign_with_adversary(capsys):
+    rc = main(["campaign", "--workloads", "parser",
+               "--scenarios", "poison", "--seeds", "0",
+               "--adversary", "invert"])
+    assert rc == 0
+    assert "0 mismatches" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Property test: the ALAT under adversarial store storms.
+
+The model invariant from ``repro/target/alat.py``: **a check hit implies
+no store wrote the armed address since the entry was armed** — under any
+interleaving of arms, stores, forced evictions and flushes.  Hypothesis
+drives a random operation stream against the real ALAT and a trivial
+shadow model; at machine level, a store-heavy program under forced
+evictions must still match its uninjected output bit-for-bit.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hazards import Injector
+from repro.target import (ALAT, MFunction, MInstr, MProgram, run_program,
+                          verify_program)
+
+# ---------------------------------------------------------------------------
+# model-level: random op streams against a shadow model
+# ---------------------------------------------------------------------------
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("arm"), st.integers(0, 7), st.integers(0, 31)),
+        st.tuples(st.just("store"), st.integers(0, 31), st.just(0)),
+        st.tuples(st.just("evict"), st.integers(0, 10_000), st.just(0)),
+        st.tuples(st.just("check"), st.integers(0, 7), st.integers(0, 31)),
+    ),
+    max_size=120,
+)
+
+
+@given(ops=_OPS, entries=st.sampled_from([2, 4, 8, 32]),
+       ways=st.sampled_from([1, 2]))
+@settings(max_examples=200, deadline=None)
+def test_check_hit_implies_no_intervening_store(ops, entries, ways):
+    if entries % ways:
+        entries = ways * max(1, entries // ways)
+    alat = ALAT(entries=entries, ways=ways)
+    shadow = {}  # reg -> (addr, clean)
+    for op, a, b in ops:
+        if op == "arm":
+            alat.arm(a, b)
+            shadow[a] = (b, True)
+        elif op == "store":
+            alat.invalidate(a)
+            for reg, (addr, _) in list(shadow.items()):
+                if addr == a:
+                    shadow[reg] = (addr, False)
+        elif op == "evict":
+            alat.evict_one(random.Random(a))
+        elif op == "check":
+            hit = alat.check(a, b)
+            if hit:
+                # the invariant: a hit is only possible for a clean,
+                # still-matching entry (evictions may only remove hits,
+                # never resurrect stale ones)
+                addr, clean = shadow.get(a, (None, False))
+                assert clean and addr == b
+    assert len(alat) <= entries
+
+
+@given(seed=st.integers(0, 2**31), rate=st.floats(0.1, 1.0))
+@settings(max_examples=50, deadline=None)
+def test_forced_evictions_never_fabricate_hits(seed, rate):
+    """Arm, storm-evict, then check: the check either hits with the
+    armed address (eviction didn't reach it) or misses — it can never
+    hit with a different address."""
+    alat = ALAT(entries=4, ways=2)
+    rng = random.Random(seed)
+    armed = {}
+    for reg in range(6):
+        addr = rng.randrange(16)
+        alat.arm(reg, addr)
+        armed[reg] = addr
+    for _ in range(4):
+        if rng.random() < rate:
+            alat.evict_one(rng)
+    for reg, addr in armed.items():
+        assert not alat.check(reg, addr + 1)
+        # a hit, if any, is only ever for the armed address
+        alat.check(reg, addr)  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# machine-level: store storm + forced evictions, differential
+# ---------------------------------------------------------------------------
+
+
+def _storm_program(n_iters: int):
+    """A loop body flattened: repeated (ld.a; st elsewhere; ld.c; print)
+    rounds so every forced eviction turns a would-be hit into a replay."""
+    program = MProgram()
+    fn = MFunction("main")
+    fn.nregs = 16
+    block = fn.new_block("entry")
+    block.append(MInstr("movi", dest=0, imm=8))
+    block.append(MInstr("alloc", dest=1, srcs=(0,)))
+    block.append(MInstr("movi", dest=2, imm=5))
+    block.append(MInstr("st", srcs=(1, 2)))            # cell0 = 5
+    block.append(MInstr("movi", dest=3, imm=1))
+    block.append(MInstr("add", dest=4, srcs=(1, 3)))   # &cell1
+    for i in range(n_iters):
+        block.append(MInstr("ld.a", dest=5, srcs=(1,)))
+        block.append(MInstr("movi", dest=6, imm=i))
+        block.append(MInstr("st", srcs=(4, 6)))        # never aliases
+        block.append(MInstr("ld.c", dest=5, srcs=(1,)))
+        block.append(MInstr("print", srcs=(5,)))
+    block.append(MInstr("ret"))
+    program.add_function(fn)
+    verify_program(program)
+    return program
+
+
+@given(seed=st.integers(0, 2**31), rate=st.floats(0.1, 1.0))
+@settings(max_examples=30, deadline=None)
+def test_store_storm_matches_uninjected_output(seed, rate):
+    program = _storm_program(12)
+    clean_stats, clean_out = run_program(program)
+    assert clean_stats.check_misses == 0      # the store never aliases
+    injector = Injector(seed=seed, alat_evict_rate=rate)
+    stats, output = run_program(program, injector=injector)
+    assert output == clean_out                # recovery, not corruption
+    # every evicted entry costs exactly one check miss (a replay)
+    assert stats.check_misses == injector.telemetry["alat-evict"]
+    assert stats.loads_retired >= clean_stats.loads_retired

@@ -1,0 +1,187 @@
+"""Misspeculation recovery: chk.s, ld.r, recovery blocks, and NaT
+propagation (docs/recovery.md)."""
+
+import pytest
+
+from repro.core import SpecConfig
+from repro.hazards import Injector
+from repro.pipeline import compile_program
+from repro.profiling import run_module
+from repro.target import (MFunction, MInstr, MProgram, MachineError,
+                          run_program, verify_program)
+
+# ---------------------------------------------------------------------------
+# hand-built machine programs
+# ---------------------------------------------------------------------------
+
+
+def _chk_program(mapped: bool):
+    """ld.s from a mapped or unmapped address, guarded by chk.s; the
+    recovery block replays via ld.r and jumps back to the continuation,
+    which prints the register."""
+    program = MProgram()
+    fn = MFunction("main")
+    fn.nregs = 8
+    entry = fn.new_block("entry")
+    cont = fn.new_block("entry.c1")
+    rec = fn.new_block("entry.r1")
+    entry.append(MInstr("movi", dest=0, imm=1))
+    entry.append(MInstr("alloc", dest=1, srcs=(0,)))
+    entry.append(MInstr("movi", dest=2, imm=7))
+    entry.append(MInstr("st", srcs=(1, 2)))
+    if not mapped:
+        # point past the single allocated cell
+        entry.append(MInstr("movi", dest=3, imm=1))
+        entry.append(MInstr("add", dest=1, srcs=(1, 3)))
+    entry.append(MInstr("ld.s", dest=4, srcs=(1,)))
+    entry.append(MInstr("chk.s", srcs=(4,), targets=(cont, rec)))
+    cont.append(MInstr("print", srcs=(4,)))
+    cont.append(MInstr("ret"))
+    rec.append(MInstr("ld.r", dest=4, srcs=(1,)))
+    rec.append(MInstr("jmp", targets=(cont,)))
+    program.add_function(fn)
+    verify_program(program)
+    return program
+
+
+def test_chk_on_good_value_falls_through():
+    stats, output = run_program(_chk_program(mapped=True))
+    assert output == ["7"]
+    assert stats.spec_checks == 1
+    assert stats.spec_recoveries == 0
+    assert stats.deferred_faults == 0
+    assert stats.replay_loads == 0
+
+
+def test_chk_on_nat_takes_recovery_and_replays():
+    stats, output = run_program(_chk_program(mapped=False))
+    # the unmapped ld.s deferred; ld.r reads the architectural zero
+    assert output == ["0"]
+    assert stats.deferred_faults == 1
+    assert stats.spec_checks == 1
+    assert stats.spec_recoveries == 1
+    assert stats.replay_loads == 1
+    # replay loads retire and touch memory
+    assert stats.loads_retired == stats.spec_loads + stats.replay_loads
+    assert stats.memory_loads == stats.spec_loads + stats.replay_loads
+
+
+def test_nat_propagates_through_arithmetic_until_check():
+    """NaT flows through bin/un ops; chk.s on the *derived* register
+    still catches it (the recovery replays the whole span)."""
+    program = MProgram()
+    fn = MFunction("main")
+    fn.nregs = 8
+    entry = fn.new_block("entry")
+    cont = fn.new_block("entry.c1")
+    rec = fn.new_block("entry.r1")
+    entry.append(MInstr("movi", dest=0, imm=4))
+    entry.append(MInstr("alloc", dest=1, srcs=(0,)))
+    entry.append(MInstr("movi", dest=2, imm=99))
+    entry.append(MInstr("add", dest=3, srcs=(1, 0)))  # past end
+    entry.append(MInstr("ld.s", dest=4, srcs=(3,)))
+    entry.append(MInstr("add", dest=5, srcs=(4, 2)))  # NaT + 99
+    entry.append(MInstr("chk.s", srcs=(5,), targets=(cont, rec)))
+    cont.append(MInstr("print", srcs=(5,)))
+    cont.append(MInstr("ret"))
+    rec.append(MInstr("ld.r", dest=4, srcs=(3,)))
+    rec.append(MInstr("add", dest=5, srcs=(4, 2)))
+    rec.append(MInstr("jmp", targets=(cont,)))
+    program.add_function(fn)
+    verify_program(program)
+    stats, output = run_program(program)
+    assert output == ["99"]             # replayed: 0 + 99
+    assert stats.deferred_faults == 1
+    assert stats.spec_recoveries == 1
+
+
+def test_unchecked_nat_consumption_is_a_machine_fault():
+    """A NaT that reaches a store without passing a check is a compiler
+    bug and must crash loudly, not corrupt memory."""
+    program = MProgram()
+    fn = MFunction("main")
+    fn.nregs = 8
+    entry = fn.new_block("entry")
+    entry.append(MInstr("movi", dest=0, imm=1))
+    entry.append(MInstr("alloc", dest=1, srcs=(0,)))
+    entry.append(MInstr("movi", dest=2, imm=1))
+    entry.append(MInstr("add", dest=3, srcs=(1, 2)))
+    entry.append(MInstr("ld.s", dest=4, srcs=(3,)))   # unmapped -> NaT
+    entry.append(MInstr("st", srcs=(1, 4)))           # NaT into memory!
+    entry.append(MInstr("ret"))
+    program.add_function(fn)
+    verify_program(program)
+    with pytest.raises(MachineError, match="NaT"):
+        run_program(program)
+
+
+# ---------------------------------------------------------------------------
+# codegen-level: the compiler emits the whole recovery scheme
+# ---------------------------------------------------------------------------
+
+GUARDED = """
+int lookup(int *t, int n, int k) {
+  int i; int s; int v; s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (k < n) { v = t[k]; s = s + v + i; }
+  }
+  return s;
+}
+void main() {
+  int t[8]; int j; int acc; acc = 0;
+  for (j = 0; j < 8; j = j + 1) { t[j] = j * 3; }
+  for (j = 0; j < 40; j = j + 1) {
+    acc = acc + lookup(t, 8, j - (j / 8) * 8);
+  }
+  print(acc);
+}
+"""
+
+
+def _compiled():
+    return compile_program(GUARDED, SpecConfig.base())
+
+
+def test_codegen_emits_chk_with_out_of_line_recovery():
+    compiled = _compiled()
+    fn = compiled.program.functions["lookup"]
+    checks = [i for b in fn.blocks for i in b.instrs if i.op == "chk.s"]
+    assert checks, "guarded hoisted load should be chk.s-protected"
+    for chk in checks:
+        cont, rec = chk.targets
+        # the recovery block replays loads non-speculatively and jumps
+        # back to the continuation
+        assert any(i.op == "ld.r" for i in rec.instrs)
+        assert rec.instrs[-1].op == "jmp"
+        assert rec.instrs[-1].targets == (cont,)
+        # chk.s terminates its block: nothing may be scheduled past it
+        owner = next(b for b in fn.blocks if chk in b.instrs)
+        assert owner.instrs[-1] is chk
+        # recovery is out of line: the good path falls through to the
+        # continuation, which sits right after the check block
+        assert fn.blocks.index(cont) == fn.blocks.index(owner) + 1
+        assert fn.blocks.index(rec) > fn.blocks.index(cont)
+
+
+def test_injected_poison_is_recovered_bit_for_bit():
+    compiled = _compiled()
+    expected = run_module(compiled.original)
+    injector = Injector(seed=11, sload_nat_rate=0.5)
+    stats, output = run_program(compiled.program, injector=injector)
+    assert output == expected
+    assert stats.deferred_faults > 0
+    assert stats.spec_recoveries == stats.deferred_faults
+    assert stats.replay_loads >= stats.spec_recoveries
+
+
+def test_injection_is_deterministic_per_seed():
+    compiled = _compiled()
+    runs = [run_program(compiled.program,
+                        injector=Injector(seed=3, sload_nat_rate=0.3))
+            for _ in range(2)]
+    assert runs[0][1] == runs[1][1]
+    assert runs[0][0].deferred_faults == runs[1][0].deferred_faults
+    other = run_program(compiled.program,
+                        injector=Injector(seed=4, sload_nat_rate=0.3))
+    # different seed, same program: the *outputs* still match
+    assert other[1] == runs[0][1]

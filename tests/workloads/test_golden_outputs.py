@@ -11,7 +11,7 @@ import pytest
 
 from repro.lang import compile_source
 from repro.profiling import run_module
-from repro.workloads import all_workloads, get_workload
+from repro.workloads import all_workloads, get_workload, recovery_workloads
 
 GOLDEN = {
     "gzip": ["6103"],
@@ -22,6 +22,8 @@ GOLDEN = {
     "art": ["40.7595"],
     "equake": ["552.47"],
     "ammp": ["0.1206"],
+    "parser": ["140135"],
+    "crafty": ["191664"],
 }
 
 
@@ -36,4 +38,6 @@ def test_golden_ref_output(name):
 
 
 def test_golden_covers_all_workloads():
-    assert set(GOLDEN) == {w.name for w in all_workloads()}
+    assert set(GOLDEN) == {
+        w.name for w in all_workloads() + recovery_workloads()
+    }
