@@ -5,6 +5,7 @@ Usage::
     python -m repro run FILE [--config base|profile|heuristic|aggressive]
                              [--train 1,2,3] [--ref 4,5,6] [--dump-ir]
                              [--inject SCENARIO] [--inject-seed N]
+                             [--jobs N] [--time-passes] [--trace-json FILE]
     python -m repro compare FILE [--train ...] [--ref ...]
     python -m repro workloads [--list | --name NAME]
     python -m repro campaign [--scenarios poison,storm] [--seeds 0,1,2]
@@ -77,6 +78,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             check_output=not args.no_check,
             fuel=args.fuel,
             machine_kwargs=machine_kwargs,
+            jobs=args.jobs,
         )
     except OutputMismatch as exc:
         print(exc.diff(), file=sys.stderr)
@@ -88,6 +90,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     for d in result.diagnostics:
         print(f"note: {d}", file=sys.stderr)
+    if args.time_passes and result.pass_trace is not None:
+        print(result.pass_trace.format_table(), file=sys.stderr)
+    if args.trace_json and result.pass_trace is not None:
+        result.pass_trace.dump_json(args.trace_json)
+        print(f"pass trace written to {args.trace_json}", file=sys.stderr)
     if args.json:
         import json
 
@@ -187,6 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seed for the injection decision stream")
     run.add_argument("--fuel", type=int, default=50_000_000,
                      help="interpreter step budget (simulator gets 4x)")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="compile independent functions on N threads "
+                          "(results are identical to --jobs 1)")
+    run.add_argument("--time-passes", action="store_true",
+                     help="report per-pass wall time and IR deltas "
+                          "(stmts/loads/stores) after compilation")
+    run.add_argument("--trace-json", metavar="FILE",
+                     help="write the machine-readable per-pass trace "
+                          "to FILE")
     run.set_defaults(fn=_cmd_run)
 
     compare = sub.add_parser("compare", help="base vs speculative")

@@ -2,7 +2,10 @@
 
 :func:`optimize_function` runs the full SSAPRE-based optimization stack
 (register promotion → expression PRE / strength reduction → LFTR → DCE)
-over one function already in speculative SSA form.
+over one function already in speculative SSA form.  The stack itself is
+decomposed into the typed phase registry of :mod:`repro.core.phases`;
+the pipeline's pass manager wraps each phase as a registered pass and
+``optimize_function`` is the sequential façade over the same phases.
 """
 
 from dataclasses import dataclass, field
@@ -18,6 +21,7 @@ from .materialize import Materializer, run_ssapre_on_class
 from .occurrences import (ExprClass, InsertedOcc, LeftOcc, Occurrence,
                           ParentLink, PhiOcc, PhiOpnd, RealOcc,
                           collect_expr_classes, leaf_versions, lexical_key)
+from .phases import PHASES, PHASES_BY_NAME, Phase, make_context, phases_for
 from .register_promotion import PromotionStats, promote_loads
 
 
@@ -33,38 +37,25 @@ class OptStats:
 
 def optimize_function(ssa: SSAFunction, config: SpecConfig,
                       edge_profile=None) -> OptStats:
-    """Run the configured SSAPRE optimizations on ``ssa`` (in place)."""
+    """Run the configured SSAPRE optimizations on ``ssa`` (in place).
+
+    Sequential façade over the phase registry of
+    :mod:`repro.core.phases`: every enabled phase runs in order over one
+    shared :class:`PREContext`.  The pipeline's pass manager runs the
+    same phases as individual instrumented passes."""
     stats = OptStats()
-    ctx = PREContext(
-        ssa,
-        control_speculation=config.control_speculation,
-        edge_profile=edge_profile if config.use_edge_profile else None,
-        repair_injuries=config.strength_reduction,
-        emit_checks=config.emit_checks,
-    )
-    if config.register_promotion:
-        stats.promotion = promote_loads(
-            ctx,
-            max_rounds=config.max_rounds,
-            store_forwarding=config.store_forwarding,
-            allow_data_speculation=config.data_speculation,
-        )
-    if config.expression_pre:
-        stats.epre = eliminate_redundant_exprs(ctx,
-                                               max_rounds=config.max_rounds)
-    if config.lftr:
-        stats.lftr_replacements = replace_linear_tests(ctx)
-    if config.dce:
-        stats.dce_removed = eliminate_dead_code(ssa)
+    ctx = make_context(ssa, config, edge_profile)
+    for phase in phases_for(config):
+        phase.run(ctx, config, stats)
     return stats
 
 
 __all__ = [
     "EPREStats", "ExprClass", "InsertedOcc", "LeftOcc", "Materializer",
-    "Occurrence", "OptStats", "PREContext", "ParentLink", "PhiOcc",
-    "PhiOpnd", "PromotionStats", "RealOcc", "SSAPRE", "SpecConfig",
-    "collect_expr_classes", "eliminate_dead_code",
-    "eliminate_redundant_exprs", "leaf_versions", "lexical_key",
-    "optimize_function", "promote_loads", "replace_linear_tests",
-    "run_ssapre_on_class",
+    "Occurrence", "OptStats", "PHASES", "PHASES_BY_NAME", "PREContext",
+    "ParentLink", "Phase", "PhiOcc", "PhiOpnd", "PromotionStats",
+    "RealOcc", "SSAPRE", "SpecConfig", "collect_expr_classes",
+    "eliminate_dead_code", "eliminate_redundant_exprs", "leaf_versions",
+    "lexical_key", "make_context", "optimize_function", "phases_for",
+    "promote_loads", "replace_linear_tests", "run_ssapre_on_class",
 ]

@@ -68,6 +68,31 @@ class Function:
             if block.terminator is not None:
                 yield block, block.terminator
 
+    def counts(self) -> Tuple[int, int, int]:
+        """``(statements, loads, stores)`` — the IR-size triple the pass
+        manager records around module passes for ``--time-passes``
+        deltas.  Statements include terminators; loads are
+        :class:`~repro.ir.Load` occurrences in any expression tree."""
+        from .expr import Load
+        from .stmt import Store
+
+        stmts = loads = stores = 0
+        for _, stmt in self.statements():
+            stmts += 1
+            if isinstance(stmt, Store):
+                stores += 1
+            for expr in stmt.exprs():
+                for node in expr.walk():
+                    if isinstance(node, Load):
+                        loads += 1
+        for _, term in self.terminators():
+            stmts += 1
+            for expr in term.exprs():
+                for node in expr.walk():
+                    if isinstance(node, Load):
+                        loads += 1
+        return stmts, loads, stores
+
     def __repr__(self) -> str:
         return f"<Function {self.name}({', '.join(p.name for p in self.params)})>"
 
@@ -100,6 +125,16 @@ class Module:
     @property
     def main(self) -> Function:
         return self.functions["main"]
+
+    def counts(self) -> Tuple[int, int, int]:
+        """Module-wide ``(statements, loads, stores)``."""
+        stmts = loads = stores = 0
+        for fn in self.functions.values():
+            s, l, st = fn.counts()
+            stmts += s
+            loads += l
+            stores += st
+        return stmts, loads, stores
 
     def finalize(self) -> "Module":
         """Number call sites and recompute CFGs.  Returns ``self``."""

@@ -1,13 +1,16 @@
 """End-to-end pipeline (source → speculative SSAPRE → simulated IA-64)."""
 
 from ..core import SpecConfig
-from .driver import (CompileResult, Diagnostic, compile_and_run,
-                     compile_program)
+from .driver import compile_and_run, compile_program
 from .dumps import DumpSink
-from .results import Comparison, OutputMismatch, RunResult, format_table
+from .passes import (PASS_REGISTRY, AnalysisManager, PassManager,
+                     PassTiming, PassTrace)
+from .results import (CompileResult, Comparison, Diagnostic,
+                      OutputMismatch, RunResult, format_table)
 
 __all__ = [
-    "Comparison", "CompileResult", "Diagnostic", "DumpSink",
-    "OutputMismatch", "RunResult", "SpecConfig", "compile_and_run",
-    "compile_program", "format_table",
+    "AnalysisManager", "Comparison", "CompileResult", "Diagnostic",
+    "DumpSink", "OutputMismatch", "PASS_REGISTRY", "PassManager",
+    "PassTiming", "PassTrace", "RunResult", "SpecConfig",
+    "compile_and_run", "compile_program", "format_table",
 ]

@@ -1,115 +1,41 @@
-"""End-to-end pipeline: source → profiles → speculative SSA → SSAPRE →
-machine code → simulation.
+"""End-to-end pipeline façade: source → profiles → speculative SSA →
+SSAPRE → machine code → simulation.
 
-This is the reproduction of the paper's toolchain:
+The pipeline itself lives in the pass manager
+(:mod:`repro.pipeline.passes`, docs/pipeline.md): typed passes
+assembled declaratively from the :class:`~repro.core.SpecConfig`,
+cached analyses, the fail-safe fallback ladder (docs/recovery.md) as
+pipeline truncations, optional parallel per-function compilation
+(``jobs``), and per-pass timing (``--time-passes``).  This module keeps
+the two entry points the rest of the repository — tests, benchmarks,
+CLI, fuzzers — calls:
 
-1. parse + lower the mini-C source (:mod:`repro.lang`);
-2. **train run** — interpret on the train input, collecting the alias
-   profile (§3.2.1) and edge profile when the configuration asks for them;
-3. split critical edges, run Steensgaard + TBAA alias classes;
-4. build the **speculative SSA form** per function, flags from the
-   configuration's :class:`~repro.ssa.spec.SpecMode`;
-5. run **speculative SSAPRE** (register promotion, expression PRE,
-   strength reduction, LFTR, DCE);
-6. leave SSA, generate IA-64-flavoured code;
-7. **ref run** — simulate on the reference input with the ALAT + cache
-   machine, collecting the paper's counters;
-8. verify the simulated output against the reference interpreter running
-   the *original* program on the same ref input (the correctness oracle).
+* :func:`compile_program` — compile, no simulation;
+* :func:`compile_and_run` — compile, simulate on the ref input, verify
+  against the reference interpreter (the correctness oracle).
 
-**Fail-safe compilation** (docs/recovery.md): every optimizing stage
-runs inside a guard that re-verifies its output — ``verify_ssa`` after
-the SSAPRE passes, a trial lowering before out-of-SSA, machine-level
-verification after codegen/scheduling.  On a verifier failure or pass
-crash the driver records a :class:`Diagnostic` and retries the function
-down the **fallback ladder** — fewer passes, then no speculation, then
-the unoptimized original function — instead of raising.  The compiler
-degrades; it does not die.  Pass ``failsafe=False`` to get the raising
-behaviour back (the test suite uses it to keep compiler bugs loud).
+Several module globals here are deliberate **test seams**, resolved
+late by the pass manager so reassigning or monkeypatching them takes
+effect: ``collect_alias_profile`` / ``collect_edge_profile`` (profile
+injection), ``verify_ssa`` (verifier-failure injection) and
+``run_program`` (simulator stubbing).  To inject a failure into an
+individual pass, replace its entry in
+:data:`repro.pipeline.passes.PASS_REGISTRY` instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
-from ..analysis import AliasClassifier
-from ..core import OptStats, SpecConfig, optimize_function
-from ..errors import FuelExhausted
-from ..ir import Module, split_module_critical_edges, verify_module
-from ..lang import compile_source
-from ..profiling import (AliasProfile, EdgeProfile, collect_alias_profile,
+from ..core import SpecConfig, optimize_function  # noqa: F401 — re-export
+from ..profiling import (collect_alias_profile,  # noqa: F401 — seams
                          collect_edge_profile, run_module)
-from ..ssa import (SpecMode, build_ssa, flagger_for, lower_function,
-                   lower_module, verify_ssa)
-from ..target import (MachineStats, MProgram, compile_function,
-                      compile_module, run_program, schedule_function,
-                      verify_program)
+from ..ssa import verify_ssa  # noqa: F401 — seam (see module docstring)
+from ..target import run_program
+from .passes.analysis import AnalysisManager
+from .passes.manager import PassManager
+from .results import CompileResult, Diagnostic  # noqa: F401 — re-export
 from .results import OutputMismatch, RunResult
-
-
-@dataclass
-class Diagnostic:
-    """One recorded pipeline incident (a crash, verifier failure or
-    degraded resource) that the driver absorbed instead of raising."""
-
-    stage: str                      # e.g. "optimize", "train-run", "codegen"
-    function: Optional[str]         # affected function, None = whole module
-    error: str                      # what went wrong (one line)
-    action: str                     # what the driver did about it
-
-    def __str__(self) -> str:
-        where = self.function or "<module>"
-        return f"[{self.stage}] {where}: {self.error} -> {self.action}"
-
-
-#: The per-function fallback ladder: on a pass crash or verifier
-#: failure the driver rebuilds SSA *from scratch* and retries with the
-#: next (weaker) configuration; the last resort — keeping the original
-#: unoptimized function — always succeeds.
-_LADDER = (
-    ("no-lftr", lambda c: c.but(lftr=False, strength_reduction=False)),
-    ("no-epre", lambda c: c.but(lftr=False, strength_reduction=False,
-                                expression_pre=False)),
-    ("no-spec", lambda c: c.but(mode=SpecMode.OFF,
-                                control_speculation=False,
-                                lftr=False, strength_reduction=False,
-                                expression_pre=False)),
-)
-
-
-@dataclass
-class CompileResult:
-    """Everything the pipeline produced before simulation."""
-
-    original: Module
-    optimized: Module
-    program: MProgram
-    config: SpecConfig
-    opt_stats: Dict[str, OptStats]
-    alias_profile: Optional[AliasProfile] = None
-    edge_profile: Optional[EdgeProfile] = None
-    #: incidents the fail-safe guards absorbed (empty on a clean build)
-    diagnostics: List[Diagnostic] = field(default_factory=list)
-    #: functions that did not get the configured optimization level,
-    #: mapped to the ladder rung (or "unoptimized") they ended up on
-    degraded: Dict[str, str] = field(default_factory=dict)
-
-
-def _optimize_one(module: Module, fn, classifier, config: SpecConfig,
-                  alias_profile, edge_profile, refinement):
-    """One rung: rebuild SSA from scratch, optimize, re-verify, and
-    trial-lower.  Returns ``(ssa, stats)``; raises on any failure."""
-    flagger = flagger_for(config.mode, alias_profile,
-                          config.likeliness_threshold)
-    ssa = build_ssa(module, fn, classifier, flagger=flagger,
-                    refinement=refinement)
-    stats = optimize_function(
-        ssa, config,
-        edge_profile=edge_profile if config.use_edge_profile else None)
-    verify_ssa(ssa)
-    lower_function(ssa)     # trial lowering: out-of-SSA must not crash
-    return ssa, stats
 
 
 def compile_program(source: str, config: Optional[SpecConfig] = None,
@@ -117,8 +43,11 @@ def compile_program(source: str, config: Optional[SpecConfig] = None,
                     fuel: int = 50_000_000,
                     dumps=None,
                     profile_transform: Optional[Callable] = None,
-                    failsafe: bool = True) -> CompileResult:
-    """Run pipeline steps 1–6 (no simulation).
+                    failsafe: bool = True,
+                    jobs: int = 1,
+                    analyses: Optional[AnalysisManager] = None
+                    ) -> CompileResult:
+    """Compile ``source`` (no simulation).
 
     Pass a :class:`repro.pipeline.DumpSink` as ``dumps`` to capture
     per-phase snapshots (lowered IR, speculative SSA before/after the
@@ -129,146 +58,16 @@ def compile_program(source: str, config: Optional[SpecConfig] = None,
     pass crashes and verifier failures degrade the affected function
     down the fallback ladder and are recorded in
     :attr:`CompileResult.diagnostics`; with ``failsafe=False`` they
-    raise."""
-    from .dumps import record_machine, record_module, record_ssa
-
-    config = config or SpecConfig.base()
-    diagnostics: List[Diagnostic] = []
-    degraded: Dict[str, str] = {}
-
-    # Steps 1-2: parse/lower and train.  Failures here are fatal even in
-    # fail-safe mode for the parse (there is nothing to fall back to),
-    # but a broken *train run* only costs the profiles: the driver
-    # degrades to profile-free configurations and keeps compiling.
-    module = compile_source(source)
-    verify_module(module)
-    record_module(dumps, "lowered", module)
-    alias_profile = None
-    edge_profile = None
-    if config.needs_alias_profile:
-        try:
-            alias_profile = collect_alias_profile(module, fuel=fuel,
-                                                  inputs=train_inputs)
-        except FuelExhausted as exc:
-            if not failsafe:
-                raise
-            diagnostics.append(Diagnostic(
-                "train-run", exc.function, str(exc),
-                "no alias profile; data speculation disabled"))
-            config = config.but(mode=SpecMode.OFF)
-    if alias_profile is not None and profile_transform is not None:
-        alias_profile = profile_transform(alias_profile)
-    if config.use_edge_profile:
-        try:
-            edge_profile = collect_edge_profile(module, fuel=fuel,
-                                                inputs=train_inputs)
-        except FuelExhausted as exc:
-            if not failsafe:
-                raise
-            diagnostics.append(Diagnostic(
-                "train-run", exc.function, str(exc),
-                "no edge profile; static speculation heights"))
-            config = config.but(use_edge_profile=False)
-
-    # Step 3: analyses.
-    split_module_critical_edges(module)
-    modref = None
-    if config.interprocedural_modref:
-        from ..analysis import compute_modref
-
-        modref = compute_modref(module)
-    classifier = AliasClassifier(module, use_tbaa=config.use_tbaa,
-                                 modref=modref)
-    refinements = {}
-    if config.flow_refine:
-        from ..ssa import FlowSensitivePointsTo
-
-        refinements = {name: FlowSensitivePointsTo(fn)
-                       for name, fn in module.functions.items()}
-
-    # Steps 4-5: per-function speculative SSAPRE inside the fail-safe
-    # guard.  A function that fails every ladder rung is simply left out
-    # of ``ssa_functions`` — ``lower_module`` keeps its original body.
-    opt_stats: Dict[str, OptStats] = {}
-    ssa_functions = []
-    for fn in module.functions.values():
-        rungs = [("as-configured", config)]
-        if failsafe:
-            rungs += [(name, adjust(config)) for name, adjust in _LADDER]
-        ssa = None
-        for rung, (rung_name, rung_config) in enumerate(rungs):
-            try:
-                ssa, stats = _optimize_one(module, fn, classifier,
-                                           rung_config, alias_profile,
-                                           edge_profile,
-                                           refinements.get(fn.name))
-                break
-            except Exception as exc:  # noqa: BLE001 - the guard IS the point
-                if not failsafe:
-                    raise
-                diagnostics.append(Diagnostic(
-                    "optimize", fn.name,
-                    f"{type(exc).__name__}: {exc} (at {rung_name!r})",
-                    f"retry at ladder rung {rungs[rung + 1][0]!r}"
-                    if rung + 1 < len(rungs)
-                    else "keep unoptimized original"))
-                ssa = None
-        if ssa is None:
-            degraded[fn.name] = "unoptimized"
-            continue
-        if rung_name != "as-configured":
-            degraded[fn.name] = rung_name
-        record_ssa(dumps, f"speculative-ssa {fn.name}", ssa)
-        opt_stats[fn.name] = stats
-        record_ssa(dumps, f"after-ssapre {fn.name}", ssa)
-        ssa_functions.append(ssa)
-
-    # Step 6a: leave SSA.  ``lower_module`` falls back to each original
-    # function for anything missing from ``ssa_functions``.
-    optimized = lower_module(module, ssa_functions)
-    try:
-        verify_module(optimized)
-    except Exception as exc:  # noqa: BLE001
-        if not failsafe:
-            raise
-        diagnostics.append(Diagnostic(
-            "lower", None, f"{type(exc).__name__}: {exc}",
-            "discard all optimization; compile original module"))
-        for name in module.functions:
-            degraded[name] = "unoptimized"
-        optimized = module
-    record_module(dumps, "optimized", optimized)
-
-    # Step 6b: codegen + scheduling, per-function guard.  A function
-    # whose optimized body miscompiles is regenerated from the original.
-    program = compile_module(optimized)
-    if config.schedule:
-        for mfn in program.functions.values():
-            try:
-                schedule_function(mfn)
-            except Exception as exc:  # noqa: BLE001
-                if not failsafe:
-                    raise
-                diagnostics.append(Diagnostic(
-                    "schedule", mfn.name, f"{type(exc).__name__}: {exc}",
-                    "keep unscheduled code"))
-                program.functions[mfn.name] = compile_function(
-                    optimized.functions[mfn.name])
-    try:
-        verify_program(program)
-    except Exception as exc:  # noqa: BLE001
-        if not failsafe:
-            raise
-        diagnostics.append(Diagnostic(
-            "codegen", None, f"{type(exc).__name__}: {exc}",
-            "discard all optimization; compile original module"))
-        for name in module.functions:
-            degraded[name] = "unoptimized"
-        program = compile_module(module)
-        verify_program(program)      # the original must verify
-    record_machine(dumps, "machine", program)
-    return CompileResult(module, optimized, program, config, opt_stats,
-                         alias_profile, edge_profile, diagnostics, degraded)
+    raise.  ``jobs > 1`` compiles independent functions on a thread
+    pool (results are bit-identical to ``jobs=1``).  Pass a shared
+    :class:`~repro.pipeline.passes.AnalysisManager` as ``analyses`` to
+    reuse cached analyses across compiles; by default each call gets a
+    fresh cache (ladder retries within the compile still hit it)."""
+    manager = PassManager(config, failsafe=failsafe, jobs=jobs,
+                          dumps=dumps, fuel=fuel,
+                          profile_transform=profile_transform,
+                          analyses=analyses)
+    return manager.compile(source, train_inputs)
 
 
 def compile_and_run(source: str, config: Optional[SpecConfig] = None,
@@ -278,7 +77,8 @@ def compile_and_run(source: str, config: Optional[SpecConfig] = None,
                     fuel: int = 50_000_000,
                     machine_kwargs: Optional[dict] = None,
                     profile_transform: Optional[Callable] = None,
-                    failsafe: bool = True) -> RunResult:
+                    failsafe: bool = True,
+                    jobs: int = 1) -> RunResult:
     """Full pipeline: compile (profiling on ``train_inputs``), simulate on
     ``ref_inputs``, and — unless disabled — verify the output against the
     reference interpreter.  An oracle divergence raises
@@ -286,7 +86,7 @@ def compile_and_run(source: str, config: Optional[SpecConfig] = None,
     carrying a readable diff)."""
     compiled = compile_program(source, config, train_inputs, fuel=fuel,
                                profile_transform=profile_transform,
-                               failsafe=failsafe)
+                               failsafe=failsafe, jobs=jobs)
     stats, output = run_program(compiled.program, inputs=ref_inputs,
                                 fuel=4 * fuel,
                                 **(machine_kwargs or {}))
@@ -305,4 +105,5 @@ def compile_and_run(source: str, config: Optional[SpecConfig] = None,
         program=compiled.program,
         diagnostics=compiled.diagnostics,
         degraded=compiled.degraded,
+        pass_trace=compiled.pass_trace,
     )

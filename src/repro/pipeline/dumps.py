@@ -21,6 +21,12 @@ class DumpSink:
     def add(self, phase: str, text: str) -> None:
         self._dumps.append((phase, text))
 
+    def extend(self, pairs: List[Tuple[str, str]]) -> None:
+        """Append pre-formatted snapshots in order — the pass manager's
+        parallel workers buffer their dumps and merge them here in
+        module function order."""
+        self._dumps.extend(pairs)
+
     def phases(self) -> List[str]:
         return [name for name, _ in self._dumps]
 

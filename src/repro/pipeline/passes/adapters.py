@@ -1,0 +1,200 @@
+"""The registered pipeline passes.
+
+Function passes operate on a :class:`~repro.pipeline.passes.manager.
+FunctionState` (one function's compilation), module passes on the
+:class:`~repro.pipeline.passes.manager.ModuleState`, machine passes on
+the :class:`~repro.pipeline.passes.manager.MachineState`.
+
+The SSAPRE passes are thin adapters over the typed phase registry of
+:mod:`repro.core.phases` — one registered ``FunctionPass`` per core
+phase, all sharing the function's single :class:`PREContext` — so the
+pass-manager pipeline runs *exactly* the sequence the old
+``optimize_function`` monolith ran, now individually timed and
+individually droppable by the fallback ladder.
+
+``verify-ssa`` resolves :func:`repro.ssa.verify_ssa` **through the
+driver module at call time**: ``repro.pipeline.driver.verify_ssa`` has
+always been the test suite's seam for injecting verifier failures, and
+late binding keeps that seam working under the pass manager.
+"""
+
+from __future__ import annotations
+
+from ...analysis import DominatorTree
+from ...core import PHASES
+from ...ir import split_module_critical_edges, verify_module
+from ...ssa import (FlowSensitivePointsTo, build_ssa, flagger_for,
+                    lower_function, lower_module)
+from ...target import (compile_module, schedule_function, verify_program)
+from .base import (FunctionPass, MachinePass, ModulePass, register_pass)
+
+
+def _driver():
+    """The driver module, resolved late — its module globals
+    (``verify_ssa`` et al.) are monkeypatch seams the test suite and
+    benchmark ablations rely on."""
+    from .. import driver
+
+    return driver
+
+
+# ---------------------------------------------------------------------------
+# Module passes
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class SplitCriticalEdgesPass(ModulePass):
+    """Split critical edges module-wide (required before speculative
+    code motion can place Φ-operand computations on edges)."""
+
+    name = "split-critical-edges"
+    invalidates = ("*",)        # mutates the CFGs every analysis reads
+
+    def run(self, state) -> None:
+        split_module_critical_edges(state.module)
+
+
+@register_pass
+class LowerModulePass(ModulePass):
+    """Out-of-SSA: replace every successfully optimized function with
+    its lowered body (functions missing from ``ssa_functions`` keep
+    their original body — the fallback ladder's bottom rung)."""
+
+    name = "lower-module"
+
+    def run(self, state) -> None:
+        state.optimized = lower_module(state.module, state.ssa_functions)
+
+
+@register_pass
+class VerifyModulePass(ModulePass):
+    """Re-verify the current module (the fail-safe guard after
+    lowering)."""
+
+    name = "verify-module"
+
+    def run(self, state) -> None:
+        verify_module(state.current_module)
+
+
+# ---------------------------------------------------------------------------
+# Function passes
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class BuildSSAPass(FunctionPass):
+    """Build the (speculative) HSSA form of the function.
+
+    Per-function analyses — alias info, dominance, flow-sensitive
+    points-to — come from the :class:`AnalysisManager`, so a
+    fallback-ladder retry rebuilds SSA *without* recomputing them."""
+
+    name = "build-ssa"
+
+    def run(self, state) -> None:
+        config = state.config
+        fn = state.fn
+        analyses = state.analyses
+        classifier = state.classifier
+        info = analyses.get(
+            "alias-info", (id(classifier), fn.name),
+            lambda: classifier.analyze_function(fn))
+        dom = analyses.get(
+            "dominance", (id(state.module), fn.name),
+            lambda: DominatorTree(fn))
+        refinement = None
+        if config.flow_refine:
+            refinement = analyses.get(
+                "flow-points-to", (id(state.module), fn.name),
+                lambda: FlowSensitivePointsTo(fn))
+        flagger = flagger_for(config.mode, state.alias_profile,
+                              config.likeliness_threshold)
+        state.ssa = build_ssa(state.module, fn, classifier,
+                              flagger=flagger, refinement=refinement,
+                              info=info, dom=dom)
+
+
+def _make_phase_pass(phase):
+    """One registered ``FunctionPass`` per :class:`repro.core.Phase`."""
+
+    @register_pass
+    class PhasePass(FunctionPass):
+        name = phase.name
+        _phase = phase
+
+        def run(self, state) -> None:
+            self._phase.run(state.ensure_ctx(), state.config, state.stats)
+
+    PhasePass.__name__ = PhasePass.__qualname__ = (
+        "".join(part.capitalize() for part in phase.name.split("-"))
+        + "Pass")
+    PhasePass.__doc__ = (f"SSAPRE phase {phase.name!r} "
+                         f"(see repro.core.phases).")
+    return PhasePass
+
+
+#: the SSAPRE phase adapters, in execution order
+PHASE_PASSES = tuple(_make_phase_pass(phase) for phase in PHASES)
+
+
+@register_pass
+class VerifySSAPass(FunctionPass):
+    """Re-verify the optimized SSA (the fail-safe guard after the
+    SSAPRE phases)."""
+
+    name = "verify-ssa"
+
+    def run(self, state) -> None:
+        _driver().verify_ssa(state.ssa)
+
+
+@register_pass
+class TrialLowerPass(FunctionPass):
+    """Trial out-of-SSA lowering: the conversion must not crash before
+    the function is accepted (its result is discarded; the real
+    lowering is the ``lower-module`` pass)."""
+
+    name = "lower-ssa"
+
+    def run(self, state) -> None:
+        lower_function(state.ssa)
+
+
+# ---------------------------------------------------------------------------
+# Machine passes
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class CodegenPass(MachinePass):
+    """Generate IA-64-flavoured machine code from the optimized
+    module."""
+
+    name = "codegen"
+
+    def run(self, state) -> None:
+        state.program = compile_module(state.optimized)
+
+
+@register_pass
+class SchedulePass(MachinePass):
+    """Latency-aware list scheduling of one machine function
+    (``state.mfn``)."""
+
+    name = "schedule"
+
+    def run(self, state) -> None:
+        schedule_function(state.mfn)
+
+
+@register_pass
+class VerifyMachinePass(MachinePass):
+    """Machine-level verification of the whole program (the fail-safe
+    guard after codegen/scheduling)."""
+
+    name = "verify-machine"
+
+    def run(self, state) -> None:
+        verify_program(state.program)

@@ -1,0 +1,95 @@
+"""The typed pass protocol and the pass registry.
+
+A *pass* is one named, instrumented unit of pipeline work.  Three kinds
+exist, distinguished by the state they operate on:
+
+* :class:`ModulePass` — mutates the mid-level IR module (e.g. critical
+  edge splitting, out-of-SSA lowering, module verification);
+* :class:`FunctionPass` — operates on one function's compilation state
+  (SSA construction, the SSAPRE phases, SSA verification, the trial
+  lowering);
+* :class:`MachinePass` — operates on the machine program (code
+  generation, scheduling, machine verification).
+
+Passes register by name in :data:`PASS_REGISTRY` via the
+:func:`register_pass` decorator.  The pipeline builder instantiates
+passes **by name at compile time**, so tests can inject a deliberately
+crashing or wrapped pass with ``monkeypatch.setitem(PASS_REGISTRY,
+"lftr", CrashingPass)`` and the fail-safe ladder will see it — the
+sanctioned seam for fault-injection into the compiler itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+
+class Pass:
+    """Base of all pipeline passes.
+
+    Class attributes:
+        name: registry key and ``--time-passes`` label (kebab-case).
+        kind: ``"module"`` / ``"function"`` / ``"machine"``.
+        invalidates: names of analyses this pass invalidates when it
+            runs (``("*",)`` = all).  Function passes mutate only their
+            function's SSA, so the default — nothing — keeps every
+            module-level analysis cached across fallback-ladder
+            retries.
+    """
+
+    name: str = "<unnamed>"
+    kind: str = "<abstract>"
+    invalidates: Tuple[str, ...] = ()
+
+    def run(self, state) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ModulePass(Pass):
+    kind = "module"
+
+
+class FunctionPass(Pass):
+    kind = "function"
+
+
+class MachinePass(Pass):
+    kind = "machine"
+
+
+#: name → pass factory (usually the class itself).
+PASS_REGISTRY: Dict[str, Callable[[], Pass]] = {}
+
+
+def register_pass(cls):
+    """Class decorator: register ``cls`` under ``cls.name``.
+
+    Re-registering a name raises — replace an entry explicitly (tests:
+    ``monkeypatch.setitem(PASS_REGISTRY, name, cls)``) rather than
+    shadowing it silently.
+    """
+    name = cls.name
+    if name in PASS_REGISTRY:
+        raise ValueError(f"pass {name!r} is already registered "
+                         f"({PASS_REGISTRY[name]!r})")
+    PASS_REGISTRY[name] = cls
+    return cls
+
+
+def create_pass(name: str) -> Pass:
+    """Instantiate the registered pass ``name``."""
+    try:
+        factory = PASS_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pass {name!r}; registered: "
+            f"{', '.join(sorted(PASS_REGISTRY))}") from None
+    return factory()
+
+
+def registered_passes() -> List[str]:
+    """All registered pass names, sorted."""
+    return sorted(PASS_REGISTRY)

@@ -3,10 +3,54 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core import OptStats, SpecConfig
 from ..target import MachineStats, MProgram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..ir import Module
+    from ..profiling import AliasProfile, EdgeProfile
+    from .passes.analysis import AnalysisManager
+    from .passes.timing import PassTrace
+
+
+@dataclass
+class Diagnostic:
+    """One recorded pipeline incident (a crash, verifier failure or
+    degraded resource) that the pass manager absorbed instead of
+    raising."""
+
+    stage: str                      # e.g. "optimize", "train-run", "codegen"
+    function: Optional[str]         # affected function, None = whole module
+    error: str                      # what went wrong (one line)
+    action: str                     # what the manager did about it
+
+    def __str__(self) -> str:
+        where = self.function or "<module>"
+        return f"[{self.stage}] {where}: {self.error} -> {self.action}"
+
+
+@dataclass
+class CompileResult:
+    """Everything the pipeline produced before simulation."""
+
+    original: "Module"
+    optimized: "Module"
+    program: MProgram
+    config: SpecConfig
+    opt_stats: Dict[str, OptStats]
+    alias_profile: Optional["AliasProfile"] = None
+    edge_profile: Optional["EdgeProfile"] = None
+    #: incidents the fail-safe guards absorbed (empty on a clean build)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: functions that did not get the configured optimization level,
+    #: mapped to the ladder rung (or "unoptimized") they ended up on
+    degraded: Dict[str, str] = field(default_factory=dict)
+    #: per-pass wall-time + IR-delta records (``--time-passes``)
+    pass_trace: Optional["PassTrace"] = None
+    #: the analysis cache used (hit/miss counters live here)
+    analyses: Optional["AnalysisManager"] = None
 
 
 class OutputMismatch(AssertionError):
@@ -52,6 +96,8 @@ class RunResult:
     diagnostics: List = field(default_factory=list)
     #: function name → ladder rung it degraded to ("unoptimized" worst)
     degraded: Dict[str, str] = field(default_factory=dict)
+    #: per-pass wall-time + IR-delta records from compilation
+    pass_trace: Optional["PassTrace"] = None
 
     @property
     def total_checks(self) -> int:

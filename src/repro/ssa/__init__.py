@@ -9,7 +9,8 @@ from .spec import (Flagger, SpecMode, aggressive_flagger, flagger_for,
                    no_spec_flagger)
 from .values import (Chi, Mu, SAddrOf, SAssign, SBin, SCall, SCondBr, SConst,
                      SExpr, SJump, SLoad, SPhi, SPrint, SReturn, SSABlock,
-                     SSAFunction, SSAVar, SStmt, SStore, STerm, SUn, SVarUse)
+                     SSAFunction, SSAVar, SStmt, SStore, STerm, SUn, SVarUse,
+                     ssa_counts)
 from .verify import SSAVerificationError, verify_ssa
 
 __all__ = [
@@ -21,5 +22,5 @@ __all__ = [
     "build_ssa", "flagger_for", "refine_module",
     "format_ssa", "heuristic_flagger", "is_memory_resident", "iter_loads",
     "lower_expr", "lower_function", "lower_module", "make_profile_flagger",
-    "no_spec_flagger", "verify_ssa",
+    "no_spec_flagger", "ssa_counts", "verify_ssa",
 ]

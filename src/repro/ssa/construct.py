@@ -43,15 +43,18 @@ class SSABuilder:
     """Builds one function's speculative-ready HSSA form."""
 
     def __init__(self, module: Module, fn: Function,
-                 classifier: AliasClassifier, refinement=None) -> None:
+                 classifier: AliasClassifier, refinement=None,
+                 info: Optional[FunctionAliasInfo] = None,
+                 dom=None) -> None:
         self.module = module
         self.fn = fn
         self.classifier = classifier
         #: optional flow-sensitive points-to facts (repro.ssa.refine)
         #: used to shrink µ/χ lists — the paper's Figure 4 last step
         self.refinement = refinement
-        self.info: FunctionAliasInfo = classifier.analyze_function(fn)
-        self.ssa = SSAFunction(fn)
+        self.info: FunctionAliasInfo = (
+            info if info is not None else classifier.analyze_function(fn))
+        self.ssa = SSAFunction(fn, dom=dom)
         self.ssa.info = self.info  # type: ignore[attr-defined]
         # Map: real symbol -> virtual variables whose class contains it
         # (used to χ virtual vars at direct assignments of aliased scalars).
@@ -263,14 +266,22 @@ class SSABuilder:
 
 def build_ssa(module: Module, fn: Function,
               classifier: Optional[AliasClassifier] = None,
-              flagger=None, refinement=None) -> SSAFunction:
+              flagger=None, refinement=None, *,
+              info=None, dom=None) -> SSAFunction:
     """Build the (speculative) HSSA form of ``fn``.
 
     Without a ``flagger``, every µ/χ stays ``likely`` — classical HSSA.
     Pass a flagger from :mod:`repro.ssa.spec` to obtain the paper's
     speculative SSA form, and a :class:`repro.ssa.refine.
     FlowSensitivePointsTo` to shrink the µ/χ lists flow-sensitively.
+
+    ``info`` / ``dom`` accept a precomputed
+    :class:`~repro.analysis.aliasclass.FunctionAliasInfo` and
+    :class:`~repro.analysis.DominatorTree` of ``fn`` — the pass
+    manager's analysis cache supplies them so fallback-ladder retries
+    do not recompute per-function analyses from scratch.
     """
     if classifier is None:
         classifier = AliasClassifier(module)
-    return SSABuilder(module, fn, classifier, refinement).build(flagger)
+    return SSABuilder(module, fn, classifier, refinement,
+                      info=info, dom=dom).build(flagger)

@@ -462,13 +462,18 @@ class SSABlock:
 
 
 class SSAFunction:
-    """A function in (speculative) HSSA form."""
+    """A function in (speculative) HSSA form.
 
-    def __init__(self, fn: Function) -> None:
+    ``dom`` may carry a precomputed :class:`~repro.analysis.DominatorTree`
+    of ``fn`` (the pass manager's analysis cache reuses one tree across
+    fallback-ladder retries); without it the tree is computed here.
+    """
+
+    def __init__(self, fn: Function, dom=None) -> None:
         from ..analysis.dominance import DominatorTree
 
         self.fn = fn
-        self.dom = DominatorTree(fn)
+        self.dom = dom if dom is not None else DominatorTree(fn)
         self.blocks: List[SSABlock] = []
         self._by_base: Dict[BasicBlock, SSABlock] = {}
         for base in self.dom.order:
@@ -507,3 +512,28 @@ class SSAFunction:
 
     def dominates(self, a: SSABlock, b: SSABlock) -> bool:
         return self.dom.dominates(a.base, b.base)
+
+
+def ssa_counts(ssa: "SSAFunction") -> Tuple[int, int, int]:
+    """``(statements, loads, stores)`` of an SSA function — the IR-size
+    triple the pass manager records before/after every pass so
+    ``--time-passes`` can report per-pass IR deltas.  Statements include
+    Φs and terminators; loads are :class:`SLoad` occurrences anywhere in
+    an expression tree; stores are :class:`SStore` statements."""
+    stmts = loads = stores = 0
+    for block in ssa.blocks:
+        stmts += len(block.phis) + len(block.stmts)
+        if block.term is not None:
+            stmts += 1
+            for expr in block.term.exprs():
+                for node in expr.walk():
+                    if isinstance(node, SLoad):
+                        loads += 1
+        for stmt in block.stmts:
+            if isinstance(stmt, SStore):
+                stores += 1
+            for expr in stmt.exprs():
+                for node in expr.walk():
+                    if isinstance(node, SLoad):
+                        loads += 1
+    return stmts, loads, stores

@@ -206,6 +206,18 @@ class MFunction:
             for instr in block.instrs:
                 yield block, instr
 
+    def counts(self) -> Tuple[int, int, int]:
+        """``(instructions, loads, stores)`` — the machine-level IR-size
+        triple the pass manager's ``--time-passes`` deltas report."""
+        instrs = loads = stores = 0
+        for _, instr in self.instructions():
+            instrs += 1
+            if instr.is_load:
+                loads += 1
+            elif instr.op == "st":
+                stores += 1
+        return instrs, loads, stores
+
     def format(self) -> str:
         lines = [f"func {self.name} "
                  f"(params {', '.join(f'r{r}' for r in self.param_regs)}; "
@@ -236,6 +248,16 @@ class MProgram:
     @property
     def main(self) -> MFunction:
         return self.functions["main"]
+
+    def counts(self) -> Tuple[int, int, int]:
+        """Program-wide ``(instructions, loads, stores)``."""
+        instrs = loads = stores = 0
+        for fn in self.functions.values():
+            i, l, s = fn.counts()
+            instrs += i
+            loads += l
+            stores += s
+        return instrs, loads, stores
 
     def format(self) -> str:
         parts = []

@@ -2,9 +2,9 @@
 
 from .base import (Workload, all_workloads, get_workload,
                    recovery_workloads, register)
-from .runner import run_workload, compare_workload
+from .runner import compare_workload, machine_kwargs, run_workload
 
 __all__ = [
     "Workload", "all_workloads", "compare_workload", "get_workload",
-    "recovery_workloads", "register", "run_workload",
+    "machine_kwargs", "recovery_workloads", "register", "run_workload",
 ]

@@ -24,23 +24,31 @@ MACHINE_GEOMETRY = dict(
 )
 
 
-def _machine_kwargs() -> dict:
-    return dict(
+def machine_kwargs(**overrides) -> dict:
+    """The standard workload machine (fresh ALAT + cache per call),
+    with optional geometry overrides — the width-sweep ablation uses
+    this to vary ``issue_width``/``mem_ports`` while keeping the rest
+    of the machine fixed."""
+    kwargs = dict(
         MACHINE_GEOMETRY,
         alat=ALAT(entries=32, ways=2),
         cache=DataCache(l1_lines=128, l2_lines=1024, ways=4,
                         line_cells=8, l1_latency=2, l2_latency=9,
                         mem_latency=60),
     )
+    kwargs.update(overrides)
+    return kwargs
+
+
+_machine_kwargs = machine_kwargs        # backwards-compatible alias
 
 
 def run_workload(workload: Workload, config: Optional[SpecConfig] = None,
                  check_output: bool = True,
-                 machine_overrides: Optional[dict] = None) -> RunResult:
+                 machine_overrides: Optional[dict] = None,
+                 jobs: int = 1) -> RunResult:
     """Compile and simulate one workload under one configuration."""
-    kwargs = _machine_kwargs()
-    if machine_overrides:
-        kwargs.update(machine_overrides)
+    kwargs = machine_kwargs(**(machine_overrides or {}))
     return compile_and_run(
         workload.source,
         config or SpecConfig.base(),
@@ -48,6 +56,7 @@ def run_workload(workload: Workload, config: Optional[SpecConfig] = None,
         ref_inputs=workload.ref_inputs,
         check_output=check_output,
         machine_kwargs=kwargs,
+        jobs=jobs,
     )
 
 

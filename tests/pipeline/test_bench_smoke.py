@@ -1,0 +1,55 @@
+"""The ``bench_smoke`` CI tier (docs/pipeline.md).
+
+One workload end-to-end through the real CLI with ``--time-passes
+--jobs 2 --trace-json``: the per-pass timing table must render, the
+parallel compile must pass the oracle, and the machine-readable trace
+lands in ``results/pass_trace.json`` — CI uploads that file as a
+workflow artifact so pass wall-time regressions are visible
+PR-over-PR.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import get_workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                           "results")
+
+
+@pytest.mark.bench_smoke
+def test_cli_time_passes_smoke(tmp_path, capsys):
+    workload = get_workload("mcf")
+    src = tmp_path / "mcf.c"
+    src.write_text(workload.source)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    trace_path = os.path.join(RESULTS_DIR, "pass_trace.json")
+
+    rc = main([
+        "run", str(src),
+        "--config", "profile",
+        "--train", ",".join(str(v) for v in workload.train_inputs),
+        "--ref", ",".join(str(v) for v in workload.ref_inputs),
+        "--jobs", "2",
+        "--time-passes",
+        "--trace-json", trace_path,
+    ])
+    captured = capsys.readouterr()
+    assert rc == 0, captured.err
+
+    # the --time-passes report names every configured pass
+    assert "pass execution timing report" in captured.err
+    for name in ("build-ssa", "register-promotion", "expression-pre",
+                 "dce", "codegen", "schedule"):
+        assert name in captured.err
+
+    # the artifact CI uploads: valid JSON with per-pass records
+    with open(trace_path) as f:
+        doc = json.load(f)
+    assert doc["invocations"] > 0
+    passes = {record["pass"] for record in doc["passes"]}
+    assert {"build-ssa", "dce", "codegen"} <= passes
+    assert all(record["wall_s"] >= 0.0 for record in doc["passes"])

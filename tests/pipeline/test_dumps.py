@@ -43,6 +43,18 @@ def test_after_ssapre_dump_shows_checks(sink):
     assert "[check]" in text and "[advance]" in text
 
 
+def test_speculative_ssa_dump_precedes_optimization(sink):
+    """Regression: the driver used to record ``speculative-ssa`` *after*
+    running SSAPRE, so it was byte-identical to ``after-ssapre``.  The
+    pre-optimization snapshot must differ wherever SSAPRE fires — in
+    particular it must not yet contain the inserted checks."""
+    before = sink.get("speculative-ssa f")
+    after = sink.get("after-ssapre f")
+    assert before != after
+    assert "[check]" not in before and "[advance]" not in before
+    assert "[check]" in after
+
+
 def test_machine_dump_shows_spec_loads(sink):
     text = sink.get("machine")
     assert "ld.a" in text and "ld.c" in text

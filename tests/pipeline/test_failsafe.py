@@ -1,13 +1,19 @@
 """Fail-safe pipeline: induced pass failures must degrade, not raise
-(docs/recovery.md)."""
+(docs/recovery.md).
+
+Pass crashes are injected through the pass registry — replacing a
+``PASS_REGISTRY`` entry is the sanctioned seam for simulating a bug in
+the compiler itself (docs/pipeline.md); ``verify_ssa`` and
+``run_program`` stay patchable as driver module globals."""
 
 import pytest
 
 import repro.pipeline.driver as driver
 from repro.core import SpecConfig
 from repro.errors import FuelExhausted
-from repro.pipeline import (Diagnostic, OutputMismatch, compile_and_run,
-                            compile_program)
+from repro.pipeline import (PASS_REGISTRY, Diagnostic, OutputMismatch,
+                            compile_and_run, compile_program)
+from repro.pipeline.passes import FunctionPass
 from repro.profiling import run_module
 
 SRC = """
@@ -30,19 +36,32 @@ def test_clean_compile_has_no_diagnostics():
     assert compiled.degraded == {}
 
 
-def test_induced_optimizer_crash_degrades_down_the_ladder(monkeypatch):
-    """Crash every optimize attempt: every function falls all the way to
-    its unoptimized original, the compile still completes, and the
-    produced program still runs correctly."""
-    def explode(ssa, config, edge_profile=None):
+class ExplodingPass(FunctionPass):
+    """Registry stand-in for a pass with an unconditional bug."""
+
+    name = "dce"
+
+    def run(self, state):
         raise RuntimeError("induced optimizer bug")
 
-    monkeypatch.setattr(driver, "optimize_function", explode)
+
+def test_induced_optimizer_crash_degrades_down_the_ladder(monkeypatch):
+    """Crash every rung's attempt (the injected pass is part of every
+    ladder rung): every function falls all the way to its unoptimized
+    original, the compile still completes, and the produced program
+    still runs correctly."""
+    monkeypatch.setitem(PASS_REGISTRY, "dce", ExplodingPass)
     compiled = compile_program(SRC, SpecConfig.base())
     assert set(compiled.degraded) == {"sum", "main"}
     assert all(rung == "unoptimized" for rung in compiled.degraded.values())
-    # one diagnostic per ladder rung per function
+    # one diagnostic per ladder rung per function, strongest rung first
     assert all(d.stage == "optimize" for d in compiled.diagnostics)
+    per_fn = [d for d in compiled.diagnostics if d.function == "sum"]
+    assert ["(at 'as-configured')" in d.error for d in per_fn] \
+        == [True, False, False, False]
+    assert [d.error.split(" (at ")[1].rstrip(")")
+            for d in per_fn] == ["'as-configured'", "'no-lftr'",
+                                 "'no-epre'", "'no-spec'"]
     assert compiled.diagnostics[-1].action == "keep unoptimized original"
     from repro.target import run_program
 
@@ -65,28 +84,36 @@ def test_induced_verifier_failure_degrades(monkeypatch):
 
 
 def test_failsafe_off_raises(monkeypatch):
-    def explode(ssa, config, edge_profile=None):
-        raise RuntimeError("induced optimizer bug")
-
-    monkeypatch.setattr(driver, "optimize_function", explode)
+    monkeypatch.setitem(PASS_REGISTRY, "dce", ExplodingPass)
     with pytest.raises(RuntimeError, match="induced optimizer bug"):
         compile_program(SRC, SpecConfig.base(), failsafe=False)
+
+
+def make_flaky_dce():
+    """A registered-pass stand-in that crashes only each function's
+    first attempt, then behaves like the real pass.  Pass instances are
+    shared per-plan across functions, so the counter lives on the
+    class."""
+    real_factory = PASS_REGISTRY["dce"]
+
+    class FlakyDce(FunctionPass):
+        name = "dce"
+        calls = {}
+
+        def run(self, state):
+            name = state.fn.name
+            n = self.calls[name] = self.calls.get(name, 0) + 1
+            if n == 1:
+                raise RuntimeError("first attempt only")
+            real_factory().run(state)
+
+    return FlakyDce
 
 
 def test_partial_ladder_degradation_keeps_later_rungs(monkeypatch):
     """Fail only the full-strength attempt: the function lands on the
     first fallback rung, not at the bottom."""
-    real = driver.optimize_function
-    calls = {}
-
-    def flaky(ssa, config, edge_profile=None):
-        name = ssa.fn.name
-        n = calls[name] = calls.get(name, 0) + 1
-        if n == 1:
-            raise RuntimeError("first attempt only")
-        return real(ssa, config, edge_profile=edge_profile)
-
-    monkeypatch.setattr(driver, "optimize_function", flaky)
+    monkeypatch.setitem(PASS_REGISTRY, "dce", make_flaky_dce())
     compiled = compile_program(SRC, SpecConfig.base())
     assert compiled.degraded == {"sum": "no-lftr", "main": "no-lftr"}
     from repro.target import run_program
