@@ -1,0 +1,41 @@
+"""Ablation: block list scheduling vs profile-guided superblock
+scheduling (docs/scheduling.md).
+
+Three scheduler settings × the eight SPEC-shaped workloads on the
+standard 4-wide/2-port machine: no scheduling at all, per-block list
+scheduling (the default) and superblock formation + trace scheduling +
+hot-path layout.  The acceptance bar from the superblock subsystem's
+design: the superblock geomean must be no worse than block scheduling,
+no single workload may regress by more than 1%, and the taken-branch
+count — the quantity the layout pass exists to shrink — must drop in
+aggregate.
+"""
+
+from repro.pipeline import format_table
+from repro.workloads import superblock_ablation
+
+from conftest import emit_table
+
+
+def test_ablation_superblock(benchmark):
+    rows, summary = superblock_ablation()
+    text = format_table(
+        rows, title="Ablation: superblock scheduling (4-wide, 2 ports)")
+    text += (f"\ngeomean cycles vs block: "
+             f"superblock {100.0 * summary['geomean_sb_vs_block']:.2f}%  "
+             f"(block vs unscheduled "
+             f"{100.0 * summary['geomean_block_vs_none']:.2f}%)")
+    emit_table("ablation_superblock", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # superblock wins on geomean and never loses more than 1% anywhere
+    assert summary["geomean_sb_vs_block"] <= 1.0
+    for row in rows:
+        assert row["superblock_cycles"] <= row["block_cycles"] * 1.01, \
+            row["benchmark"]
+    # the mechanism: hot-path layout converts taken branches into
+    # fallthroughs
+    assert sum(r["taken_sb"] for r in rows) \
+        < sum(r["taken_block"] for r in rows)
+    # and scheduling at all is worth having (sanity on the baseline)
+    assert summary["geomean_block_vs_none"] <= 1.0

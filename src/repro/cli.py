@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro run FILE [--config base|profile|heuristic|aggressive]
+                             [--sched block|superblock]
                              [--train 1,2,3] [--ref 4,5,6] [--dump-ir]
                              [--inject SCENARIO] [--inject-seed N]
                              [--jobs N] [--time-passes] [--trace-json FILE]
@@ -54,9 +55,14 @@ def _parse_inputs(text: Optional[str]) -> List[float]:
     return out
 
 
+def _apply_sched(config: SpecConfig, args: argparse.Namespace) -> SpecConfig:
+    sched = getattr(args, "sched", None)
+    return config.but(scheduler=sched) if sched else config
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     source = open(args.file).read()
-    config = _CONFIGS[args.config]()
+    config = _apply_sched(_CONFIGS[args.config](), args)
     if args.dump_ir:
         from .ir import format_module
 
@@ -138,7 +144,7 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     rows = []
     for name in names:
         comparison = compare_workload(
-            name, spec_config=_CONFIGS[args.config]())
+            name, spec_config=_apply_sched(_CONFIGS[args.config](), args))
         rows.append(comparison.row())
     print(format_table(rows, title=f"{args.config} vs base"))
     return 0
@@ -177,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="compile + simulate one file")
     run.add_argument("file")
     run.add_argument("--config", choices=sorted(_CONFIGS), default="profile")
+    run.add_argument("--sched", choices=("block", "superblock"),
+                     help="machine scheduling mode: per-block list "
+                          "scheduling (default) or profile-guided "
+                          "superblock formation + hot-path layout "
+                          "(docs/scheduling.md)")
     run.add_argument("--train", help="comma-separated train inputs")
     run.add_argument("--ref", help="comma-separated ref inputs")
     run.add_argument("--dump-ir", action="store_true")
@@ -219,6 +230,8 @@ def build_parser() -> argparse.ArgumentParser:
     workloads.add_argument("--name")
     workloads.add_argument("--config", choices=sorted(_CONFIGS),
                            default="profile")
+    workloads.add_argument("--sched", choices=("block", "superblock"),
+                           help="machine scheduling mode (see `run`)")
     workloads.set_defaults(fn=_cmd_workloads)
 
     campaign = sub.add_parser(

@@ -41,6 +41,14 @@ class SpecConfig:
     #: latency-aware list scheduling of the generated code (§5.1 notes
     #: scheduling quality matters for check instructions)
     schedule: bool = True
+    #: machine-level scheduling mode: "block" (per-block list
+    #: scheduling, the bit-identical baseline) or "superblock"
+    #: (profile-guided trace formation + hot-path layout,
+    #: docs/scheduling.md); the CLI exposes this as --sched
+    scheduler: str = "block"
+    #: superblock formation: per-function budget of tail-duplicated
+    #: instructions (0 disables tail duplication)
+    superblock_tail_budget: int = 24
     #: likeliness threshold for profile flags (§3.1): aliases observed in
     #: fewer than this fraction of a site's executions stay speculative
     likeliness_threshold: float = 0.0

@@ -189,6 +189,58 @@ class SchedulePass(MachinePass):
         schedule_function(state.mfn)
 
 
+def _tail_budget(state) -> int:
+    from ...target.superblock import TAIL_DUP_BUDGET
+
+    config = getattr(state, "config", None)
+    return getattr(config, "superblock_tail_budget", TAIL_DUP_BUDGET) \
+        if config is not None else TAIL_DUP_BUDGET
+
+
+@register_pass
+class SuperblockFormPass(MachinePass):
+    """Grow profile-guided superblocks (mutual-most-likely traces with
+    bounded tail duplication) over one machine function; the partition
+    lands on ``state.traces`` for the schedule/layout passes
+    (docs/scheduling.md)."""
+
+    name = "superblock-form"
+
+    def run(self, state) -> None:
+        from ...target.superblock import form_superblocks
+
+        state.traces = form_superblocks(state.mfn, state.edge_profile,
+                                        tail_budget=_tail_budget(state))
+
+
+@register_pass
+class SuperblockSchedulePass(MachinePass):
+    """Profile-weighted trace scheduling of one machine function's
+    superblocks: priority = static height × block weight, speculative
+    loads may hoist above side exits (docs/scheduling.md)."""
+
+    name = "superblock-schedule"
+
+    def run(self, state) -> None:
+        from ...target.superblock import schedule_superblocks
+
+        schedule_superblocks(state.mfn, state.traces)
+
+
+@register_pass
+class SuperblockLayoutPass(MachinePass):
+    """Hot-path code layout: order one machine function's traces so hot
+    successors fall through (only *taken* transfers pay the machine's
+    ``branch_penalty``)."""
+
+    name = "superblock-layout"
+
+    def run(self, state) -> None:
+        from ...target.superblock import layout_function
+
+        layout_function(state.mfn, state.traces, state.edge_profile)
+
+
 @register_pass
 class VerifyMachinePass(MachinePass):
     """Machine-level verification of the whole program (the fail-safe

@@ -116,11 +116,17 @@ class FunctionState:
 @dataclass
 class MachineState:
     """Machine-program pipeline state.  ``mfn`` is the current machine
-    function while the per-function ``schedule`` pass runs."""
+    function while the per-function scheduling passes run;
+    ``edge_profile`` and ``config`` feed the superblock passes, and
+    ``traces`` carries one function's superblock partition from
+    ``superblock-form`` to ``superblock-schedule``/``superblock-layout``."""
 
     optimized: Module
+    config: Optional[SpecConfig] = None
     program: object = None
     mfn: object = None
+    edge_profile: object = None
+    traces: object = None
 
 
 # ---------------------------------------------------------------------------
@@ -302,13 +308,19 @@ class PassManager:
         record_module(self.dumps, "optimized", optimized)
 
         # codegen + scheduling + machine verification guard
-        machine = MachineState(optimized=optimized)
+        machine = MachineState(optimized=optimized, config=config,
+                               edge_profile=edge_profile)
         self._run_machine_pass("codegen", machine)
         if config.schedule:
+            sched_passes = ("superblock-form", "superblock-schedule",
+                            "superblock-layout") \
+                if config.scheduler == "superblock" else ("schedule",)
             for mfn in machine.program.functions.values():
                 machine.mfn = mfn
+                machine.traces = None
                 try:
-                    self._run_machine_pass("schedule", machine)
+                    for pass_name in sched_passes:
+                        self._run_machine_pass(pass_name, machine)
                 except Exception as exc:  # noqa: BLE001
                     if not self.failsafe:
                         raise
@@ -319,6 +331,7 @@ class PassManager:
                     machine.program.functions[mfn.name] = compile_function(
                         optimized.functions[mfn.name])
             machine.mfn = None
+            machine.traces = None
         try:
             self._run_machine_pass("verify-machine", machine)
         except Exception as exc:  # noqa: BLE001

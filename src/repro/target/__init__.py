@@ -24,15 +24,21 @@ from .codegen import compile_function, compile_module, compute_max_live
 from .isa import (ALU_OPS, EFFECT_OPS, LOAD_OPS, TERMINATOR_OPS, MBlock,
                   MFunction, MInstr, MProgram)
 from .machine import NAT, MachineError, MachineFuelExhausted, run_program
-from .scheduler import schedule_function, schedule_program
+from .scheduler import (HOISTABLE_OPS, compute_live_in, may_hoist_above,
+                        schedule_function, schedule_program, schedule_trace)
 from .stats import FnStats, MachineStats
+from .superblock import (MachineProfile, Trace, form_superblocks,
+                         layout_function, schedule_superblocks)
 from .verify import verify_function, verify_program
 
 __all__ = [
-    "ALAT", "ALU_OPS", "DataCache", "EFFECT_OPS", "FnStats", "LOAD_OPS",
-    "MBlock", "MFunction", "MInstr", "MProgram", "MachineError",
-    "MachineFuelExhausted", "MachineStats", "NAT", "TERMINATOR_OPS",
-    "compile_function", "compile_module", "compute_max_live", "run_program",
-    "schedule_function", "schedule_program", "verify_function",
-    "verify_program",
+    "ALAT", "ALU_OPS", "DataCache", "EFFECT_OPS", "FnStats",
+    "HOISTABLE_OPS", "LOAD_OPS", "MBlock", "MFunction", "MInstr",
+    "MProgram", "MachineError", "MachineFuelExhausted", "MachineProfile",
+    "MachineStats", "NAT", "TERMINATOR_OPS", "Trace",
+    "compile_function", "compile_module", "compute_live_in",
+    "compute_max_live", "form_superblocks", "layout_function",
+    "may_hoist_above", "run_program", "schedule_function",
+    "schedule_program", "schedule_superblocks", "schedule_trace",
+    "verify_function", "verify_program",
 ]

@@ -500,9 +500,14 @@ class _Machine:
                 elif code == _JMP:
                     next_block = instr[1]
                     if instr[2]:
+                        stats.taken_branches += 1
+                        fs.taken_branches += 1
                         self.cycle = cycle + 1 + self.branch_penalty
                         self.slots = 0
                         self.ports = 0
+                    else:
+                        stats.fallthroughs += 1
+                        fs.fallthroughs += 1
                     break
                 elif code == _BR:
                     cond = regs[instr[1]]
@@ -515,9 +520,14 @@ class _Machine:
                     else:
                         next_block, taken = instr[3], instr[5]
                     if taken:
+                        stats.taken_branches += 1
+                        fs.taken_branches += 1
                         self.cycle = cycle + 1 + self.branch_penalty
                         self.slots = 0
                         self.ports = 0
+                    else:
+                        stats.fallthroughs += 1
+                        fs.fallthroughs += 1
                     break
                 elif code == _CHK:
                     stats.spec_checks += 1
@@ -530,9 +540,14 @@ class _Machine:
                     else:
                         next_block, taken = instr[2], instr[4]
                     if taken:
+                        stats.taken_branches += 1
+                        fs.taken_branches += 1
                         self.cycle = cycle + 1 + self.branch_penalty
                         self.slots = 0
                         self.ports = 0
+                    else:
+                        stats.fallthroughs += 1
+                        fs.fallthroughs += 1
                     break
                 elif code == _RET:
                     if instr[1] is not None:

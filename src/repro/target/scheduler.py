@@ -1,10 +1,28 @@
-"""Latency-aware list scheduling of machine code (docs/machine_model.md).
+"""Latency-aware list scheduling of machine code (docs/machine_model.md
+and docs/scheduling.md).
 
-Each block is rescheduled independently: build the dependence DAG, then
-greedily issue the ready instruction with the greatest critical-path
-height (longest latency-weighted path to the end of the block), breaking
-ties by original order so scheduling is deterministic and a no-op on
-already-optimal code.
+Two scheduling modes share one dependence-DAG construction:
+
+* **Block scheduling** (:func:`schedule_function`, the default) —
+  every block is rescheduled independently: build the dependence DAG,
+  then greedily issue the ready instruction with the greatest
+  critical-path height (longest latency-weighted path to the end of
+  the block), breaking ties by original order so scheduling is
+  deterministic and a no-op on already-optimal code.
+
+* **Trace scheduling** (:func:`schedule_trace`, used by
+  :mod:`repro.target.superblock`) — a whole profile-formed trace is
+  scheduled as one region.  The dependence rules run over the
+  concatenated instruction sequence, terminators join the DAG (each
+  block's instructions precede its own terminator; terminators stay
+  ordered), and a small set of side-effect-free ops — crucially the
+  speculative loads ``ld.s``/``ld.a``, whose deferred-fault/ALAT
+  semantics make early execution safe — may hoist above earlier side
+  exits when the hoist is invisible off-trace (see
+  :func:`may_hoist_above`).  Priority becomes expected cycles saved:
+  static height scaled by the home block's profile weight relative to
+  the trace entry, so a long chain on the hot path outranks an equally
+  long chain that is only reached after a cold side exit.
 
 Ordering rules, from strongest to weakest:
 
@@ -27,7 +45,8 @@ Ordering rules, from strongest to weakest:
 
 from __future__ import annotations
 
-from typing import Dict, List
+import heapq
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from .isa import EFFECT_OPS, MBlock, MFunction, MInstr, MProgram
 
@@ -35,17 +54,26 @@ from .isa import EFFECT_OPS, MBlock, MFunction, MInstr, MProgram
 _HEIGHT = {"ld": 6, "ld.a": 6, "ld.s": 6, "ld.c": 1, "ld.r": 6,
            "mul": 3, "div": 12, "rem": 12}
 
+#: Ops a trace scheduler may move above a side exit.  All are free of
+#: stores, effects and Python-level faults: the speculative loads
+#: deliver NaT instead of faulting (and ``ld.a``'s early ALAT arm is
+#: benign — a hit still implies the register equals memory), and the
+#: ALU subset excludes ``div``/``rem``/``shl``/``shr``/``bnot``/
+#: ``cvt.*``, whose host-level exceptions (divide by zero, negative
+#: shift, overflow) must not fire on a path that never executed them.
+HOISTABLE_OPS = frozenset({
+    "ld.s", "ld.a", "movi", "mov", "lea",
+    "add", "sub", "mul", "neg", "not",
+    "cmp.lt", "cmp.le", "cmp.gt", "cmp.ge", "cmp.eq", "cmp.ne",
+    "and", "or", "xor",
+})
 
-def _schedule_block(block: MBlock) -> None:
-    instrs = block.instrs
-    if len(instrs) <= 2:
-        return
-    term = instrs[-1] if instrs[-1].is_terminator else None
-    body = instrs[:-1] if term is not None else list(instrs)
+
+def _dependence_edges(body: Sequence[MInstr]
+                      ) -> Tuple[List[List[int]], List[int]]:
+    """The data/memory/effect dependence edges over ``body`` (any
+    straight-line instruction sequence): returns ``(succs, npreds)``."""
     n = len(body)
-    if n <= 1:
-        return
-
     succs: List[List[int]] = [[] for _ in range(n)]
     npreds = [0] * n
 
@@ -99,16 +127,16 @@ def _schedule_block(block: MBlock) -> None:
                 edge(last_effect, i)
             last_effect = i
             pending_loads = []
+    return succs, npreds
 
-    height = [0] * n
-    for i in range(n - 1, -1, -1):
-        below = max((height[s] for s in succs[i]), default=0)
-        height[i] = below + _HEIGHT.get(body[i].op, 1)
 
-    # greedy list scheduling: highest critical path first, stable on ties
-    import heapq
-
-    ready = [(-height[i], i) for i in range(n) if npreds[i] == 0]
+def _list_schedule(body: Sequence[MInstr], succs: List[List[int]],
+                   npreds: List[int],
+                   priority: Sequence[float]) -> List[MInstr]:
+    """Greedy list scheduling: highest priority first, stable on ties
+    (priority is negated into a min-heap keyed ``(-priority, index)``)."""
+    n = len(body)
+    ready = [(-priority[i], i) for i in range(n) if npreds[i] == 0]
     heapq.heapify(ready)
     order: List[MInstr] = []
     while ready:
@@ -117,8 +145,43 @@ def _schedule_block(block: MBlock) -> None:
         for s in succs[i]:
             npreds[s] -= 1
             if npreds[s] == 0:
-                heapq.heappush(ready, (-height[s], s))
-    assert len(order) == n, "dependence cycle in block (scheduler bug)"
+                heapq.heappush(ready, (-priority[s], s))
+    assert len(order) == n, "dependence cycle in region (scheduler bug)"
+    return order
+
+
+def _heights(body: Sequence[MInstr],
+             succs: List[List[int]]) -> List[int]:
+    """Critical-path height of each instruction: the longest
+    latency-weighted dependence path to the end of the region."""
+    n = len(body)
+    height = [0] * n
+    for i in range(n - 1, -1, -1):
+        below = max((height[s] for s in succs[i]), default=0)
+        height[i] = below + _HEIGHT.get(body[i].op, 1)
+    return height
+
+
+# ---------------------------------------------------------------------------
+# Block scheduling (the default `--sched block` mode)
+# ---------------------------------------------------------------------------
+
+
+def _schedule_block(block: MBlock) -> None:
+    instrs = block.instrs
+    # The skip condition is about the *schedulable body*: the terminator
+    # (when present) is pinned last and does not participate, so a block
+    # needs at least two non-terminator instructions to have anything to
+    # reorder.  (An unterminated two-instruction block has a two-deep
+    # body and *is* scheduled.)
+    term = instrs[-1] if instrs and instrs[-1].is_terminator else None
+    body = instrs[:-1] if term is not None else list(instrs)
+    if len(body) <= 1:
+        return
+
+    succs, npreds = _dependence_edges(body)
+    height = _heights(body, succs)
+    order = _list_schedule(body, succs, npreds, height)
     block.instrs = order + ([term] if term is not None else [])
 
 
@@ -133,3 +196,173 @@ def schedule_program(program: MProgram) -> MProgram:
     for fn in program.functions.values():
         schedule_function(fn)
     return program
+
+
+# ---------------------------------------------------------------------------
+# Trace scheduling (the `--sched superblock` mode; see superblock.py)
+# ---------------------------------------------------------------------------
+
+
+def _recovery_summary(rec: MBlock) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+    """``(defs, uses)`` register sets of a ``chk.s`` recovery block."""
+    defs = frozenset(i.dest for i in rec.instrs if i.dest is not None)
+    uses = frozenset(r for i in rec.instrs for r in i.uses)
+    return defs, uses
+
+
+def may_hoist_above(instr: MInstr, pred: MBlock, entered: MBlock,
+                    live_in: Dict[int, FrozenSet[int]]) -> bool:
+    """May ``instr`` (from a block after ``pred`` on the trace) move
+    above ``pred``'s terminator?  ``entered`` is the trace block the
+    terminator continues into; every *other* target is a side exit the
+    hoisted instruction must be invisible on:
+
+    * a ``br`` side exit must not observe the early definition —
+      ``instr.dest`` may not be live into the exit target;
+    * a ``chk.s``'s recovery block replays the speculative assign, so
+      additionally the hoisted instruction may neither read nor write
+      any register the replay defines (else the replayed path computes
+      with, or clobbers, the wrong values), nor write anything the
+      replay reads (the address chain it re-executes).
+
+    Data, memory and effect ordering is *not* checked here — the trace
+    DAG's dependence edges already enforce it; this predicate only
+    answers the control-flow question.
+    """
+    if instr.op not in HOISTABLE_OPS:
+        return False
+    term = pred.instrs[-1] if pred.instrs else None
+    if term is None or not term.is_terminator:
+        return False
+    if term.op == "jmp":
+        return True            # unconditional: no side exit to protect
+    if term.op == "ret":
+        return False           # nothing may cross a return
+    dest = instr.dest
+    if term.op == "chk.s":
+        rec = term.targets[1]
+        if rec is entered:     # tracing into recovery: treat as opaque
+            return False
+        rec_defs, rec_uses = _recovery_summary(rec)
+        if dest in rec_defs or dest in rec_uses:
+            return False
+        if any(r in rec_defs for r in instr.uses):
+            return False
+        return dest not in live_in.get(id(rec), frozenset())
+    # br: every non-trace target is a side exit
+    for target in term.targets:
+        if target is entered:
+            continue
+        if dest in live_in.get(id(target), frozenset()):
+            return False
+    return True
+
+
+def compute_live_in(fn: MFunction) -> Dict[int, FrozenSet[int]]:
+    """Per-block live-in register sets (backward liveness over the
+    machine CFG), keyed by ``id(block)`` — the side-exit visibility
+    oracle for :func:`may_hoist_above`."""
+    blocks = fn.blocks
+    index = {id(block): i for i, block in enumerate(blocks)}
+    succs: List[List[int]] = []
+    for block in blocks:
+        term = block.terminator
+        succs.append([index[id(t)] for t in term.targets] if term else [])
+    live_in: List[FrozenSet[int]] = [frozenset()] * len(blocks)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(blocks) - 1, -1, -1):
+            live = set()
+            for s in succs[i]:
+                live |= live_in[s]
+            for instr in reversed(blocks[i].instrs):
+                if instr.dest is not None:
+                    live.discard(instr.dest)
+                live.update(instr.uses)
+            frozen = frozenset(live)
+            if frozen != live_in[i]:
+                live_in[i] = frozen
+                changed = True
+    return {id(block): live_in[i] for i, block in enumerate(blocks)}
+
+
+def schedule_trace(blocks: Sequence[MBlock], weights: Sequence[float],
+                   live_in: Dict[int, FrozenSet[int]]) -> None:
+    """Schedule one trace as a single region, in place.
+
+    The trace's instructions (terminators included) form one DAG: data/
+    memory/effect edges from :func:`_dependence_edges` over the
+    concatenated sequence, plus structural edges keeping every
+    instruction before its own block's terminator, terminators in trace
+    order, and non-hoistable instructions below the previous
+    terminator.  A hoistable instruction's structural predecessor is
+    the terminator of the highest block it may legally rise to
+    (:func:`may_hoist_above`, checked for every crossed exit).
+
+    Priority is expected cycles saved: critical-path height scaled by
+    the home block's profile weight relative to the trace entry, so
+    hot-path chains win the issue slots that cold post-exit chains
+    would otherwise take.  The scheduled sequence is partitioned back
+    at the terminators, so block identities (and every branch target in
+    the rest of the function) survive untouched.
+    """
+    if not blocks:
+        return
+    nodes: List[MInstr] = []
+    node_block: List[int] = []
+    for bi, block in enumerate(blocks):
+        for instr in block.instrs:
+            nodes.append(instr)
+            node_block.append(bi)
+    if len(nodes) <= 1:
+        return
+    succs, npreds = _dependence_edges(nodes)
+
+    def edge(a: int, b: int) -> None:
+        succs[a].append(b)
+        npreds[b] += 1
+
+    term_node = [-1] * len(blocks)
+    for i, instr in enumerate(nodes):
+        if instr.is_terminator:
+            term_node[node_block[i]] = i
+    if any(t < 0 for t in term_node):
+        # a malformed (unterminated) block: fall back to block-local
+        # scheduling, which has no cross-block motion to get wrong
+        for block in blocks:
+            _schedule_block(block)
+        return
+
+    for i, instr in enumerate(nodes):
+        bi = node_block[i]
+        if i == term_node[bi]:
+            if bi > 0:            # terminators stay in trace order
+                edge(term_node[bi - 1], i)
+            continue
+        edge(i, term_node[bi])    # never sink below the own terminator
+        k = bi
+        while k > 0 and may_hoist_above(instr, blocks[k - 1], blocks[k],
+                                        live_in):
+            k -= 1
+        if k > 0:                 # pinned below terminator k-1
+            edge(term_node[k - 1], i)
+
+    height = _heights(nodes, succs)
+    w_entry = max(float(weights[0]), 1.0) if weights else 1.0
+    priority = [0.0] * len(nodes)
+    for i in range(len(nodes)):
+        w = float(weights[node_block[i]]) if weights else 1.0
+        frac = min(max(w / w_entry, 0.01), 1.0)
+        priority[i] = height[i] * frac
+    order = _list_schedule(nodes, succs, npreds, priority)
+
+    out: List[List[MInstr]] = [[] for _ in blocks]
+    cur = 0
+    for instr in order:
+        out[cur].append(instr)
+        if instr.is_terminator:
+            cur += 1
+    assert cur == len(blocks), "trace partition lost a terminator"
+    for bi, block in enumerate(blocks):
+        block.instrs = out[bi]

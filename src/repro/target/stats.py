@@ -39,6 +39,8 @@ class FnStats:
     spec_checks: int = 0
     spec_recoveries: int = 0
     replay_loads: int = 0
+    taken_branches: int = 0
+    fallthroughs: int = 0
 
     @property
     def loads_retired(self) -> int:
@@ -75,6 +77,11 @@ class MachineStats:
     spec_recoveries: int = 0
     #: retired ``ld.r`` replay loads (recovery-block re-executions)
     replay_loads: int = 0
+    #: control transfers that left the fall-through path (each pays
+    #: ``branch_penalty``; the hot-path layout pass minimizes these)
+    taken_branches: int = 0
+    #: control transfers to the lexically-next block (penalty-free)
+    fallthroughs: int = 0
     fn_stats: Dict[str, FnStats] = field(default_factory=dict)
 
     # ---- derived counters ----------------------------------------------
@@ -142,6 +149,8 @@ class MachineStats:
             "spec_checks": self.spec_checks,
             "spec_recoveries": self.spec_recoveries,
             "replay_loads": self.replay_loads,
+            "taken_branches": self.taken_branches,
+            "fallthroughs": self.fallthroughs,
         }
 
     def fn(self, name: str) -> FnStats:

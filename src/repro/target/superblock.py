@@ -1,0 +1,376 @@
+"""Profile-guided superblock formation and hot-path code layout
+(docs/scheduling.md).
+
+The classic trace-scheduling pipeline over the machine CFG, driven by
+the :class:`~repro.profiling.EdgeProfile` the pass manager collected on
+the train run:
+
+* :class:`MachineProfile` — maps the IR-level edge profile onto the
+  machine CFG.  Out-of-SSA rebuilt every block, so the mapping is by
+  *name*: head blocks carry their IR block's name verbatim; codegen's
+  ``chk.s`` continuations (``X.c1``) and recovery blocks (``X.r1``)
+  and this module's tail duplicates (``X.d1``) derive their counts
+  from their base block; critical-edge split blocks (``split_A_B``)
+  were created *after* the train run, so their weight and the branch
+  probabilities of edges into them are recovered by looking through
+  their ``jmp`` to the IR successor the profiled edge reached.
+  Without a usable profile (``--sched superblock`` on an unprofiled
+  build, or a function the train input never entered) the profile
+  degrades to a static one: unit block weights, ``jmp`` edges certain,
+  ``br`` edges even, recovery edges never — enough to straighten
+  ``jmp`` chains and keep recovery code out of line.
+
+* :func:`form_superblocks` — grow traces along mutual-most-likely hot
+  edges from heavy seed blocks.  A hot successor with side entrances
+  would end the trace; within ``tail_budget`` duplicated instructions
+  per function it is *tail-duplicated* instead (a fresh copy reached
+  only from the trace, the original keeping every other predecessor),
+  so the superblock stays single-entry and keeps growing.  Blocks
+  ending in ``chk.s`` are never duplicated (their recovery/continuation
+  pairing must stay unique) and the entry block never joins another
+  trace.
+
+* :func:`schedule_superblocks` — each trace is one scheduling region
+  for :func:`repro.target.scheduler.schedule_trace`: profile-weighted
+  priorities, speculative loads hoisting above side exits.
+
+* :func:`layout_function` — place traces so hot successors fall
+  through: the entry trace first, then greedily the unplaced trace
+  headed by the most probable successor of the trace just placed,
+  heaviest-first when the chain breaks.  Since a branch to the
+  lexically-next block is free and anything else pays
+  ``branch_penalty`` (docs/machine_model.md), "flipping a branch
+  sense" needs no instruction rewriting here — both ``br`` targets are
+  explicit, so placement alone decides which way falls through.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .codegen import compute_max_live
+from .isa import MBlock, MFunction, MInstr
+from .scheduler import compute_live_in, schedule_trace
+
+#: minimum branch probability for a trace to keep growing along an edge
+TRACE_MIN_PROB = 0.6
+
+#: default per-function budget of tail-duplicated instructions
+TAIL_DUP_BUDGET = 24
+
+_SYNTH_SUFFIX = re.compile(r"\.[crd]\d+$")
+_RECOVERY_PART = re.compile(r"\.r\d+(\.|$)")
+
+
+def _base_name(name: str) -> str:
+    """Strip codegen/duplication suffixes (``.c1``/``.r1``/``.d1``,
+    possibly nested) down to the originating block's name."""
+    while True:
+        stripped = _SYNTH_SUFFIX.sub("", name)
+        if stripped == name:
+            return name
+        name = stripped
+
+
+def _is_recovery(name: str) -> bool:
+    return _RECOVERY_PART.search(name) is not None
+
+
+def _is_split(name: str) -> bool:
+    return name.startswith("split_")
+
+
+class MachineProfile:
+    """Block weights and branch probabilities for one machine function,
+    inferred from the IR-level edge profile by block name (static
+    fallback when no usable profile exists — see module docstring)."""
+
+    def __init__(self, mfn: MFunction, edge_profile=None) -> None:
+        self.mfn = mfn
+        profiled = (edge_profile is not None
+                    and edge_profile.has_function(mfn.name))
+        self._static = not profiled
+        self._profile = edge_profile if profiled else None
+        self._weight: Dict[int, float] = {}
+        self._probs: Dict[int, List[Tuple[MBlock, float]]] = {}
+        self._resolve_cache: Dict[int, str] = {}
+        self._preds: Dict[int, List[MBlock]] = {
+            id(block): [] for block in mfn.blocks}
+        for block in mfn.blocks:
+            term = block.terminator
+            if term is None:
+                continue
+            for target in term.targets:
+                self._preds[id(target)].append(block)
+        for block in mfn.blocks:
+            self._probs[id(block)] = self._succ_probs(block)
+        # split blocks first (their weight feeds their continuations)
+        for block in mfn.blocks:
+            if _is_split(_base_name(block.name)):
+                self._weight[id(block)] = self._split_weight(block)
+        for block in mfn.blocks:
+            self._weight.setdefault(id(block), self._block_weight(block))
+
+    # ---- name resolution ------------------------------------------------
+    def _resolved_name(self, block: MBlock) -> str:
+        """The IR-named block an edge *into* ``block`` reaches: split
+        blocks (created after the train run) are looked through along
+        their ``jmp`` chain to the profiled successor."""
+        cached = self._resolve_cache.get(id(block))
+        if cached is not None:
+            return cached
+        seen = set()
+        cur = block
+        while (_is_split(cur.name) and id(cur) not in seen
+               and cur.terminator is not None
+               and cur.terminator.op == "jmp"):
+            seen.add(id(cur))
+            cur = cur.terminator.targets[0]
+        name = _base_name(cur.name)
+        self._resolve_cache[id(block)] = name
+        return name
+
+    # ---- weights --------------------------------------------------------
+    def _block_weight(self, block: MBlock) -> float:
+        name = block.name
+        if _is_recovery(name):
+            return 0.0
+        base = _base_name(name)
+        if _is_split(base):
+            # continuation/duplicate of a split block: find the split
+            # head among this function's blocks and share its weight
+            for other in self.mfn.blocks:
+                if other.name == base:
+                    return self._weight.get(id(other), 0.0)
+            return 0.0
+        if self._static:
+            return 1.0
+        return float(self._profile.block_by_name(self.mfn.name, base))
+
+    def _split_weight(self, block: MBlock) -> float:
+        if self._static:
+            return 1.0
+        total = 0.0
+        target = self._resolved_name(block)
+        for pred in self._preds[id(block)]:
+            src = _base_name(pred.name)
+            if _is_split(src):
+                continue
+            total += self._profile.edge_by_name(self.mfn.name, src, target)
+        return total
+
+    def weight(self, block: MBlock) -> float:
+        w = self._weight.get(id(block))
+        if w is None:       # a block created after construction (dup)
+            w = self._block_weight(block)
+            self._weight[id(block)] = w
+        return w
+
+    # ---- branch probabilities -------------------------------------------
+    def _succ_probs(self, block: MBlock) -> List[Tuple[MBlock, float]]:
+        term = block.terminator
+        if term is None or term.op == "ret":
+            return []
+        if term.op == "jmp":
+            return [(term.targets[0], 1.0)]
+        if term.op == "chk.s":
+            # deferred faults are rare: the continuation is the trace
+            return [(term.targets[0], 1.0), (term.targets[1], 0.0)]
+        # br: normalize the profiled IR edge counts of the two targets
+        targets = list(term.targets)
+        src = _base_name(block.name)
+        counts = [0.0] * len(targets)
+        if not self._static and not _is_split(src):
+            for i, target in enumerate(targets):
+                counts[i] = self._profile.edge_by_name(
+                    self.mfn.name, src, self._resolved_name(target))
+        total = sum(counts)
+        if total <= 0:
+            even = 1.0 / len(targets)
+            return [(t, even) for t in targets]
+        return [(t, c / total) for t, c in zip(targets, counts)]
+
+    def succ_probs(self, block: MBlock) -> List[Tuple[MBlock, float]]:
+        probs = self._probs.get(id(block))
+        if probs is None:   # a block created after construction (dup)
+            probs = self._succ_probs(block)
+            self._probs[id(block)] = probs
+        return probs
+
+    def prob(self, block: MBlock, target: MBlock) -> float:
+        for t, p in self.succ_probs(block):
+            if t is target:
+                return p
+        return 0.0
+
+    def edge_weight(self, src: MBlock, dst: MBlock) -> float:
+        return self.weight(src) * self.prob(src, dst)
+
+    def preds(self, block: MBlock) -> List[MBlock]:
+        return self._preds.get(id(block), [])
+
+    def register_duplicate(self, dup: MBlock, original: MBlock,
+                           weight: float) -> None:
+        """Teach the profile about a tail duplicate: it inherits the
+        original's successor probabilities and carries the weight of
+        the one trace edge that reaches it."""
+        self._weight[id(dup)] = weight
+        self._weight[id(original)] = max(
+            self.weight(original) - weight, 0.0)
+        self._probs[id(dup)] = list(self.succ_probs(original))
+        self._preds.setdefault(id(dup), [])
+        for target, _ in self._probs[id(dup)]:
+            self._preds[id(target)].append(dup)
+
+
+@dataclass
+class Trace:
+    """One superblock: blocks in execution order plus their profile
+    weights (the scheduler's priority scale)."""
+
+    blocks: List[MBlock]
+    weights: List[float] = field(default_factory=list)
+
+
+def _duplicate_block(mfn: MFunction, block: MBlock, serial: int) -> MBlock:
+    dup = MBlock(f"{block.name}.d{serial}")
+    for instr in block.instrs:
+        dup.append(MInstr(instr.op, instr.dest, instr.srcs, instr.imm,
+                          instr.sym, instr.callee, instr.targets,
+                          instr.fp, instr.coerce))
+    mfn.blocks.append(dup)
+    return dup
+
+
+def _retarget(term: MInstr, old: MBlock, new: MBlock) -> None:
+    term.targets = tuple(new if t is old else t for t in term.targets)
+
+
+def form_superblocks(mfn: MFunction, edge_profile=None,
+                     tail_budget: int = TAIL_DUP_BUDGET,
+                     min_prob: float = TRACE_MIN_PROB) -> List[Trace]:
+    """Partition ``mfn``'s blocks into traces grown along
+    mutual-most-likely hot edges, tail-duplicating side-entranced hot
+    successors within ``tail_budget`` duplicated instructions.  Every
+    block lands in exactly one trace (cold blocks as singletons); the
+    entry block heads the first trace."""
+    mp = MachineProfile(mfn, edge_profile)
+    entry = mfn.blocks[0]
+    assigned = set()
+    budget = max(0, int(tail_budget))
+    dup_serial = 0
+    traces: List[Trace] = []
+
+    def grow(seed: MBlock) -> Trace:
+        nonlocal budget, dup_serial
+        blocks = [seed]
+        weights = [mp.weight(seed)]
+        assigned.add(id(seed))
+        cur = seed
+        while True:
+            probs = mp.succ_probs(cur)
+            if not probs:
+                break
+            target, p = max(probs, key=lambda tp: tp[1])
+            if p < min_prob or target is entry or id(target) in assigned:
+                break
+            # mutual-most-likely: cur must be target's heaviest way in
+            w_in = mp.edge_weight(cur, target)
+            if any(mp.edge_weight(q, target) > w_in
+                   for q in mp.preds(target) if q is not cur):
+                break
+            side_entrances = [q for q in mp.preds(target) if q is not cur]
+            term = cur.instrs[-1] if cur.instrs else None
+            if (term is not None and term.op == "chk.s"
+                    and target is term.targets[0]):
+                # the recovery block's jump back into the continuation
+                # is a rejoin, not a side entrance: hoisting above the
+                # chk.s already accounts for the replayed path
+                # (scheduler.may_hoist_above), so the trace may carry on
+                rec = term.targets[1]
+                side_entrances = [q for q in side_entrances if q is not rec]
+            if side_entrances:
+                if (target.terminator is not None
+                        and target.terminator.op == "chk.s"):
+                    break       # chk.s pairing must stay unique
+                if len(target.instrs) > budget:
+                    break
+                budget -= len(target.instrs)
+                dup_serial += 1
+                dup = _duplicate_block(mfn, target, dup_serial)
+                _retarget(cur.instrs[-1], target, dup)
+                mp.register_duplicate(dup, target, w_in)
+                assigned.add(id(dup))
+                blocks.append(dup)
+                weights.append(w_in)
+                cur = dup
+            else:
+                assigned.add(id(target))
+                blocks.append(target)
+                weights.append(mp.weight(target))
+                cur = target
+        return Trace(blocks, weights)
+
+    block_index = {id(b): i for i, b in enumerate(mfn.blocks)}
+    seeds = [entry] + sorted(
+        (b for b in mfn.blocks if b is not entry),
+        key=lambda b: (-mp.weight(b), block_index[id(b)]))
+    for seed in seeds:
+        if id(seed) not in assigned:
+            traces.append(grow(seed))
+    # duplicates created while growing are appended to mfn.blocks and
+    # always assigned to a trace on creation, so every block is covered
+    return traces
+
+
+def schedule_superblocks(mfn: MFunction, traces: Sequence[Trace]) -> None:
+    """Run the profile-weighted trace scheduler over every trace.
+    Liveness is recomputed before each multi-block trace because
+    earlier traces' code motion may have changed it."""
+    for trace in traces:
+        if sum(len(b.instrs) for b in trace.blocks) <= 1:
+            continue
+        live_in = compute_live_in(mfn)
+        schedule_trace(trace.blocks, trace.weights, live_in)
+
+
+def layout_function(mfn: MFunction, traces: Sequence[Trace],
+                    edge_profile=None) -> None:
+    """Reorder ``mfn.blocks`` so hot successors fall through: the entry
+    trace first, then chained by the most probable successor edge of
+    the trace just placed, heaviest-head-first when the chain breaks.
+    Cold singletons (recovery blocks) sink to the end.  Finishes by
+    refreshing ``max_live`` (duplication and cross-block motion may
+    have changed it)."""
+    if not traces:
+        return
+    mp = MachineProfile(mfn, edge_profile)
+    order_index = {id(t): i for i, t in enumerate(traces)}
+    head_of = {id(t.blocks[0]): t for t in traces}
+    unplaced = dict(order_index)      # id(trace) -> original index
+    placed: List[Trace] = []
+
+    def place(trace: Trace) -> None:
+        placed.append(trace)
+        del unplaced[id(trace)]
+
+    place(traces[0])                  # the entry trace stays first
+    while unplaced:
+        nxt: Optional[Trace] = None
+        tail = placed[-1].blocks[-1]
+        for target, _ in sorted(mp.succ_probs(tail),
+                                key=lambda tp: -tp[1]):
+            t = head_of.get(id(target))
+            if t is not None and id(t) in unplaced:
+                nxt = t
+                break
+        if nxt is None:               # chain broke: heaviest head next
+            nxt = min(
+                (t for t in traces if id(t) in unplaced),
+                key=lambda t: (-mp.weight(t.blocks[0]),
+                               order_index[id(t)]))
+        place(nxt)
+    mfn.blocks = [block for trace in placed for block in trace.blocks]
+    mfn.max_live = compute_max_live(mfn)

@@ -1,5 +1,6 @@
 """SPEC2000-shaped workloads and the benchmark runner."""
 
+from .ablation import superblock_ablation
 from .base import (Workload, all_workloads, get_workload,
                    recovery_workloads, register)
 from .runner import compare_workload, machine_kwargs, run_workload
@@ -7,4 +8,5 @@ from .runner import compare_workload, machine_kwargs, run_workload
 __all__ = [
     "Workload", "all_workloads", "compare_workload", "get_workload",
     "machine_kwargs", "recovery_workloads", "register", "run_workload",
+    "superblock_ablation",
 ]

@@ -1,0 +1,60 @@
+"""The superblock-scheduling ablation (docs/scheduling.md).
+
+One table — {unscheduled, block, superblock} × the eight SPEC-shaped
+workloads on the standard 4-wide/2-port machine — shared by two
+harnesses: ``benchmarks/test_ablation_superblock.py`` (the figure
+regeneration) and the ``bench_smoke`` CI tier, which re-emits
+``results/ablation_superblock.txt`` on every PR so scheduling
+regressions are visible as an artifact diff.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import SpecConfig
+from .base import all_workloads, get_workload
+from .runner import run_workload
+
+
+def geomean(values: Sequence[float]) -> float:
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values)) if values else 1.0
+
+
+def superblock_ablation(names: Optional[Sequence[str]] = None
+                        ) -> Tuple[List[Dict], Dict[str, float]]:
+    """Run the ablation; returns ``(rows, summary)``.
+
+    Each row compares one workload's cycles under no scheduling, block
+    list scheduling and superblock scheduling (plus the taken-branch
+    counts the layout pass attacks); the summary carries the geomean
+    cycle ratios against the block baseline.
+    """
+    workloads = ([get_workload(n) for n in names] if names is not None
+                 else all_workloads())
+    sb_config = SpecConfig.profile().but(scheduler="superblock")
+    rows: List[Dict] = []
+    for w in workloads:
+        none = run_workload(w, SpecConfig.profile().but(schedule=False))
+        block = run_workload(w, SpecConfig.profile())
+        sb = run_workload(w, sb_config)
+        rows.append({
+            "benchmark": w.name,
+            "none_cycles": none.stats.cycles,
+            "block_cycles": block.stats.cycles,
+            "superblock_cycles": sb.stats.cycles,
+            "sb_vs_block_%": 100.0 * (1 - sb.stats.cycles
+                                      / block.stats.cycles),
+            "taken_block": block.stats.taken_branches,
+            "taken_sb": sb.stats.taken_branches,
+        })
+    summary = {
+        "geomean_block_vs_none": geomean(
+            [r["block_cycles"] / r["none_cycles"] for r in rows]),
+        "geomean_sb_vs_block": geomean(
+            [r["superblock_cycles"] / r["block_cycles"] for r in rows]),
+    }
+    return rows, summary

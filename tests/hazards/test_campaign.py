@@ -7,6 +7,7 @@ bit-for-bit, including under deliberately wrong alias profiles."""
 
 import pytest
 
+from repro.core import SpecConfig
 from repro.hazards import ADVERSARIES, run_campaign
 
 pytestmark = pytest.mark.faultinject
@@ -50,6 +51,22 @@ def test_adversarial_profiles_recover(adversary):
         profile_transform=ADVERSARIES[adversary])
     assert report.ok, report.summary()
     # the recovery machinery was actually exercised
+    assert sum(r.deferred_faults for r in report.runs) > 0
+
+
+@pytest.mark.faultinject
+def test_campaign_superblock_bit_for_bit():
+    """The superblock scheduler (docs/scheduling.md) moves speculative
+    loads above side exits and tail-duplicates join blocks; under
+    injected ALAT storms and poisoned loads every run must still match
+    the oracle, and the chk.s recovery machinery must actually fire
+    inside the reordered code."""
+    report = run_campaign(
+        config=SpecConfig.profile().but(use_edge_profile=False,
+                                        scheduler="superblock"),
+        scenarios=("poison", "storm", "chaos"), seeds=(0, 1))
+    assert report.ok, report.summary()
+    assert report.total_recoveries > 0
     assert sum(r.deferred_faults for r in report.runs) > 0
 
 

@@ -3,8 +3,10 @@
 One workload end-to-end through the real CLI with ``--time-passes
 --jobs 2 --trace-json``: the per-pass timing table must render, the
 parallel compile must pass the oracle, and the machine-readable trace
-lands in ``results/pass_trace.json`` — CI uploads that file as a
-workflow artifact so pass wall-time regressions are visible
+lands in ``results/pass_trace.json``.  The tier also regenerates the
+superblock-scheduling ablation into ``results/
+ablation_superblock.txt`` — CI uploads both files as workflow
+artifacts so pass wall-time and scheduling regressions are visible
 PR-over-PR.
 """
 
@@ -53,3 +55,31 @@ def test_cli_time_passes_smoke(tmp_path, capsys):
     passes = {record["pass"] for record in doc["passes"]}
     assert {"build-ssa", "dce", "codegen"} <= passes
     assert all(record["wall_s"] >= 0.0 for record in doc["passes"])
+
+
+@pytest.mark.bench_smoke
+def test_superblock_ablation_artifact():
+    """Regenerate the superblock-scheduling ablation table
+    (docs/scheduling.md) — the second artifact the bench-smoke CI job
+    uploads.  The bar matches benchmarks/test_ablation_superblock.py:
+    superblock no worse than block on geomean, no workload more than
+    1% worse."""
+    from repro.pipeline import format_table
+    from repro.workloads import superblock_ablation
+
+    rows, summary = superblock_ablation()
+    text = format_table(
+        rows, title="Ablation: superblock scheduling (4-wide, 2 ports)")
+    text += (f"\ngeomean cycles vs block: "
+             f"superblock {100.0 * summary['geomean_sb_vs_block']:.2f}%  "
+             f"(block vs unscheduled "
+             f"{100.0 * summary['geomean_block_vs_none']:.2f}%)")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "ablation_superblock.txt"),
+              "w") as f:
+        f.write(text + "\n")
+
+    assert summary["geomean_sb_vs_block"] <= 1.0
+    for row in rows:
+        assert row["superblock_cycles"] <= row["block_cycles"] * 1.01, \
+            row["benchmark"]

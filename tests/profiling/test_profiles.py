@@ -131,6 +131,51 @@ def test_edge_profile_untaken_branch_zero():
     assert prof.block(then_b) == 0
 
 
+def test_edge_prob_normalizes_outgoing_counts():
+    src = (
+        "void main() { int i; for (i = 0; i < 10; i = i + 1) { print(i); } }"
+    )
+    m = module_of(src)
+    prof = collect_edge_profile(m)
+    fn = m.main
+    cond = next(b for b in fn.blocks if b.name.startswith("for_cond"))
+    body = next(b for b in fn.blocks if b.name.startswith("for_body"))
+    exit_b = next(b for b in fn.blocks if b.name.startswith("for_exit"))
+    # 10 body traversals + 1 exit traversal out of cond
+    assert abs(prof.prob(cond, body) - 10 / 11) < 1e-12
+    assert abs(prof.prob(cond, exit_b) - 1 / 11) < 1e-12
+    assert abs(sum(prof.prob(cond, s) for s in cond.succs) - 1.0) < 1e-12
+
+
+def test_edge_prob_zero_count_falls_back_to_uniform():
+    # the branch inside the dead arm never executes: its outgoing
+    # counts are all 0 and prob() splits evenly over the successors
+    src = (
+        "void main() { int x; int y; x = 0; y = 1;"
+        " if (x) { if (y) { print(1); } print(2); } print(3); }"
+    )
+    m = module_of(src)
+    prof = collect_edge_profile(m)
+    fn = m.main
+    dead_cond = next(b for b in fn.blocks
+                     if prof.block(b) == 0 and len(b.succs) == 2)
+    for succ in dead_cond.succs:
+        assert prof.prob(dead_cond, succ) == 0.5
+
+
+def test_edge_prob_non_successor_is_zero():
+    src = (
+        "void main() { int i; for (i = 0; i < 10; i = i + 1) { print(i); } }"
+    )
+    m = module_of(src)
+    prof = collect_edge_profile(m)
+    fn = m.main
+    body = next(b for b in fn.blocks if b.name.startswith("for_body"))
+    exit_b = next(b for b in fn.blocks if b.name.startswith("for_exit"))
+    assert exit_b not in body.succs
+    assert prof.prob(body, exit_b) == 0.0
+
+
 def test_load_reuse_detects_repeated_identical_loads():
     src = (
         "void main() { int *p; int i; int s; s = 0; p = alloc(2); *p = 5;"

@@ -124,6 +124,29 @@ def test_terminator_stays_last():
     assert block.instrs[-1].op == "ret"
 
 
+def test_two_instruction_unterminated_block_is_scheduled():
+    """Regression: the skip condition is about the schedulable *body*,
+    not the raw instruction count.  A two-instruction block without a
+    terminator has two reorderable instructions — the independent load
+    must still hoist above the cheap ALU op."""
+    fn, block = _block([
+        MInstr("add", dest=4, srcs=(2, 3)),
+        MInstr("ld", dest=1, srcs=(0,)),
+    ], terminate=False)
+    schedule_function(fn)
+    assert _ops(block) == ["ld", "add"]
+
+
+def test_two_instruction_terminated_block_unchanged():
+    """A terminated two-instruction block has a one-instruction body:
+    nothing to reorder, the block comes back byte-identical."""
+    fn, block = _block([MInstr("ld", dest=1, srcs=(0,))])
+    before = [str(i) for i in block.instrs]
+    schedule_function(fn)
+    assert [str(i) for i in block.instrs] == before
+    assert _ops(block) == ["ld", "ret"]
+
+
 def test_scheduling_is_deterministic_and_idempotent():
     def build():
         return _block([

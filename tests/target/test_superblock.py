@@ -1,0 +1,385 @@
+"""Superblock formation, trace scheduling and hot-path layout
+(docs/scheduling.md).
+
+Three layers of protection:
+
+* **bit-identity** — ``--sched block`` (the default) must produce the
+  exact machine code and cycle counts the repo produced before the
+  superblock subsystem existed (``tests/target/golden/block_sched.txt``);
+* **the oracle** — ``--sched superblock`` is an optimization, so every
+  workload's simulated output must still match the reference
+  interpreter, and the taken-branch count must actually drop (that is
+  the mechanism the layout pass exists to exploit);
+* **unit tests** — the profile mapping, trace growth, tail-duplication
+  budget, side-exit hoisting legality and layout order are each pinned
+  on small constructed machine functions.
+"""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SpecConfig
+from repro.pipeline import compile_and_run, compile_program
+from repro.profiling import EdgeProfile
+from repro.target import (MBlock, MFunction, MInstr, MachineProfile,
+                          form_superblocks, layout_function,
+                          may_hoist_above, run_program)
+from repro.workloads import all_workloads, get_workload, run_workload
+from repro.workloads.fuzz import random_program
+from repro.workloads.runner import machine_kwargs
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                      "block_sched.txt")
+
+
+# ---- bit-identity of the default block mode ----------------------------
+
+
+def test_block_mode_bit_identical_to_golden():
+    """`--sched block` is the baseline every measurement in the repo was
+    taken against: code, cycles and instruction counts must match the
+    pre-superblock golden dump byte for byte."""
+    parts = []
+    for name in ("gzip", "mcf", "art"):
+        w = get_workload(name)
+        compiled = compile_program(w.source, SpecConfig.profile(),
+                                   train_inputs=w.train_inputs)
+        stats, _ = run_program(compiled.program, inputs=w.ref_inputs,
+                               **machine_kwargs())
+        parts.append(f"=== {name} cycles={stats.cycles} "
+                     f"instructions={stats.instructions} ===")
+        parts.append(compiled.program.format())
+    with open(GOLDEN) as f:
+        golden = f.read()
+    assert "\n".join(parts) + "\n" == golden
+
+
+# ---- the oracle + the mechanism ----------------------------------------
+
+
+def test_superblock_outputs_match_oracle_on_every_workload():
+    """The whole point of the subsystem: on all eight SPEC-shaped
+    workloads the superblock build passes the interpreter oracle
+    (run_workload checks it), is never slower than block scheduling by
+    more than 1%, and takes strictly fewer branches in aggregate."""
+    sb_config = SpecConfig.profile().but(scheduler="superblock")
+    taken_block = taken_sb = 0
+    for w in all_workloads():
+        block = run_workload(w, SpecConfig.profile())
+        sb = run_workload(w, sb_config)
+        assert sb.output == block.output
+        assert sb.stats.cycles <= block.stats.cycles * 1.01, w.name
+        taken_block += block.stats.taken_branches
+        taken_sb += sb.stats.taken_branches
+    assert taken_sb < taken_block
+    # transfers of control are conserved: what stops being taken
+    # becomes a fallthrough, not a vanished branch
+
+
+# ---- MachineProfile ----------------------------------------------------
+
+
+def _diamond():
+    """entry0 —br→ {hot1, cold2} —jmp→ exit3(ret)."""
+    fn = MFunction("f")
+    entry = fn.new_block("entry0")
+    hot = fn.new_block("hot1")
+    cold = fn.new_block("cold2")
+    exit_b = fn.new_block("exit3")
+    entry.append(MInstr("movi", dest=0, imm=1))
+    entry.append(MInstr("br", srcs=(0,), targets=(hot, cold)))
+    hot.append(MInstr("movi", dest=1, imm=2))
+    hot.append(MInstr("jmp", targets=(exit_b,)))
+    cold.append(MInstr("movi", dest=1, imm=3))
+    cold.append(MInstr("jmp", targets=(exit_b,)))
+    exit_b.append(MInstr("ret", srcs=(1,)))
+    return fn, entry, hot, cold, exit_b
+
+
+def _diamond_profile(hot_count=9, cold_count=1):
+    profile = EdgeProfile()
+    entries = hot_count + cold_count
+    profile.entry_count["f"] = entries
+    profile.block_name_count.update({
+        ("f", "entry0"): entries, ("f", "hot1"): hot_count,
+        ("f", "cold2"): cold_count, ("f", "exit3"): entries,
+    })
+    profile.edge_name_count.update({
+        ("f", "entry0", "hot1"): hot_count,
+        ("f", "entry0", "cold2"): cold_count,
+        ("f", "hot1", "exit3"): hot_count,
+        ("f", "cold2", "exit3"): cold_count,
+    })
+    return profile
+
+
+def test_machine_profile_maps_names_to_weights_and_probs():
+    fn, entry, hot, cold, exit_b = _diamond()
+    mp = MachineProfile(fn, _diamond_profile())
+    assert mp.weight(entry) == 10.0
+    assert mp.weight(hot) == 9.0
+    assert mp.weight(cold) == 1.0
+    assert abs(mp.prob(entry, hot) - 0.9) < 1e-12
+    assert abs(mp.prob(entry, cold) - 0.1) < 1e-12
+    assert mp.prob(hot, exit_b) == 1.0          # jmp: certain
+    assert mp.edge_weight(entry, hot) == 9.0
+
+
+def test_machine_profile_static_fallback():
+    """No profile (or a function the train input never entered): unit
+    weights and even branch splits — enough to straighten jmp chains
+    deterministically."""
+    fn, entry, hot, cold, _ = _diamond()
+    for mp in (MachineProfile(fn, None),
+               MachineProfile(fn, EdgeProfile())):   # never entered
+        assert mp.weight(entry) == 1.0
+        assert mp.prob(entry, hot) == 0.5
+        assert mp.prob(entry, cold) == 0.5
+
+
+def test_machine_profile_looks_through_split_blocks():
+    """Critical-edge split blocks are created after the train run; the
+    profile of an edge into one is recovered by following its jmp to
+    the IR successor the profiled edge reached."""
+    fn = MFunction("f")
+    entry = fn.new_block("entry0")
+    split = fn.new_block("split_entry0_join2")
+    other = fn.new_block("other1")
+    join = fn.new_block("join2")
+    entry.append(MInstr("movi", dest=0, imm=1))
+    entry.append(MInstr("br", srcs=(0,), targets=(split, other)))
+    split.append(MInstr("jmp", targets=(join,)))
+    other.append(MInstr("jmp", targets=(join,)))
+    join.append(MInstr("ret"))
+    profile = EdgeProfile()
+    profile.entry_count["f"] = 8
+    profile.block_name_count.update({
+        ("f", "entry0"): 8, ("f", "other1"): 2, ("f", "join2"): 8,
+    })
+    profile.edge_name_count.update({
+        ("f", "entry0", "join2"): 6,      # the profiled (pre-split) edge
+        ("f", "entry0", "other1"): 2,
+        ("f", "other1", "join2"): 2,
+    })
+    mp = MachineProfile(fn, profile)
+    assert mp.weight(split) == 6.0        # inflow of the split edge
+    assert abs(mp.prob(entry, split) - 0.75) < 1e-12
+    assert abs(mp.prob(entry, other) - 0.25) < 1e-12
+
+
+def test_machine_profile_recovery_blocks_are_cold():
+    fn = MFunction("f")
+    fn.new_block("entry0")
+    rec = fn.new_block("entry0.r1")
+    rec.append(MInstr("ret"))
+    mp = MachineProfile(fn, None)
+    assert mp.weight(rec) == 0.0
+
+
+# ---- superblock formation ----------------------------------------------
+
+
+def test_formation_grows_along_hot_edge_and_duplicates_join():
+    """The trace follows entry→hot1; the join has a side entrance from
+    cold2, so it is tail-duplicated (the copy joins the trace, the
+    original keeps the cold predecessor)."""
+    fn, entry, hot, cold, exit_b = _diamond()
+    traces = form_superblocks(fn, _diamond_profile())
+    first = traces[0]
+    assert first.blocks[0] is entry
+    assert first.blocks[1] is hot
+    dup = first.blocks[2]
+    assert dup is not exit_b and dup.name == "exit3.d1"
+    assert [i.op for i in dup.instrs] == ["ret"]
+    # the trace edge was retargeted to the duplicate...
+    assert hot.terminator.targets == (dup,)
+    # ...and the cold path still reaches the original
+    assert cold.terminator.targets == (exit_b,)
+    # every block (incl. the duplicate) lands in exactly one trace
+    covered = [id(b) for t in traces for b in t.blocks]
+    assert sorted(covered) == sorted(id(b) for b in fn.blocks)
+
+
+def test_formation_respects_tail_duplication_budget():
+    fn, entry, hot, cold, exit_b = _diamond()
+    traces = form_superblocks(fn, _diamond_profile(), tail_budget=0)
+    assert traces[0].blocks == [entry, hot]
+    assert all("." not in b.name for b in fn.blocks)   # no duplicates
+    assert hot.terminator.targets == (exit_b,)
+
+
+def test_formation_breaks_at_cold_branch():
+    """A 50/50 branch (below TRACE_MIN_PROB) ends the trace."""
+    fn, entry, hot, cold, _ = _diamond()
+    traces = form_superblocks(fn, _diamond_profile(hot_count=1,
+                                                   cold_count=1))
+    assert traces[0].blocks == [entry]
+
+
+def test_formation_never_duplicates_chks_blocks():
+    """A side-entranced successor ending in chk.s must not be copied —
+    its recovery/continuation pairing stays unique — so the trace ends
+    there instead."""
+    fn = MFunction("f")
+    entry = fn.new_block("entry0")
+    check = fn.new_block("check1")
+    cold = fn.new_block("cold2")
+    cont = fn.new_block("check1.c1")
+    rec = fn.new_block("check1.r1")
+    entry.append(MInstr("movi", dest=0, imm=1))
+    entry.append(MInstr("br", srcs=(0,), targets=(check, cold)))
+    cold.append(MInstr("jmp", targets=(check,)))    # the side entrance
+    check.append(MInstr("ld.s", dest=1, srcs=(0,)))
+    check.append(MInstr("chk.s", srcs=(1,), targets=(cont, rec)))
+    rec.append(MInstr("ld.r", dest=1, srcs=(0,)))
+    rec.append(MInstr("jmp", targets=(cont,)))
+    cont.append(MInstr("ret", srcs=(1,)))
+    profile = EdgeProfile()
+    profile.entry_count["f"] = 10
+    profile.block_name_count.update({
+        ("f", "entry0"): 10, ("f", "check1"): 10, ("f", "cold2"): 1,
+    })
+    profile.edge_name_count.update({
+        ("f", "entry0", "check1"): 9,
+        ("f", "entry0", "cold2"): 1,
+        ("f", "cold2", "check1"): 1,
+    })
+    traces = form_superblocks(fn, profile)
+    assert traces[0].blocks == [entry]
+    assert not any(".d" in b.name for b in fn.blocks)
+
+
+def test_formation_follows_chks_continuation_past_recovery_rejoin():
+    """The recovery block's jump back into the continuation is a
+    rejoin, not a side entrance: the trace runs straight through the
+    check into the continuation without duplicating it."""
+    fn = MFunction("f")
+    entry = fn.new_block("entry0")
+    cont = fn.new_block("entry0.c1")
+    rec = fn.new_block("entry0.r1")
+    entry.append(MInstr("ld.s", dest=1, srcs=(0,)))
+    entry.append(MInstr("chk.s", srcs=(1,), targets=(cont, rec)))
+    rec.append(MInstr("ld.r", dest=1, srcs=(0,)))
+    rec.append(MInstr("jmp", targets=(cont,)))
+    cont.append(MInstr("ret", srcs=(1,)))
+    traces = form_superblocks(fn, None)
+    assert traces[0].blocks == [entry, cont]
+    assert not any(".d" in b.name for b in fn.blocks)
+
+
+# ---- hot-path layout ---------------------------------------------------
+
+
+def test_layout_hot_successor_falls_through():
+    """br target order puts the cold arm first, but after layout the
+    hot arm is lexically next — placement alone flips the branch
+    sense, so the hot transfer stops paying branch_penalty."""
+    fn = MFunction("f")
+    entry = fn.new_block("entry0")
+    cold = fn.new_block("cold1")
+    hot = fn.new_block("hot2")
+    exit_b = fn.new_block("exit3")
+    entry.append(MInstr("movi", dest=0, imm=1))
+    entry.append(MInstr("br", srcs=(0,), targets=(cold, hot)))
+    cold.append(MInstr("jmp", targets=(exit_b,)))
+    hot.append(MInstr("jmp", targets=(exit_b,)))
+    exit_b.append(MInstr("ret"))
+    profile = EdgeProfile()
+    profile.entry_count["f"] = 10
+    profile.block_name_count.update({
+        ("f", "entry0"): 10, ("f", "hot2"): 9, ("f", "cold1"): 1,
+        ("f", "exit3"): 10,
+    })
+    profile.edge_name_count.update({
+        ("f", "entry0", "hot2"): 9, ("f", "entry0", "cold1"): 1,
+        ("f", "hot2", "exit3"): 9, ("f", "cold1", "exit3"): 1,
+    })
+    traces = form_superblocks(fn, profile)
+    layout_function(fn, traces, profile)
+    assert fn.blocks[0] is entry
+    assert fn.blocks[1] is hot
+
+
+# ---- side-exit hoisting legality ---------------------------------------
+
+
+def _chks_pred():
+    cont = MBlock("c")
+    rec = MBlock("r")
+    rec.append(MInstr("ld.r", dest=5, srcs=(4,)))
+    rec.append(MInstr("jmp", targets=(cont,)))
+    pred = MBlock("p")
+    pred.append(MInstr("chk.s", srcs=(5,), targets=(cont, rec)))
+    return pred, cont, rec
+
+
+def test_hoist_above_jmp_always_legal_for_hoistable_ops():
+    target = MBlock("t")
+    pred = MBlock("p")
+    pred.append(MInstr("jmp", targets=(target,)))
+    assert may_hoist_above(MInstr("ld.s", dest=9, srcs=(0,)),
+                           pred, target, {})
+    # stores and effects never hoist, whatever the terminator
+    assert not may_hoist_above(MInstr("st", srcs=(0, 1)),
+                               pred, target, {})
+
+
+def test_hoist_above_ret_never_legal():
+    pred = MBlock("p")
+    pred.append(MInstr("ret"))
+    assert not may_hoist_above(MInstr("movi", dest=9, imm=1),
+                               pred, MBlock("t"), {})
+
+
+def test_hoist_above_br_requires_dest_dead_on_side_exit():
+    side = MBlock("s")
+    entered = MBlock("e")
+    pred = MBlock("p")
+    pred.append(MInstr("br", srcs=(0,), targets=(side, entered)))
+    live_in = {id(side): frozenset({7})}
+    assert not may_hoist_above(MInstr("movi", dest=7, imm=1),
+                               pred, entered, live_in)
+    assert may_hoist_above(MInstr("movi", dest=8, imm=1),
+                           pred, entered, live_in)
+
+
+def test_hoist_above_chks_protects_the_replay():
+    pred, cont, rec = _chks_pred()
+    # writing a register the replay defines: clobbers the recovery
+    assert not may_hoist_above(MInstr("movi", dest=5, imm=1),
+                               pred, cont, {})
+    # reading one: the hoisted op would see the unreplayed value
+    assert not may_hoist_above(MInstr("add", dest=9, srcs=(5, 2)),
+                               pred, cont, {})
+    # writing the replay's address chain
+    assert not may_hoist_above(MInstr("movi", dest=4, imm=1),
+                               pred, cont, {})
+    # writing something live into the recovery block
+    live_in = {id(rec): frozenset({9})}
+    assert not may_hoist_above(MInstr("movi", dest=9, imm=1),
+                               pred, cont, live_in)
+    # a disjoint computation is fine
+    assert may_hoist_above(MInstr("movi", dest=9, imm=1),
+                           pred, cont, {})
+    # tracing into the recovery block itself: opaque
+    assert not may_hoist_above(MInstr("movi", dest=9, imm=1),
+                               pred, rec, {})
+
+
+# ---- property: superblock scheduling is semantics-preserving -----------
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_superblock_matches_unscheduled_output_on_fuzz_programs(seed):
+    """Formation (with duplication), trace scheduling and layout must
+    be pure optimizations: on random programs the superblock build's
+    output equals the completely unscheduled build's (both already
+    oracle-checked against the interpreter by compile_and_run)."""
+    src = random_program(seed % 60, max_stmts=8)
+    sb = compile_and_run(src, SpecConfig.profile().but(
+        scheduler="superblock"))
+    plain = compile_and_run(src, SpecConfig.profile().but(schedule=False))
+    assert sb.output == plain.output
