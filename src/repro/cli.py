@@ -10,7 +10,7 @@ Usage::
     python -m repro compare FILE [--train ...] [--ref ...]
     python -m repro workloads [--list | --name NAME]
     python -m repro campaign [--scenarios poison,storm] [--seeds 0,1,2]
-                             [--adversary empty|shuffle|invert]
+                             [--adversary empty|shuffle|invert] [--jobs N]
     python -m repro figures [--out DIR]
 
 ``run`` compiles and simulates one mini-C file and prints its output and
@@ -96,10 +96,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     for d in result.diagnostics:
         print(f"note: {d}", file=sys.stderr)
+    from .pipeline import default_cache
+
+    cache_stats = default_cache().stats()
     if args.time_passes and result.pass_trace is not None:
         print(result.pass_trace.format_table(), file=sys.stderr)
+        print(f"compile cache: {cache_stats['hits']} hits, "
+              f"{cache_stats['misses']} misses, "
+              f"{cache_stats['bypasses']} bypasses "
+              f"({cache_stats['entries']} entries)", file=sys.stderr)
     if args.trace_json and result.pass_trace is not None:
-        result.pass_trace.dump_json(args.trace_json)
+        result.pass_trace.dump_json(args.trace_json,
+                                    cache_stats=cache_stats)
         print(f"pass trace written to {args.trace_json}", file=sys.stderr)
     if args.json:
         import json
@@ -160,6 +168,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         scenarios=tuple(args.scenarios.split(",")),
         seeds=[int(s) for s in args.seeds.split(",")],
         profile_transform=transform,
+        jobs=args.jobs,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -249,6 +258,15 @@ def build_parser() -> argparse.ArgumentParser:
                                                   "invert"),
                           help="feed the compiler this adversarial "
                                "alias-profile transform")
+    import os
+
+    campaign.add_argument(
+        "--jobs", type=int, metavar="N",
+        default=min(os.cpu_count() or 1, 8),
+        help="fan the injected runs over N worker processes "
+             "(default: min(cpus, 8)).  Seeds stay deterministic and "
+             "results are collected in submission order, so the report "
+             "is bit-for-bit identical to --jobs 1")
     campaign.set_defaults(fn=_cmd_campaign)
 
     figures = sub.add_parser("figures",

@@ -10,12 +10,21 @@ check misses, cold caches); it must never change a single output line.
 The campaign is the repository's standing proof of the recovery
 tentpole: ``pytest -m faultinject`` runs it seeded and bounded, and the
 CLI exposes it as ``python -m repro.cli campaign``.
+
+With ``jobs > 1`` the injected runs fan out over a **process pool**
+(simulation is pure Python, so threads would serialize on the GIL).
+Each worker process compiles a workload once — on first contact,
+memoized per process — and then only simulates; tasks are distributed
+and results collected with ``executor.map``, which preserves submission
+order, so the report is **bit-for-bit identical** to ``jobs=1``
+regardless of completion order.  ``jobs=1`` keeps the exact sequential
+path (no pool, no pickling).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core import SpecConfig
 from ..pipeline import compile_program
@@ -75,17 +84,81 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def _injected_run(compiled, expected: List[str], workload_name: str,
+                  ref_inputs, scenario: str, seed: int, fuel: int,
+                  kwargs: dict) -> InjectedRun:
+    """Simulate one ``(scenario, seed)`` perturbation and check it
+    against the oracle — the single code path both the sequential and
+    the parallel campaign execute."""
+    injector = make_injector(scenario, seed)
+    run = InjectedRun(workload_name, scenario, seed, ok=False)
+    try:
+        stats, output = run_program(
+            compiled.program, inputs=ref_inputs,
+            fuel=4 * fuel, injector=injector, **kwargs)
+    except MachineError as exc:
+        run.error = str(exc)
+    else:
+        run.ok = output == expected
+        if not run.ok:
+            run.error = _first_divergence(expected, output)
+        run.cycles = stats.cycles
+        run.deferred_faults = stats.deferred_faults
+        run.spec_recoveries = stats.spec_recoveries
+        run.check_misses = stats.check_misses
+        run.replay_loads = stats.replay_loads
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side of the parallel campaign.  Each worker compiles a
+# workload on first contact and memoizes (compiled, oracle output,
+# degraded notes) for the rest of its tasks — so a pool of N workers
+# costs at most N compiles per workload, all identical by the
+# determinism the compile pipeline already guarantees.
+# ---------------------------------------------------------------------------
+
+_WORKER_MEMO: Dict[tuple, tuple] = {}
+
+
+def _campaign_task(task: tuple) -> Tuple[InjectedRun, Tuple[str, ...]]:
+    (workload_name, config, scenario, seed, fuel, profile_transform) = task
+    memo_key = (workload_name, repr(config), fuel)
+    entry = _WORKER_MEMO.get(memo_key)
+    if entry is None:
+        workload = get_workload(workload_name)
+        compiled = compile_program(workload.source, config,
+                                   train_inputs=workload.train_inputs,
+                                   fuel=fuel,
+                                   profile_transform=profile_transform)
+        expected = run_module(compiled.original, fuel=fuel,
+                              inputs=workload.ref_inputs)
+        degraded = tuple(f"{workload.name}:{fn}"
+                         for fn in compiled.degraded)
+        entry = (compiled, expected, degraded, list(workload.ref_inputs),
+                 _machine_kwargs())
+        _WORKER_MEMO[memo_key] = entry
+    compiled, expected, degraded, ref_inputs, kwargs = entry
+    run = _injected_run(compiled, expected, workload_name, ref_inputs,
+                        scenario, seed, fuel, kwargs)
+    return run, degraded
+
+
 def run_campaign(workload_names: Optional[Sequence[str]] = None,
                  config: Optional[SpecConfig] = None,
                  scenarios: Sequence[str] = ("poison", "storm", "chaos"),
                  seeds: Iterable[int] = (0, 1, 2),
                  profile_transform: Optional[Callable] = None,
-                 fuel: int = 50_000_000) -> CampaignReport:
+                 fuel: int = 50_000_000,
+                 jobs: int = 1) -> CampaignReport:
     """Run the differential campaign (see module docstring).
 
-    Each workload is compiled **once** per campaign; only the simulator
-    re-runs per ``(scenario, seed)``, so a 200-run campaign costs eight
-    compiles, not two hundred.
+    Each workload is compiled **once** per campaign (once per worker
+    process when ``jobs > 1``); only the simulator re-runs per
+    ``(scenario, seed)``, so a 200-run campaign costs a handful of
+    compiles, not two hundred.  The report is bit-for-bit identical for
+    any ``jobs``; with ``jobs > 1``, ``profile_transform`` must be
+    picklable (the named :data:`~repro.hazards.ADVERSARIES` are).
     """
     workloads = ([get_workload(n) for n in workload_names]
                  if workload_names is not None
@@ -96,6 +169,12 @@ def run_campaign(workload_names: Optional[Sequence[str]] = None,
     # the poison scenario nothing to poison.
     config = config or SpecConfig.profile().but(use_edge_profile=False)
     seeds = list(seeds)
+    jobs = max(1, int(jobs))
+    # (an empty scenario/seed matrix leaves nothing to fan out, but the
+    # sequential path still records each workload's degraded notes)
+    if jobs > 1 and list(scenarios) and seeds:
+        return _run_campaign_parallel(workloads, config, scenarios, seeds,
+                                      profile_transform, fuel, jobs)
     report = CampaignReport()
     for workload in workloads:
         compiled = compile_program(workload.source, config,
@@ -109,24 +188,36 @@ def run_campaign(workload_names: Optional[Sequence[str]] = None,
         kwargs = _machine_kwargs()
         for scenario in scenarios:
             for seed in seeds:
-                injector = make_injector(scenario, seed)
-                run = InjectedRun(workload.name, scenario, seed, ok=False)
-                try:
-                    stats, output = run_program(
-                        compiled.program, inputs=workload.ref_inputs,
-                        fuel=4 * fuel, injector=injector, **kwargs)
-                except MachineError as exc:
-                    run.error = str(exc)
-                else:
-                    run.ok = output == expected
-                    if not run.ok:
-                        run.error = _first_divergence(expected, output)
-                    run.cycles = stats.cycles
-                    run.deferred_faults = stats.deferred_faults
-                    run.spec_recoveries = stats.spec_recoveries
-                    run.check_misses = stats.check_misses
-                    run.replay_loads = stats.replay_loads
-                report.runs.append(run)
+                report.runs.append(_injected_run(
+                    compiled, expected, workload.name,
+                    workload.ref_inputs, scenario, seed, fuel, kwargs))
+    return report
+
+
+def _run_campaign_parallel(workloads, config: SpecConfig,
+                           scenarios: Sequence[str], seeds: List[int],
+                           profile_transform: Optional[Callable],
+                           fuel: int, jobs: int) -> CampaignReport:
+    """Fan the injected runs over a process pool.  Tasks are built in
+    the sequential path's exact nested order and collected with
+    ``executor.map`` (submission order), so the report cannot depend on
+    completion order."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    tasks = [(workload.name, config, scenario, seed, fuel,
+              profile_transform)
+             for workload in workloads
+             for scenario in scenarios
+             for seed in seeds]
+    report = CampaignReport()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        results = list(pool.map(_campaign_task, tasks, chunksize=1))
+    seen_degraded = set()
+    for (run, degraded), task in zip(results, tasks):
+        report.runs.append(run)
+        if task[0] not in seen_degraded:
+            seen_degraded.add(task[0])
+            report.degraded.extend(degraded)
     return report
 
 

@@ -1,6 +1,7 @@
 """End-to-end pipeline (source → speculative SSAPRE → simulated IA-64)."""
 
 from ..core import SpecConfig
+from .cache import CompileCache, default_cache
 from .driver import compile_and_run, compile_program
 from .dumps import DumpSink
 from .passes import (PASS_REGISTRY, AnalysisManager, PassManager,
@@ -9,8 +10,8 @@ from .results import (CompileResult, Comparison, Diagnostic,
                       OutputMismatch, RunResult, format_table)
 
 __all__ = [
-    "AnalysisManager", "Comparison", "CompileResult", "Diagnostic",
-    "DumpSink", "OutputMismatch", "PASS_REGISTRY", "PassManager",
-    "PassTiming", "PassTrace", "RunResult", "SpecConfig",
-    "compile_and_run", "compile_program", "format_table",
+    "AnalysisManager", "Comparison", "CompileCache", "CompileResult",
+    "Diagnostic", "DumpSink", "OutputMismatch", "PASS_REGISTRY",
+    "PassManager", "PassTiming", "PassTrace", "RunResult", "SpecConfig",
+    "compile_and_run", "compile_program", "default_cache", "format_table",
 ]

@@ -25,17 +25,34 @@ individual pass, replace its entry in
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from ..core import SpecConfig, optimize_function  # noqa: F401 — re-export
 from ..profiling import (collect_alias_profile,  # noqa: F401 — seams
                          collect_edge_profile, run_module)
 from ..ssa import verify_ssa  # noqa: F401 — seam (see module docstring)
 from ..target import run_program
+from .cache import CompileCache, default_cache
 from .passes.analysis import AnalysisManager
 from .passes.manager import PassManager
 from .results import CompileResult, Diagnostic  # noqa: F401 — re-export
 from .results import OutputMismatch, RunResult
+
+#: ``cache=None`` means "driver default": no cache in
+#: :func:`compile_program`, the process-wide cache in
+#: :func:`compile_and_run`.  ``False`` disables, an instance selects.
+CacheArg = Union[CompileCache, bool, None]
+
+
+def _resolve_cache(cache: CacheArg,
+                   default: Optional[CompileCache]) -> Optional[CompileCache]:
+    if cache is None:
+        return default
+    if cache is False:
+        return None
+    if cache is True:
+        return default_cache()
+    return cache
 
 
 def compile_program(source: str, config: Optional[SpecConfig] = None,
@@ -45,8 +62,8 @@ def compile_program(source: str, config: Optional[SpecConfig] = None,
                     profile_transform: Optional[Callable] = None,
                     failsafe: bool = True,
                     jobs: int = 1,
-                    analyses: Optional[AnalysisManager] = None
-                    ) -> CompileResult:
+                    analyses: Optional[AnalysisManager] = None,
+                    cache: CacheArg = None) -> CompileResult:
     """Compile ``source`` (no simulation).
 
     Pass a :class:`repro.pipeline.DumpSink` as ``dumps`` to capture
@@ -62,12 +79,35 @@ def compile_program(source: str, config: Optional[SpecConfig] = None,
     pool (results are bit-identical to ``jobs=1``).  Pass a shared
     :class:`~repro.pipeline.passes.AnalysisManager` as ``analyses`` to
     reuse cached analyses across compiles; by default each call gets a
-    fresh cache (ladder retries within the compile still hit it)."""
+    fresh cache (ladder retries within the compile still hit it).
+
+    Pass a :class:`~repro.pipeline.CompileCache` (or ``True`` for the
+    process-wide one) as ``cache`` to memoize the whole compile under
+    its content key; calls carrying per-call observers (``dumps``,
+    ``profile_transform``, a shared ``analyses``) bypass the cache —
+    their side effects are the point of the call."""
+    config = config or SpecConfig.base()
+    memo = _resolve_cache(cache, default=None)
+    key = None
+    if memo is not None:
+        if (dumps is not None or profile_transform is not None
+                or analyses is not None):
+            memo.bypasses += 1
+            memo = None
+        else:
+            key = CompileCache.key(source, config, train_inputs, fuel,
+                                   failsafe)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
     manager = PassManager(config, failsafe=failsafe, jobs=jobs,
                           dumps=dumps, fuel=fuel,
                           profile_transform=profile_transform,
                           analyses=analyses)
-    return manager.compile(source, train_inputs)
+    result = manager.compile(source, train_inputs)
+    if memo is not None:
+        memo.put(key, result)
+    return result
 
 
 def compile_and_run(source: str, config: Optional[SpecConfig] = None,
@@ -78,15 +118,24 @@ def compile_and_run(source: str, config: Optional[SpecConfig] = None,
                     machine_kwargs: Optional[dict] = None,
                     profile_transform: Optional[Callable] = None,
                     failsafe: bool = True,
-                    jobs: int = 1) -> RunResult:
+                    jobs: int = 1,
+                    cache: CacheArg = None) -> RunResult:
     """Full pipeline: compile (profiling on ``train_inputs``), simulate on
     ``ref_inputs``, and — unless disabled — verify the output against the
     reference interpreter.  An oracle divergence raises
     :class:`~repro.pipeline.OutputMismatch` (an ``AssertionError``
-    carrying a readable diff)."""
+    carrying a readable diff).
+
+    Compiles are memoized in the process-wide
+    :class:`~repro.pipeline.CompileCache` by default — repeat runs of
+    an identical (source, config, train inputs) triple reuse the
+    compiled program and only re-simulate.  Pass ``cache=False`` to
+    force a fresh compile, or a specific :class:`CompileCache` to use
+    it instead."""
     compiled = compile_program(source, config, train_inputs, fuel=fuel,
                                profile_transform=profile_transform,
-                               failsafe=failsafe, jobs=jobs)
+                               failsafe=failsafe, jobs=jobs,
+                               cache=_resolve_cache(cache, default_cache()))
     stats, output = run_program(compiled.program, inputs=ref_inputs,
                                 fuel=4 * fuel,
                                 **(machine_kwargs or {}))

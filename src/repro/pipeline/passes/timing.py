@@ -109,10 +109,11 @@ class PassTrace:
                 f"{deltas[2]:>+8d}  {name}")
         return "\n".join(lines)
 
-    def to_json(self, analysis_stats: Optional[Dict[str, object]] = None
+    def to_json(self, analysis_stats: Optional[Dict[str, object]] = None,
+                cache_stats: Optional[Dict[str, object]] = None
                 ) -> Dict[str, object]:
         """Machine-readable trace (optionally with the analysis-cache
-        counters merged in)."""
+        and compile-cache counters merged in)."""
         doc: Dict[str, object] = {
             "total_wall_s": self.total_wall_s,
             "invocations": len(self.records),
@@ -120,11 +121,15 @@ class PassTrace:
         }
         if analysis_stats is not None:
             doc["analyses"] = analysis_stats
+        if cache_stats is not None:
+            doc["compile_cache"] = cache_stats
         return doc
 
     def dump_json(self, path: str,
-                  analysis_stats: Optional[Dict[str, object]] = None
+                  analysis_stats: Optional[Dict[str, object]] = None,
+                  cache_stats: Optional[Dict[str, object]] = None
                   ) -> None:
         with open(path, "w") as f:
-            json.dump(self.to_json(analysis_stats), f, indent=2)
+            json.dump(self.to_json(analysis_stats, cache_stats), f,
+                      indent=2)
             f.write("\n")

@@ -164,10 +164,8 @@ class AliasProfiler(Tracer):
             self._active_sites.pop()
 
     # Direct scalar *writes* inside callees: Assign to globals /
-    # address-taken locals also modifies a LOC.  The interpreter does not
-    # emit a dedicated hook for those, so the profiler derives them from a
-    # second source: see :meth:`collect`, which post-processes assignment
-    # effects during the run via on_scalar_write.
+    # address-taken locals also modifies a LOC.  The interpreter fires
+    # ``on_scalar_write`` for exactly those assignments.
     def on_scalar_write(self, fn: Function, sym: Symbol) -> None:
         for site in self._active_sites:
             self.profile.call_mod[site].add(sym)
@@ -179,25 +177,7 @@ def collect_alias_profile(module: Module, fuel: int = 50_000_000,
     """Run ``main`` on the *train* input and collect the alias
     profile."""
     profiler = AliasProfiler(granularity)
-    interp = _ProfilingInterpreter(module, [profiler], fuel=fuel)
+    interp = Interpreter(module, [profiler], fuel=fuel)
     interp.inputs = list(inputs)
     interp.run()
     return profiler.profile
-
-
-class _ProfilingInterpreter(Interpreter):
-    """Interpreter that additionally reports direct scalar writes to
-    memory-resident symbols (globals / address-taken locals) so call-site
-    mod sets include them."""
-
-    def _exec_stmt(self, frame, stmt) -> None:  # type: ignore[override]
-        from ..ir import Assign, StorageKind
-
-        super()._exec_stmt(frame, stmt)
-        if isinstance(stmt, Assign):
-            sym = stmt.sym
-            if sym.kind is StorageKind.GLOBAL or sym in frame.addr_of:
-                for tracer in self.tracers:
-                    handler = getattr(tracer, "on_scalar_write", None)
-                    if handler is not None:
-                        handler(frame.fn, sym)

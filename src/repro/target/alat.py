@@ -87,6 +87,12 @@ class ALAT:
         entries.move_to_end(key)
         return True
 
+    def peek(self, reg: int, addr: int, frame: int = 0) -> bool:
+        """Like :meth:`check` but with no LRU refresh (dispatch peek)."""
+        key = (frame, reg)
+        index = self._home.get(key)
+        return index is not None and self._sets[index][key] == addr
+
     def disarm(self, reg: int, frame: int = 0) -> None:
         """``ld.a`` that *deferred* (NaT): the register no longer holds a
         checkable value, so any stale entry from an earlier arm must go —
@@ -115,7 +121,15 @@ class ALAT:
         entries = self._sets.get(addr % self.nsets)
         if not entries:
             return 0
-        victims = [key for key, armed in entries.items() if armed == addr]
+        victims = None  # stores rarely match: skip the alloc when none do
+        for key, armed in entries.items():
+            if armed == addr:
+                if victims is None:
+                    victims = [key]
+                else:
+                    victims.append(key)
+        if victims is None:
+            return 0
         for key in victims:
             del entries[key]
             del self._home[key]

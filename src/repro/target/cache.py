@@ -92,29 +92,75 @@ class DataCache:
         self._l2.clear()
 
     # ---- accesses -------------------------------------------------------
+    #
+    # The two methods below are the simulator's per-memory-op hot path,
+    # so the per-level probes are inlined rather than routed through
+    # ``_Level.lookup``/``fill`` — the residency updates, LRU order and
+    # hit/miss counters are identical, only the call overhead is gone.
+
     def load(self, addr: int, fp: bool = False) -> int:
         """Access latency of a load at ``addr``; updates residency."""
         line = addr // self.line_cells
-        if not fp and self._l1.lookup(line):
-            self.l1_hits += 1
-            return self.l1_latency
-        if self._l2.lookup(line):
+        l1 = self._l1
+        if not fp:
+            l1e = l1.sets.get(line % l1.nsets)
+            if l1e is not None and line in l1e:
+                l1e.move_to_end(line)
+                self.l1_hits += 1
+                return self.l1_latency
+        l2 = self._l2
+        index = line % l2.nsets
+        l2e = l2.sets.get(index)
+        if l2e is not None and line in l2e:
+            l2e.move_to_end(line)
             self.l2_hits += 1
             if not fp:
-                self._l1.fill(line)
+                if l1e is None:
+                    l1e = l1.sets[line % l1.nsets] = OrderedDict()
+                l1e[line] = None
+                if len(l1e) > l1.ways:
+                    l1e.popitem(last=False)
             return self.l2_latency
         self.misses += 1
-        self._l2.fill(line)
+        if l2e is None:
+            l2e = l2.sets[index] = OrderedDict()
+        l2e[line] = None
+        if len(l2e) > l2.ways:
+            l2e.popitem(last=False)
         if not fp:
-            self._l1.fill(line)
+            if l1e is None:
+                l1e = l1.sets[line % l1.nsets] = OrderedDict()
+            l1e[line] = None
+            if len(l1e) > l1.ways:
+                l1e.popitem(last=False)
         return self.mem_latency
 
     def store(self, addr: int, fp: bool = False) -> None:
         """Write-allocate: make the line resident (no pipeline stall)."""
         line = addr // self.line_cells
-        self._l2.lookup(line) or self._l2.fill(line)
+        l2 = self._l2
+        index = line % l2.nsets
+        entries = l2.sets.get(index)
+        if entries is not None and line in entries:
+            entries.move_to_end(line)
+        else:
+            if entries is None:
+                entries = l2.sets[index] = OrderedDict()
+            entries[line] = None
+            if len(entries) > l2.ways:
+                entries.popitem(last=False)
         if not fp:
-            self._l1.lookup(line) or self._l1.fill(line)
+            l1 = self._l1
+            index = line % l1.nsets
+            entries = l1.sets.get(index)
+            if entries is not None and line in entries:
+                entries.move_to_end(line)
+            else:
+                if entries is None:
+                    entries = l1.sets[index] = OrderedDict()
+                entries[line] = None
+                if len(entries) > l1.ways:
+                    entries.popitem(last=False)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<DataCache L1 {self.l1_lines} L2 {self.l2_lines} "

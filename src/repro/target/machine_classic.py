@@ -1,0 +1,538 @@
+"""The frozen *classic-dispatch* simulator engine.
+
+This module preserves the original interpretive dispatch loop of
+:mod:`repro.target.machine` — the one that re-classifies every dynamic
+instruction's operands in the scoreboard stage — as a wall-clock
+baseline.  The live engine (``run_program``'s default) pre-decodes that
+classification at translation time; ``run_program(...,
+engine="classic")`` selects this one instead, and
+``benchmarks/test_compiler_perf.py`` times the two against each other
+to keep the dispatch speedup visible in ``BENCH_perf.json``.
+
+Both engines are *semantically identical* — same outputs, same counters,
+same cycles (property: tests/target/test_machine.py asserts full
+``MachineStats`` equality across the workload suite).  Keep it that way:
+a behavioural fix to one engine must land in both.  Do **not** optimize
+this module; its slowness is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import StorageKind
+from .machine import (NAT, _ALU_LATENCY, _BIN_FN, _UN_FN, MachineError,
+                      MachineFuelExhausted, Value)
+from .isa import MFunction
+from .stats import MachineStats
+
+
+
+# ---- opcode encoding (the classic numbering) --------------------------
+
+(_MOVI, _MOV, _LEA, _LD, _LDA, _LDS, _LDC, _LDR, _ST, _BIN, _UN, _CALL,
+ _INPUT, _INPUTF, _ALLOC, _PRINT, _JMP, _BR, _RET, _CHK) = range(20)
+
+_LOAD_CODE = {"ld": _LD, "ld.a": _LDA, "ld.s": _LDS, "ld.c": _LDC,
+              "ld.r": _LDR}
+
+
+class _ClassicTFunc:
+    """One translated function: blocks of instruction tuples."""
+
+    __slots__ = ("name", "blocks", "nregs", "param_regs", "frame_allocs")
+
+    def __init__(self, fn: MFunction) -> None:
+        self.name = fn.name
+        self.nregs = fn.nregs
+        self.param_regs = fn.param_regs
+        self.frame_allocs = fn.frame_allocs
+        index = {id(block): i for i, block in enumerate(fn.blocks)}
+        self.blocks: List[List[tuple]] = []
+        for i, block in enumerate(fn.blocks):
+            out: List[tuple] = []
+            for instr in block.instrs:
+                op = instr.op
+                if op == "movi":
+                    out.append((_MOVI, instr.dest, instr.imm))
+                elif op == "mov":
+                    out.append((_MOV, instr.dest, instr.srcs[0]))
+                elif op == "lea":
+                    out.append((_LEA, instr.dest, instr.sym,
+                                instr.sym.kind is StorageKind.GLOBAL))
+                elif op in _LOAD_CODE:
+                    out.append((_LOAD_CODE[op], instr.dest, instr.srcs[0],
+                                instr.fp))
+                elif op == "st":
+                    out.append((_ST, instr.srcs[0], instr.srcs[1],
+                                instr.coerce, instr.fp))
+                elif op in _BIN_FN:
+                    out.append((_BIN, instr.dest, _BIN_FN[op],
+                                instr.srcs[0], instr.srcs[1],
+                                _ALU_LATENCY.get(op, 1)))
+                elif op in _UN_FN:
+                    out.append((_UN, instr.dest, _UN_FN[op], instr.srcs[0]))
+                elif op == "call":
+                    out.append((_CALL, instr.dest, instr.callee, instr.srcs))
+                elif op == "input":
+                    out.append((_INPUT, instr.dest))
+                elif op == "inputf":
+                    out.append((_INPUTF, instr.dest))
+                elif op == "alloc":
+                    out.append((_ALLOC, instr.dest, instr.srcs[0]))
+                elif op == "print":
+                    out.append((_PRINT, instr.srcs))
+                elif op == "jmp":
+                    target = index[id(instr.targets[0])]
+                    out.append((_JMP, target, target != i + 1))
+                elif op == "br":
+                    then_i = index[id(instr.targets[0])]
+                    else_i = index[id(instr.targets[1])]
+                    out.append((_BR, instr.srcs[0], then_i, else_i,
+                                then_i != i + 1, else_i != i + 1))
+                elif op == "chk.s":
+                    cont_i = index[id(instr.targets[0])]
+                    rec_i = index[id(instr.targets[1])]
+                    out.append((_CHK, instr.srcs[0], cont_i, rec_i,
+                                cont_i != i + 1, rec_i != i + 1))
+                elif op == "ret":
+                    out.append((_RET, instr.srcs[0] if instr.srcs else None))
+                else:
+                    raise MachineError(f"unknown opcode {op!r}")
+            self.blocks.append(out)
+
+
+class _ClassicMachine:
+    """One simulation run: memory + scoreboard + counters."""
+
+    def __init__(self, program: MProgram, inputs: Sequence[Value],
+                 fuel: int, issue_width: int, mem_ports: int,
+                 branch_penalty: int, call_overhead: int,
+                 alat: ALAT, cache: DataCache,
+                 check_hit_latency: int, check_issue_free: bool,
+                 injector=None) -> None:
+        self.funcs = {name: _ClassicTFunc(fn)
+                      for name, fn in program.functions.items()}
+        self.inputs = list(inputs)
+        self._input_pos = 0
+        self.fuel = fuel
+        self.issue_width = issue_width
+        self.mem_ports = mem_ports
+        self.branch_penalty = branch_penalty
+        self.call_overhead = call_overhead
+        self.alat = alat
+        self.cache = cache
+        self.check_hit_latency = check_hit_latency
+        self.check_issue_free = check_issue_free
+        self.injector = injector
+
+        self.memory: Dict[int, Value] = {}
+        self._next_addr = 16  # matches the interpreter: 0 stays null
+        self._global_addr: Dict[object, int] = {}
+        for sym, cells in program.globals:
+            self._global_addr[sym] = self._allocate(cells)
+        self.output: List[str] = []
+        self.stats = MachineStats()
+        self._frame_serial = 0
+
+        # scoreboard
+        self.cycle = 0
+        self.slots = 0
+        self.ports = 0
+
+    # ---- memory ---------------------------------------------------------
+    def _allocate(self, cells: int) -> int:
+        base = self._next_addr
+        span = cells if cells > 0 else 1
+        self._next_addr += span + 1  # +1 guard cell, like the interpreter
+        memory = self.memory
+        for i in range(span):
+            memory[base + i] = 0
+        return base
+
+    def _next_input(self) -> Value:
+        if self._input_pos >= len(self.inputs):
+            raise MachineError("input stream exhausted")
+        value = self.inputs[self._input_pos]
+        self._input_pos += 1
+        return value
+
+    # ---- running --------------------------------------------------------
+    def run(self) -> Tuple[MachineStats, List[str]]:
+        if "main" not in self.funcs:
+            raise MachineError("program has no main()")
+        self._call(self.funcs["main"], [])
+        self.stats.cycles = self.cycle
+        return self.stats, self.output
+
+    def _call(self, fn: _ClassicTFunc, args: List[Value]) -> Optional[Value]:
+        if len(args) != len(fn.param_regs):
+            raise MachineError(f"{fn.name}: arity mismatch")
+        self._frame_serial += 1
+        frame = self._frame_serial
+        regs: List[Value] = [0] * fn.nregs
+        ready = [0] * fn.nregs          # cycle each register's value lands
+        from_load = [False] * fn.nregs  # producer was a load (for Fig. 10)
+        for reg, value in zip(fn.param_regs, args):
+            regs[reg] = value
+        addr_of: Dict[object, int] = {}
+        for sym, cells in fn.frame_allocs:
+            addr_of[sym] = self._allocate(cells)
+
+        fs = self.stats.fn(fn.name)
+        self.cycle += self.call_overhead
+        stats = self.stats
+        memory = self.memory
+        alat = self.alat
+        cache = self.cache
+        injector = self.injector
+        issue_width = self.issue_width
+        mem_ports = self.mem_ports
+        blocks = fn.blocks
+        block_index = 0
+        while True:
+            self.fuel -= 1
+            if self.fuel <= 0:
+                raise MachineFuelExhausted(fn.name, f"#{block_index}",
+                                           stats.instructions)
+            entered_at = self.cycle
+            next_block = -1
+            retval: Optional[Value] = None
+            returning = False
+            for instr in blocks[block_index]:
+                code = instr[0]
+
+                # -- scoreboard: stall until operands are ready ----------
+                cycle = self.cycle
+                if code <= _LDR and code >= _LD:       # loads
+                    if code == _LDC:
+                        a = regs[instr[2]]
+                        hit = a is not NAT and alat.peek(
+                            instr[1], int(a), frame)
+                        srcs = (instr[1],) if hit \
+                            else (instr[2], instr[1])
+                    else:
+                        srcs = (instr[2],)
+                elif code == _ST:
+                    srcs = (instr[1], instr[2])
+                elif code == _CHK:
+                    srcs = (instr[1],)
+                elif code == _BIN:
+                    srcs = (instr[3], instr[4])
+                elif code == _UN:
+                    srcs = (instr[3],)
+                elif code == _MOV:
+                    srcs = (instr[2],)
+                elif code == _CALL:
+                    srcs = instr[3]
+                elif code == _ALLOC:
+                    srcs = (instr[2],)
+                elif code == _PRINT:
+                    srcs = instr[1]
+                elif code == _BR:
+                    srcs = (instr[1],)
+                elif code == _RET:
+                    srcs = (instr[1],) if instr[1] is not None else ()
+                else:
+                    srcs = ()
+                binding_from_load = False
+                t = cycle
+                for src in srcs:
+                    r = ready[src]
+                    if r > t:
+                        t = r
+                        binding_from_load = from_load[src]
+                if t > cycle:
+                    if binding_from_load:
+                        stats.data_access_cycles += t - cycle
+                    cycle = t
+                    self.slots = 0
+                    self.ports = 0
+
+                # -- issue: consume a slot (and a port for memory ops) ---
+                free_check = self.check_issue_free and code == _LDC
+                if not free_check:
+                    if self.slots >= issue_width:
+                        cycle += 1
+                        self.slots = 0
+                        self.ports = 0
+                    if _LD <= code <= _ST and self.ports >= mem_ports:
+                        cycle += 1
+                        self.slots = 0
+                        self.ports = 0
+                    self.slots += 1
+                    if _LD <= code <= _ST:
+                        self.ports += 1
+                self.cycle = cycle
+                stats.instructions += 1
+                fs.instructions += 1
+
+                # -- execute ---------------------------------------------
+                if code == _BIN:
+                    dest = instr[1]
+                    a = regs[instr[3]]
+                    b = regs[instr[4]]
+                    if a is NAT or b is NAT:
+                        regs[dest] = NAT    # poison propagates
+                    else:
+                        regs[dest] = instr[2](a, b)
+                    ready[dest] = cycle + instr[5]
+                    from_load[dest] = False
+                elif code == _MOVI:
+                    dest = instr[1]
+                    regs[dest] = instr[2]
+                    ready[dest] = cycle + 1
+                    from_load[dest] = False
+                elif code == _MOV:
+                    dest = instr[1]
+                    regs[dest] = regs[instr[2]]
+                    ready[dest] = cycle + 1
+                    from_load[dest] = False
+                elif code == _LEA:
+                    dest = instr[1]
+                    regs[dest] = self._global_addr[instr[2]] if instr[3] \
+                        else addr_of[instr[2]]
+                    ready[dest] = cycle + 1
+                    from_load[dest] = False
+                elif code == _LD:
+                    dest = instr[1]
+                    a = regs[instr[2]]
+                    if a is NAT:
+                        raise MachineError(
+                            "load address is NaT (unchecked speculative "
+                            "value reached a non-speculative load)")
+                    addr = int(a)
+                    try:
+                        regs[dest] = memory[addr]
+                    except KeyError:
+                        raise MachineError(
+                            f"load from unallocated address {addr}"
+                        ) from None
+                    ready[dest] = cycle + cache.load(addr, instr[3])
+                    from_load[dest] = True
+                    stats.plain_loads += 1
+                    fs.plain_loads += 1
+                elif code == _LDA:
+                    dest = instr[1]
+                    a = regs[instr[2]]
+                    if a is NAT:
+                        regs[dest] = NAT    # poison propagates, no arm
+                        alat.disarm(dest, frame)
+                        ready[dest] = cycle + 1
+                    else:
+                        addr = int(a)
+                        value = memory.get(addr)
+                        # no injector hook here: a real ld.a faults
+                        # immediately (only ld.s defers), so its value may
+                        # be consumed before any check — poisoning it would
+                        # inject a wrong execution, not a misspeculation
+                        if value is None:
+                            regs[dest] = NAT    # deferred fault
+                            alat.disarm(dest, frame)
+                            stats.deferred_faults += 1
+                            fs.deferred_faults += 1
+                        else:
+                            regs[dest] = value
+                            alat.arm(dest, addr, frame)
+                        ready[dest] = cycle + cache.load(addr, instr[3])
+                    from_load[dest] = True
+                    stats.advanced_loads += 1
+                    fs.advanced_loads += 1
+                elif code == _LDS:
+                    dest = instr[1]
+                    a = regs[instr[2]]
+                    if a is NAT:
+                        regs[dest] = NAT    # poison propagates
+                        ready[dest] = cycle + 1
+                    else:
+                        addr = int(a)
+                        value = memory.get(addr)
+                        if value is None or (
+                                injector is not None
+                                and injector.poison_load("ld.s", addr)):
+                            regs[dest] = NAT    # deferred fault
+                            stats.deferred_faults += 1
+                            fs.deferred_faults += 1
+                        else:
+                            regs[dest] = value
+                        ready[dest] = cycle + cache.load(addr, instr[3])
+                    from_load[dest] = True
+                    stats.spec_loads += 1
+                    fs.spec_loads += 1
+                elif code == _LDR:
+                    dest = instr[1]
+                    a = regs[instr[2]]
+                    if a is NAT:
+                        raise MachineError(
+                            "ld.r address is NaT (recovery block did not "
+                            "replay the address chain)")
+                    addr = int(a)
+                    # replay never faults: an unmapped cell reads as the
+                    # architectural zero the seed's ld.s delivered
+                    regs[dest] = memory.get(addr, 0)
+                    ready[dest] = cycle + cache.load(addr, instr[3])
+                    from_load[dest] = True
+                    stats.replay_loads += 1
+                    fs.replay_loads += 1
+                elif code == _LDC:
+                    dest = instr[1]
+                    a = regs[instr[2]]
+                    if a is NAT:
+                        raise MachineError(
+                            "check-load address is NaT (unchecked "
+                            "speculative value)")
+                    addr = int(a)
+                    stats.check_loads += 1
+                    fs.check_loads += 1
+                    if alat.check(dest, addr, frame):
+                        # hit: the register value stands at ~zero cost
+                        ready[dest] = cycle + self.check_hit_latency
+                        from_load[dest] = False
+                    else:
+                        try:
+                            regs[dest] = memory[addr]
+                        except KeyError:
+                            raise MachineError(
+                                f"check load from unallocated address "
+                                f"{addr}") from None
+                        alat.arm(dest, addr, frame)
+                        ready[dest] = cycle + cache.load(addr, instr[3])
+                        from_load[dest] = True
+                        stats.check_misses += 1
+                        fs.check_misses += 1
+                elif code == _ST:
+                    a = regs[instr[1]]
+                    value = regs[instr[2]]
+                    if a is NAT or value is NAT:
+                        raise MachineError(
+                            "store consumed NaT (unchecked speculative "
+                            "value reached memory)")
+                    addr = int(a)
+                    if addr not in memory:
+                        raise MachineError(
+                            f"store to unallocated address {addr}")
+                    if instr[3]:
+                        value = float(value)
+                    memory[addr] = value
+                    alat.invalidate(addr)
+                    cache.store(addr, instr[4])
+                    stats.stores += 1
+                    fs.stores += 1
+                    if injector is not None:
+                        injector.after_store(alat, cache)
+                elif code == _JMP:
+                    next_block = instr[1]
+                    if instr[2]:
+                        stats.taken_branches += 1
+                        fs.taken_branches += 1
+                        self.cycle = cycle + 1 + self.branch_penalty
+                        self.slots = 0
+                        self.ports = 0
+                    else:
+                        stats.fallthroughs += 1
+                        fs.fallthroughs += 1
+                    break
+                elif code == _BR:
+                    cond = regs[instr[1]]
+                    if cond is NAT:
+                        raise MachineError(
+                            "branch condition is NaT (unchecked "
+                            "speculative value reached control flow)")
+                    if cond:
+                        next_block, taken = instr[2], instr[4]
+                    else:
+                        next_block, taken = instr[3], instr[5]
+                    if taken:
+                        stats.taken_branches += 1
+                        fs.taken_branches += 1
+                        self.cycle = cycle + 1 + self.branch_penalty
+                        self.slots = 0
+                        self.ports = 0
+                    else:
+                        stats.fallthroughs += 1
+                        fs.fallthroughs += 1
+                    break
+                elif code == _CHK:
+                    stats.spec_checks += 1
+                    fs.spec_checks += 1
+                    if regs[instr[1]] is NAT:
+                        # deferred fault caught: enter the recovery block
+                        stats.spec_recoveries += 1
+                        fs.spec_recoveries += 1
+                        next_block, taken = instr[3], instr[5]
+                    else:
+                        next_block, taken = instr[2], instr[4]
+                    if taken:
+                        stats.taken_branches += 1
+                        fs.taken_branches += 1
+                        self.cycle = cycle + 1 + self.branch_penalty
+                        self.slots = 0
+                        self.ports = 0
+                    else:
+                        stats.fallthroughs += 1
+                        fs.fallthroughs += 1
+                    break
+                elif code == _RET:
+                    if instr[1] is not None:
+                        retval = regs[instr[1]]
+                    returning = True
+                    break
+                elif code == _CALL:
+                    callee = self.funcs.get(instr[2])
+                    if callee is None:
+                        raise MachineError(f"call to unknown function "
+                                           f"{instr[2]!r}")
+                    result = self._call(callee,
+                                        [regs[s] for s in instr[3]])
+                    fs = self.stats.fn(fn.name)
+                    dest = instr[1]
+                    if dest is not None:
+                        if result is None:
+                            raise MachineError(
+                                f"void result of {instr[2]} used")
+                        regs[dest] = result
+                        ready[dest] = self.cycle
+                        from_load[dest] = False
+                    entered_at = self.cycle  # callee cycles are its own
+                elif code == _UN:
+                    dest = instr[1]
+                    a = regs[instr[3]]
+                    regs[dest] = NAT if a is NAT else instr[2](a)
+                    ready[dest] = cycle + 1
+                    from_load[dest] = False
+                elif code == _INPUT or code == _INPUTF:
+                    dest = instr[1]
+                    value = self._next_input()
+                    regs[dest] = float(value) if code == _INPUTF \
+                        else int(value)
+                    ready[dest] = cycle + 1
+                    from_load[dest] = False
+                elif code == _ALLOC:
+                    dest = instr[1]
+                    a = regs[instr[2]]
+                    if a is NAT:
+                        raise MachineError(
+                            "alloc size is NaT (unchecked speculative "
+                            "value)")
+                    regs[dest] = self._allocate(int(a))
+                    ready[dest] = cycle + 1
+                    from_load[dest] = False
+                elif code == _PRINT:
+                    parts = []
+                    for src in instr[1]:
+                        value = regs[src]
+                        if value is NAT:
+                            raise MachineError(
+                                "print consumed NaT (unchecked "
+                                "speculative value reached output)")
+                        parts.append(f"{value:.6g}"
+                                     if isinstance(value, float)
+                                     else str(value))
+                    self.output.append(" ".join(parts))
+            fs.cycles += self.cycle - entered_at
+            if returning:
+                self.cycle += self.call_overhead
+                return retval
+            if next_block < 0:
+                raise MachineError(f"{fn.name}: block without terminator")
+            block_index = next_block

@@ -71,6 +71,30 @@ def test_campaign_superblock_bit_for_bit():
 
 
 @pytest.mark.faultinject
+def test_parallel_campaign_bit_identical():
+    """The process-pool fan-out may only change wall-clock: the report —
+    run order, every counter, the degraded notes — must equal the
+    sequential one field for field."""
+    kwargs = dict(workload_names=["art", "parser"],
+                  scenarios=("poison", "storm"), seeds=(0, 1))
+    seq = run_campaign(jobs=1, **kwargs)
+    par = run_campaign(jobs=2, **kwargs)
+    assert [vars(r) for r in par.runs] == [vars(r) for r in seq.runs]
+    assert par.degraded == seq.degraded
+
+
+@pytest.mark.faultinject
+def test_parallel_campaign_with_adversary():
+    """The named adversarial transforms are picklable, so the parallel
+    path accepts them too."""
+    kwargs = dict(workload_names=["parser"], scenarios=("poison",),
+                  seeds=(0,), profile_transform=ADVERSARIES["invert"])
+    seq = run_campaign(jobs=1, **kwargs)
+    par = run_campaign(jobs=2, **kwargs)
+    assert [vars(r) for r in par.runs] == [vars(r) for r in seq.runs]
+
+
+@pytest.mark.faultinject
 def test_uninjected_scenario_none_is_clean_for_spec_workloads():
     """'none' on the Figure-10 set: no deferred faults are fabricated
     (the SPEC-shaped workloads have no out-of-range speculation)."""

@@ -1,0 +1,153 @@
+"""The content-addressed compile cache (docs/performance.md).
+
+The cache may only ever be invisible: a hit must hand back exactly what
+a fresh compile would produce, and anything that could change the
+produced program — source text, SpecConfig, monkeypatched seams,
+swapped registry passes — must change the key.
+"""
+
+import pytest
+
+from repro.core import SpecConfig
+from repro.pipeline import (PASS_REGISTRY, AnalysisManager, CompileCache,
+                            compile_and_run, compile_program, default_cache)
+from repro.pipeline.passes.base import FunctionPass
+from repro.target import run_program
+from repro.workloads import get_workload
+
+SOURCE = """
+int g;
+int bump(int k) { g = g + k; return g; }
+int main() {
+  int i; int total;
+  i = 0; total = 0;
+  while (i < 20) { total = bump(i) + total; i = i + 1; }
+  print(total);
+  return 0;
+}
+"""
+
+
+def _compile(cache, source=SOURCE, config=None, **kwargs):
+    return compile_program(source, config or SpecConfig.profile(),
+                           train_inputs=(), cache=cache, **kwargs)
+
+
+def test_identical_compile_hits():
+    cache = CompileCache()
+    first = _compile(cache)
+    second = _compile(cache)
+    assert cache.hits == 1 and cache.misses == 1
+    # a hit is the same result object — the compile was skipped entirely
+    assert second is first
+
+
+def test_different_config_misses():
+    cache = CompileCache()
+    _compile(cache, config=SpecConfig.profile())
+    _compile(cache, config=SpecConfig.base())
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_mutated_source_misses():
+    cache = CompileCache()
+    _compile(cache)
+    _compile(cache, source=SOURCE.replace("i < 20", "i < 21"))
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_train_inputs_and_fuel_key():
+    cache = CompileCache()
+    compile_program(SOURCE, SpecConfig.profile(), train_inputs=(1,),
+                    cache=cache)
+    compile_program(SOURCE, SpecConfig.profile(), train_inputs=(2,),
+                    cache=cache)
+    compile_program(SOURCE, SpecConfig.profile(), train_inputs=(2,),
+                    fuel=1_000_000, cache=cache)
+    assert cache.hits == 0 and cache.misses == 3
+
+
+def test_observer_calls_bypass():
+    from repro.pipeline import DumpSink
+
+    cache = CompileCache()
+    _compile(cache, dumps=DumpSink())
+    _compile(cache, profile_transform=lambda p: p)
+    _compile(cache, analyses=AnalysisManager())
+    assert cache.bypasses == 3
+    assert cache.hits == 0 and cache.misses == 0
+    assert len(cache) == 0
+
+
+def test_seam_monkeypatch_misses(monkeypatch):
+    from repro.pipeline import driver
+
+    cache = CompileCache()
+    _compile(cache)
+    real = driver.verify_ssa
+    monkeypatch.setattr(driver, "verify_ssa",
+                        lambda ssa, **kw: real(ssa, **kw))
+    _compile(cache)
+    assert cache.hits == 0 and cache.misses == 2
+    monkeypatch.undo()
+    _compile(cache)  # original seam restored -> original key hits
+    assert cache.hits == 1
+
+
+def test_registry_swap_misses(monkeypatch):
+    cache = CompileCache()
+    _compile(cache)
+
+    real = PASS_REGISTRY["dce"]
+
+    class WrappedDce(FunctionPass):
+        name = "dce"
+
+        def run(self, state):
+            real().run(state)
+
+    monkeypatch.setitem(PASS_REGISTRY, "dce", WrappedDce)
+    _compile(cache)
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_cached_program_not_mutated_by_simulation():
+    cache = CompileCache()
+    w = get_workload("mcf")
+    result = compile_program(w.source, SpecConfig.profile(),
+                             train_inputs=w.train_inputs, cache=cache)
+    snapshot = result.program.format()
+    stats, output = run_program(result.program, inputs=w.ref_inputs)
+    assert result.program.format() == snapshot
+    # ... and a post-simulation hit still yields the identical program
+    again = compile_program(w.source, SpecConfig.profile(),
+                            train_inputs=w.train_inputs, cache=cache)
+    assert again is result
+    stats2, output2 = run_program(again.program, inputs=w.ref_inputs)
+    assert output2 == output
+    assert stats2.to_dict() == stats.to_dict()
+
+
+def test_lru_capacity_and_eviction():
+    cache = CompileCache(capacity=1)
+    _compile(cache)
+    _compile(cache, config=SpecConfig.base())  # evicts the first entry
+    assert cache.evictions == 1 and len(cache) == 1
+    _compile(cache)  # first entry is gone -> recompiles
+    assert cache.hits == 0 and cache.misses == 3
+
+
+def test_compile_and_run_uses_process_cache():
+    shared = default_cache()
+    baseline = (shared.hits, shared.misses)
+    first = compile_and_run(SOURCE, SpecConfig.profile(), ref_inputs=())
+    second = compile_and_run(SOURCE, SpecConfig.profile(), ref_inputs=())
+    assert second.output == first.output
+    assert shared.hits >= baseline[0] + 1
+    # cache=False forces a fresh compile and never touches the memo
+    hits_before = shared.hits
+    misses_before = shared.misses
+    fresh = compile_and_run(SOURCE, SpecConfig.profile(), ref_inputs=(),
+                            cache=False)
+    assert fresh.output == first.output
+    assert (shared.hits, shared.misses) == (hits_before, misses_before)

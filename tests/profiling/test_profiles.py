@@ -163,6 +163,42 @@ def test_edge_prob_zero_count_falls_back_to_uniform():
         assert prof.prob(dead_cond, succ) == 0.5
 
 
+def test_edge_prob_memo_matches_uncached_and_invalidates():
+    """prob()'s per-branch normalization sums are memoized; the memo
+    must be invisible (cached == recomputed-from-raw-counts) and must
+    drop the moment any edge counter is touched."""
+    src = (
+        "void main() { int i; for (i = 0; i < 10; i = i + 1) { print(i); } }"
+    )
+    m = module_of(src)
+    prof = collect_edge_profile(m)
+    fn = m.main
+    cond = next(b for b in fn.blocks if b.name.startswith("for_cond"))
+    body = next(b for b in fn.blocks if b.name.startswith("for_body"))
+
+    def uncached(src_b, dst_b):
+        succs = list(src_b.succs)
+        if dst_b not in succs:
+            return 0.0
+        total = sum(prof.edge(src_b, s) for s in succs)
+        if total == 0:
+            return 1.0 / len(succs)
+        return prof.edge(src_b, dst_b) / total
+
+    for src_b in fn.blocks:
+        for dst_b in fn.blocks:
+            first = prof.prob(src_b, dst_b)      # populates the memo
+            assert prof.prob(src_b, dst_b) == first   # memo hit
+            assert first == uncached(src_b, dst_b)
+
+    # a counter update invalidates: the new counts are visible at once
+    before = prof.prob(cond, body)
+    prof.edge_count[(cond.uid, body.uid)] += 100
+    after = prof.prob(cond, body)
+    assert after != before
+    assert after == uncached(cond, body)
+
+
 def test_edge_prob_non_successor_is_zero():
     src = (
         "void main() { int i; for (i = 0; i < 10; i = i + 1) { print(i); } }"
