@@ -1,0 +1,118 @@
+"""The compile-service benchmark (docs/service.md).
+
+Boots the real daemon — the CLI path, worker subprocesses and all —
+drives it with the load generator at the acceptance shape (8 concurrent
+clients racing over 4 distinct keys, cold phase then warm phase), and
+writes ``BENCH_service.json`` at the repo root: p50/p99 latency and
+request throughput per phase plus the daemon's cache/dedup counters,
+uploaded by the CI ``service`` job as the service perf trajectory.
+
+The hard assertions are the service's reason to exist:
+
+* the cache layer compiles each of the 4 keys **exactly once** across
+  all 8 clients and both phases — in-flight dedup absorbs concurrent
+  duplicates, the shard caches absorb sequential ones;
+* the warm phase answers entirely from the shard caches;
+* SIGTERM drains gracefully: the daemon exits 0.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.service.loadgen import run_load
+
+pytestmark = pytest.mark.bench_smoke
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..")
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
+
+CLIENTS = 8
+REQUESTS = 4   # per client per phase: one full sweep of the key space
+KEYS = 4
+WORKERS = 2
+
+#: filled by the load test, written by the final test (file order)
+REPORT = {"load": None, "drain_exit_code": None}
+
+
+@pytest.fixture(scope="module")
+def service():
+    """The daemon as a real subprocess via the CLI entry point."""
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(REPO_ROOT, "src"))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+         "--port", "0", "--workers", str(WORKERS)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    banner = proc.stdout.readline()
+    # "repro service listening on HOST:PORT (N workers, pid P)"
+    assert "listening on" in banner, banner
+    port = int(banner.split("listening on ", 1)[1]
+               .split()[0].rsplit(":", 1)[1])
+    yield proc, port
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=30)
+
+
+def test_load_dedup_acceptance(service):
+    """8 clients x 4 keys, cold + warm: 4 compiles total, zero errors,
+    a warm phase served entirely from cache."""
+    _, port = service
+    report = run_load(port=port, clients=CLIENTS, requests=REQUESTS,
+                      keys=KEYS, skew=0.0, op="run", seed=0,
+                      phases=("cold", "warm"), timeout=300.0)
+    print("\n" + report.summary())
+    assert all(p.errors == 0 for p in report.phases.values()), \
+        report.summary()
+    assert report.compiles == KEYS, \
+        f"cache layer compiled {report.compiles}x for {KEYS} keys — " \
+        f"dedup or shard caching is broken"
+    warm = report.phases["warm"]
+    assert warm.cached == warm.requests, \
+        "warm phase must be answered entirely from the shard caches"
+    assert report.deduped > 0, \
+        "concurrent identical requests never coalesced"
+    cold = report.phases["cold"].to_dict()
+    warm_d = warm.to_dict()
+    assert cold["p50_ms"] > 0 and cold["p99_ms"] >= cold["p50_ms"]
+    assert warm_d["p50_ms"] > 0 and warm_d["req_per_s"] > 0
+    REPORT["load"] = report
+
+
+def test_graceful_drain_exits_zero(service):
+    """SIGTERM after the load: drain, stop workers, exit code 0."""
+    proc, _ = service
+    proc.send_signal(signal.SIGTERM)
+    code = proc.wait(timeout=60)
+    assert code == 0, f"daemon exited {code} on SIGTERM (expected a " \
+                      f"graceful drain); output:\n{proc.stdout.read()}"
+    REPORT["drain_exit_code"] = code
+
+
+def test_write_bench_service_json():
+    """Assemble BENCH_service.json (the CI ``service`` artifact)."""
+    assert REPORT["load"] is not None, "load phase did not run"
+    assert REPORT["drain_exit_code"] == 0
+    doc = {
+        "schema": 1,
+        "cpu_count": os.cpu_count(),
+        "workers": WORKERS,
+        "drain_exit_code": REPORT["drain_exit_code"],
+    }
+    doc.update(REPORT["load"].to_dict())
+    with open(BENCH_PATH, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    warm = doc["phases"]["warm"]
+    print(f"\nBENCH_service.json: {doc['compiles']} compiles for "
+          f"{doc['keys']} keys, {doc['deduped']} deduped, warm p50 "
+          f"{warm['p50_ms']:.2f}ms / p99 {warm['p99_ms']:.2f}ms at "
+          f"{warm['req_per_s']:.0f} req/s")

@@ -12,12 +12,20 @@ Usage::
     python -m repro campaign [--scenarios poison,storm] [--seeds 0,1,2]
                              [--adversary empty|shuffle|invert] [--jobs N]
     python -m repro figures [--out DIR]
+    python -m repro serve [--host H] [--port P] [--workers N]
+    python -m repro submit (--ping | --stats | FILE) [--op run|compile]
+                           [--config SPEC] [--train ...] [--ref ...]
+    python -m repro loadgen [--clients N] [--requests N] [--keys K]
+                            [--skew S] [--json FILE]
 
 ``run`` compiles and simulates one mini-C file and prints its output and
 counters; ``compare`` prints the base-vs-speculative row for a file;
 ``workloads`` runs the bundled SPEC2000-shaped programs; ``campaign``
 runs the seeded fault-injection campaign (docs/recovery.md); ``figures``
-regenerates every table of the paper's evaluation into a directory.
+regenerates every table of the paper's evaluation into a directory;
+``serve``/``submit``/``loadgen`` are the compile-as-a-service surface
+(docs/service.md): a long-lived daemon, a one-shot client, and a
+latency/throughput load generator.
 
 Exit codes: 0 success, 1 the simulated output diverged from the
 reference interpreter (the readable diff is printed), 2 the run
@@ -177,9 +185,75 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     import subprocess
 
-    cmd = [sys.executable, "-m", "pytest", "benchmarks/",
-           "--benchmark-disable", "-q"]
+    # plain pytest: the benches use conftest fixtures and markers, not
+    # the pytest-benchmark plugin (whose flags would be rejected here)
+    cmd = [sys.executable, "-m", "pytest", "benchmarks/", "-q"]
     return subprocess.call(cmd)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import run_daemon
+
+    return run_daemon(host=args.host, port=args.port,
+                      workers=args.workers,
+                      drain_grace=args.drain_grace)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceClient, ServiceError
+
+    if not (args.ping or args.stats) and not args.file:
+        print("error: a source FILE (or --ping/--stats) is required",
+              file=sys.stderr)
+        return 2
+    client = ServiceClient(args.host, args.port, timeout=args.timeout,
+                           connect_retry=args.wait)
+    try:
+        with client:
+            if args.ping:
+                print(json.dumps(client.ping(), indent=2, sort_keys=True))
+                return 0
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2,
+                                 sort_keys=True))
+                return 0
+            source = open(args.file).read()
+            req = {"op": args.op, "source": source, "config": args.config,
+                   "train": _parse_inputs(args.train)}
+            if args.op == "run":
+                req["ref"] = _parse_inputs(args.ref)
+            if args.timeout_ms:
+                req["timeout_ms"] = args.timeout_ms
+            resp = client.request(req)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach the daemon at "
+              f"{args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(resp, indent=2, sort_keys=True))
+        return 0
+    result = resp["result"]
+    for line in result.get("output", ()):
+        print(line)
+    meta = (f"worker={resp['worker']} " if "worker" in resp else "")
+    print(f"--- {args.op} ok: cached={resp.get('cached', False)} "
+          f"dedup={resp.get('dedup', False)} {meta}"
+          f"elapsed={resp.get('elapsed_ms', 0)}ms", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .service.loadgen import main as loadgen_main
+
+    rest = args.rest
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    return loadgen_main(rest)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -272,6 +346,60 @@ def build_parser() -> argparse.ArgumentParser:
     figures = sub.add_parser("figures",
                              help="regenerate every paper figure")
     figures.set_defaults(fn=_cmd_figures)
+
+    serve = sub.add_parser(
+        "serve", help="run the compile-as-a-service daemon "
+                      "(docs/service.md): batched NDJSON requests over "
+                      "TCP, worker pool sharding the compile cache, "
+                      "in-flight dedup; SIGTERM drains gracefully")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7457,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker processes sharding the cache "
+                            "(0 = execute in-process, single user)")
+    serve.add_argument("--drain-grace", type=float, default=10.0,
+                       metavar="SECS",
+                       help="how long SIGTERM waits for in-flight "
+                            "requests before stopping the workers")
+    serve.set_defaults(fn=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="send one request to a running daemon")
+    submit.add_argument("file", nargs="?",
+                        help="mini-C source file (omit with "
+                             "--ping/--stats)")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7457)
+    submit.add_argument("--op", choices=("run", "compile"), default="run")
+    submit.add_argument("--config", default="profile",
+                        help="registry config spec, composable: e.g. "
+                             "profile+superblock (docs/service.md)")
+    submit.add_argument("--train", help="comma-separated train inputs")
+    submit.add_argument("--ref", help="comma-separated ref inputs")
+    submit.add_argument("--timeout", type=float, default=120.0,
+                        help="client-side socket deadline (seconds)")
+    submit.add_argument("--timeout-ms", type=float, default=None,
+                        help="daemon-side deadline for this request")
+    submit.add_argument("--wait", type=float, default=0.0,
+                        help="seconds to retry the connection (daemon "
+                             "may still be booting)")
+    submit.add_argument("--ping", action="store_true",
+                        help="health-check the daemon and exit")
+    submit.add_argument("--stats", action="store_true",
+                        help="print daemon + worker-cache counters")
+    submit.add_argument("--json", action="store_true",
+                        help="print the raw response JSON")
+    submit.set_defaults(fn=_cmd_submit)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a running daemon with concurrent "
+                        "clients and report p50/p99 + req/s "
+                        "(docs/service.md)")
+    loadgen.add_argument("rest", nargs=argparse.REMAINDER,
+                         help="arguments for the load generator "
+                              "(see `repro loadgen -- --help`)")
+    loadgen.set_defaults(fn=_cmd_loadgen)
     return parser
 
 

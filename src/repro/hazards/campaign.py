@@ -120,6 +120,18 @@ def _injected_run(compiled, expected: List[str], workload_name: str,
 
 _WORKER_MEMO: Dict[tuple, tuple] = {}
 
+#: measured break-even for the process-pool fan-out: on boxes with
+#: fewer CPUs, or matrices with fewer injected runs, per-task pickling
+#: and per-worker compile warm-up dominate and the pool *loses* to
+#: serial (BENCH_perf.json recorded jobs=4 at 0.75x of jobs=1 on a
+#: low-CPU machine).  ``run_campaign`` silently falls back to the
+#: sequential path below either threshold — bit-for-bit identical
+#: output either way.  The fuller adaptive-chunking rework (batch
+#: sizing by workload cost, pre-fork after the shared compile) remains
+#: a ROADMAP item.
+PARALLEL_MIN_CPUS = 4
+PARALLEL_MIN_RUNS = 48
+
 
 def _campaign_task(task: tuple) -> Tuple[InjectedRun, Tuple[str, ...]]:
     (workload_name, config, scenario, seed, fuel, profile_transform) = task
@@ -150,7 +162,8 @@ def run_campaign(workload_names: Optional[Sequence[str]] = None,
                  seeds: Iterable[int] = (0, 1, 2),
                  profile_transform: Optional[Callable] = None,
                  fuel: int = 50_000_000,
-                 jobs: int = 1) -> CampaignReport:
+                 jobs: int = 1,
+                 force_parallel: bool = False) -> CampaignReport:
     """Run the differential campaign (see module docstring).
 
     Each workload is compiled **once** per campaign (once per worker
@@ -159,6 +172,14 @@ def run_campaign(workload_names: Optional[Sequence[str]] = None,
     compiles, not two hundred.  The report is bit-for-bit identical for
     any ``jobs``; with ``jobs > 1``, ``profile_transform`` must be
     picklable (the named :data:`~repro.hazards.ADVERSARIES` are).
+
+    ``jobs > 1`` only engages the process pool past the measured
+    break-even — at least :data:`PARALLEL_MIN_CPUS` CPUs and
+    :data:`PARALLEL_MIN_RUNS` injected runs; below it the pool is
+    slower than serial and the campaign silently runs sequentially
+    (the report is identical either way).  ``force_parallel=True``
+    overrides the fallback — the knob the bit-identity tests use to
+    exercise the pool machinery regardless of the host.
     """
     workloads = ([get_workload(n) for n in workload_names]
                  if workload_names is not None
@@ -170,9 +191,14 @@ def run_campaign(workload_names: Optional[Sequence[str]] = None,
     config = config or SpecConfig.profile().but(use_edge_profile=False)
     seeds = list(seeds)
     jobs = max(1, int(jobs))
+    total_runs = len(workloads) * len(list(scenarios)) * len(seeds)
+    import os
+
+    past_break_even = ((os.cpu_count() or 1) >= PARALLEL_MIN_CPUS
+                       and total_runs >= PARALLEL_MIN_RUNS)
     # (an empty scenario/seed matrix leaves nothing to fan out, but the
     # sequential path still records each workload's degraded notes)
-    if jobs > 1 and list(scenarios) and seeds:
+    if jobs > 1 and total_runs and (past_break_even or force_parallel):
         return _run_campaign_parallel(workloads, config, scenarios, seeds,
                                       profile_transform, fuel, jobs)
     report = CampaignReport()

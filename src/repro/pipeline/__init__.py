@@ -1,7 +1,7 @@
 """End-to-end pipeline (source → speculative SSAPRE → simulated IA-64)."""
 
 from ..core import SpecConfig
-from .cache import CompileCache, default_cache
+from .cache import CompileCache, content_key, default_cache, shard_of
 from .driver import compile_and_run, compile_program
 from .dumps import DumpSink
 from .passes import (PASS_REGISTRY, AnalysisManager, PassManager,
@@ -13,5 +13,6 @@ __all__ = [
     "AnalysisManager", "Comparison", "CompileCache", "CompileResult",
     "Diagnostic", "DumpSink", "OutputMismatch", "PASS_REGISTRY",
     "PassManager", "PassTiming", "PassTrace", "RunResult", "SpecConfig",
-    "compile_and_run", "compile_program", "default_cache", "format_table",
+    "compile_and_run", "compile_program", "content_key", "default_cache",
+    "format_table", "shard_of",
 ]

@@ -49,6 +49,39 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .results import CompileResult
 
 
+def content_key(source: str, config: "SpecConfig",
+                train_inputs: Sequence[float], fuel: int,
+                failsafe: bool) -> str:
+    """The **process-portable** part of the content key: everything the
+    *request* pins (source, config, train inputs, fuel, failsafe) and
+    nothing the *process* pins (no seam or registry identities).
+
+    Two processes given the same request compute the same
+    ``content_key`` — this is the key the compile service
+    (:mod:`repro.service`) shards on and deduplicates by, so that
+    identical requests land on the same worker and coalesce.
+    :meth:`CompileCache.key` extends it with the per-process
+    environment fingerprint; never mix the two."""
+    h = hashlib.sha256()
+    h.update(source.encode())
+    h.update(b"\x00")
+    h.update(repr(config).encode())
+    h.update(repr((tuple(train_inputs), fuel, bool(failsafe))).encode())
+    return h.hexdigest()
+
+
+def shard_of(key: str, shards: int) -> int:
+    """Map a hex content key onto one of ``shards`` buckets.
+
+    Pure and process-independent: every router given the same key and
+    shard count picks the same bucket, which is what lets a pool of
+    workers each own a disjoint slice of the key space (and therefore
+    of the cache) with no coordination."""
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    return int(key[:16], 16) % shards
+
+
 class CompileCache:
     """Bounded (LRU) content-addressed memo of compiled programs."""
 
@@ -74,10 +107,8 @@ class CompileCache:
         from .passes.base import PASS_REGISTRY
 
         h = hashlib.sha256()
-        h.update(source.encode())
-        h.update(b"\x00")
-        h.update(repr(config).encode())
-        h.update(repr((tuple(train_inputs), fuel, bool(failsafe))).encode())
+        h.update(content_key(source, config, train_inputs, fuel,
+                             failsafe).encode())
         seams = (driver.collect_alias_profile, driver.collect_edge_profile,
                  driver.verify_ssa)
         h.update(repr(tuple(id(seam) for seam in seams)).encode())

@@ -1,0 +1,298 @@
+"""Client libraries for the compile service (docs/service.md).
+
+:class:`ServiceClient` is the synchronous library (plain sockets, no
+event loop — scripts and tests); :class:`AsyncServiceClient` is the
+``asyncio`` twin with the same surface.  Both speak the NDJSON
+protocol of :mod:`repro.service.protocol` and raise
+
+* :class:`ServiceError` for typed daemon errors (``.type`` is one of
+  :data:`~repro.service.protocol.ERROR_TYPES`);
+* :class:`ServiceTimeout` — a :class:`ServiceError` subclass — when
+  either the client-side socket deadline or the daemon-side
+  ``timeout_ms`` elapses, so callers see one exception for "too slow"
+  however it was detected, never a hang.
+
+Batching: :meth:`ServiceClient.submit` pipelines many requests on one
+connection and yields responses **as they complete** (tagged by
+``id``), which is the protocol's batching model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from typing import Any, AsyncIterator, Dict, Iterator, List, Optional
+
+from . import protocol
+
+
+class ServiceError(Exception):
+    """A typed error response from the daemon."""
+
+    def __init__(self, err_type: str, message: str) -> None:
+        super().__init__(f"{err_type}: {message}")
+        self.type = err_type
+        self.message = message
+
+
+class ServiceTimeout(ServiceError):
+    """The request did not produce a result in time (client socket
+    deadline or daemon-side ``timeout_ms``)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("timeout", message)
+
+
+def raise_for_error(resp: Dict[str, Any]) -> Dict[str, Any]:
+    """Raise the matching exception for an error response; return ok
+    responses unchanged."""
+    if resp.get("ok"):
+        return resp
+    error = resp.get("error") or {}
+    err_type = error.get("type", "internal")
+    message = error.get("message", "unknown error")
+    if err_type == "timeout":
+        raise ServiceTimeout(message)
+    raise ServiceError(err_type, message)
+
+
+def _build_request(rid: Any, op: str, *, source: Optional[str] = None,
+                   config: Optional[str] = None,
+                   train: Optional[List[float]] = None,
+                   ref: Optional[List[float]] = None,
+                   check: Optional[bool] = None,
+                   fuel: Optional[int] = None,
+                   failsafe: Optional[bool] = None,
+                   workloads: Optional[List[str]] = None,
+                   scenarios: Optional[List[str]] = None,
+                   seeds: Optional[List[int]] = None,
+                   timeout_ms: Optional[float] = None) -> Dict[str, Any]:
+    req: Dict[str, Any] = {"id": rid, "op": op}
+    for name, value in (("source", source), ("config", config),
+                        ("train", train), ("ref", ref),
+                        ("check", check), ("fuel", fuel),
+                        ("failsafe", failsafe), ("workloads", workloads),
+                        ("scenarios", scenarios), ("seeds", seeds),
+                        ("timeout_ms", timeout_ms)):
+        if value is not None:
+            req[name] = value
+    return req
+
+
+class ServiceClient:
+    """Synchronous client: one TCP connection, blocking calls.
+
+    ``timeout`` is the client-side per-request socket deadline in
+    seconds (None blocks forever).  After a :class:`ServiceTimeout`
+    the connection's stream position is unknown, so the client
+    reconnects transparently before the next request.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7457,
+                 timeout: Optional[float] = None,
+                 connect_retry: float = 0.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_retry = connect_retry
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._ids = itertools.count(1)
+
+    # ---- connection ------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        """Open the connection (retrying for up to ``connect_retry``
+        seconds — lets callers race a daemon that is still booting)."""
+        import time
+
+        deadline = time.monotonic() + self.connect_retry
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+        self._rfile = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            self._rfile.close()
+            self._rfile = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def _ensure(self) -> None:
+        if self._sock is None:
+            self.connect()
+
+    def __enter__(self) -> "ServiceClient":
+        self._ensure()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ---- raw request/response --------------------------------------------
+    def _send(self, payload: Any) -> None:
+        self._ensure()
+        assert self._sock is not None
+        self._sock.sendall(protocol.encode(payload))
+
+    def _recv(self) -> Dict[str, Any]:
+        assert self._rfile is not None
+        try:
+            line = self._rfile.readline()
+        except socket.timeout:
+            self.close()  # stream position unknown: force a reconnect
+            raise ServiceTimeout(
+                f"no response within {self.timeout}s") from None
+        if not line:
+            self.close()
+            raise ServiceError("internal",
+                               "connection closed by the daemon")
+        return protocol.validate_response(protocol.decode_line(line))
+
+    def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, await its response, raise on typed
+        errors; returns the full ok response (``result`` + metadata)."""
+        if req.get("id") is None:
+            req["id"] = next(self._ids)
+        self._send(req)
+        while True:
+            resp = self._recv()
+            if resp.get("id") == req["id"]:
+                return raise_for_error(resp)
+            # a straggler from an abandoned pipeline: drop it
+
+    def submit(self, requests: List[Dict[str, Any]]
+               ) -> Iterator[Dict[str, Any]]:
+        """Pipeline a batch; yield raw responses in completion order
+        (match them to requests by ``id``; no exception is raised for
+        per-request errors — inspect ``resp["ok"]``)."""
+        for req in requests:
+            if req.get("id") is None:
+                req["id"] = next(self._ids)
+        self._send(requests)
+        for _ in requests:
+            yield self._recv()
+
+    # ---- convenience wrappers --------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})["result"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})["result"]
+
+    def compile_source(self, source: str, **kwargs: Any) -> Dict[str, Any]:
+        return self.request(_build_request(None, "compile", source=source,
+                                           **kwargs))
+
+    def run_source(self, source: str, **kwargs: Any) -> Dict[str, Any]:
+        return self.request(_build_request(None, "run", source=source,
+                                           **kwargs))
+
+    def campaign(self, **kwargs: Any) -> Dict[str, Any]:
+        return self.request(_build_request(None, "campaign", **kwargs))
+
+
+class AsyncServiceClient:
+    """The ``asyncio`` client: same surface as :class:`ServiceClient`,
+    every call a coroutine; :meth:`submit` is an async iterator."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7457,
+                 timeout: Optional[float] = None) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._ids = itertools.count(1)
+
+    async def connect(self) -> "AsyncServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        if self._writer is None:
+            await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def _send(self, payload: Any) -> None:
+        if self._writer is None:
+            await self.connect()
+        assert self._writer is not None
+        self._writer.write(protocol.encode(payload))
+        await self._writer.drain()
+
+    async def _recv(self) -> Dict[str, Any]:
+        assert self._reader is not None
+        try:
+            line = await asyncio.wait_for(self._reader.readline(),
+                                          self.timeout)
+        except asyncio.TimeoutError:
+            await self.close()
+            raise ServiceTimeout(
+                f"no response within {self.timeout}s") from None
+        if not line:
+            await self.close()
+            raise ServiceError("internal",
+                               "connection closed by the daemon")
+        return protocol.validate_response(protocol.decode_line(line))
+
+    async def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        if req.get("id") is None:
+            req["id"] = next(self._ids)
+        await self._send(req)
+        while True:
+            resp = await self._recv()
+            if resp.get("id") == req["id"]:
+                return raise_for_error(resp)
+
+    async def submit(self, requests: List[Dict[str, Any]]
+                     ) -> AsyncIterator[Dict[str, Any]]:
+        for req in requests:
+            if req.get("id") is None:
+                req["id"] = next(self._ids)
+        await self._send(requests)
+        for _ in requests:
+            yield await self._recv()
+
+    async def ping(self) -> Dict[str, Any]:
+        return (await self.request({"op": "ping"}))["result"]
+
+    async def stats(self) -> Dict[str, Any]:
+        return (await self.request({"op": "stats"}))["result"]
+
+    async def compile_source(self, source: str,
+                             **kwargs: Any) -> Dict[str, Any]:
+        return await self.request(_build_request(None, "compile",
+                                                 source=source, **kwargs))
+
+    async def run_source(self, source: str,
+                         **kwargs: Any) -> Dict[str, Any]:
+        return await self.request(_build_request(None, "run",
+                                                 source=source, **kwargs))
+
+    async def campaign(self, **kwargs: Any) -> Dict[str, Any]:
+        return await self.request(_build_request(None, "campaign",
+                                                 **kwargs))

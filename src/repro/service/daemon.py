@@ -1,0 +1,530 @@
+"""The compile-as-a-service daemon (docs/service.md).
+
+A stdlib-``asyncio`` TCP server speaking the newline-delimited JSON
+protocol of :mod:`repro.service.protocol`.  Design:
+
+* **Batching** — clients pipeline requests (or send JSON arrays);
+  every request is dispatched concurrently and its response streamed
+  back the moment it finishes, tagged with the request ``id``.
+* **Worker pool, sharded cache** — work requests route to a pool of
+  worker subprocesses (:mod:`repro.service.worker`) by
+  ``shard_of(content_key)``: the same key always lands on the same
+  worker, so each worker's process-wide
+  :class:`~repro.pipeline.CompileCache` is one disjoint shard of the
+  key space and stays warm for the daemon's lifetime.
+* **In-flight deduplication** — while a work request is running, any
+  identical request (same :func:`~repro.service.protocol.request_key`)
+  awaits the same future: one compile, N waiters, each answered with
+  its own ``id`` and ``"dedup": true``.
+* **Robustness first** — a request's ``timeout_ms`` elapsing returns a
+  typed ``timeout`` error (the work keeps running; later identical
+  requests reuse it); a worker crash fails its in-flight requests with
+  a typed ``worker-crash`` error and the worker is respawned for the
+  next request, so a batch never hangs; malformed JSON gets a typed
+  ``bad-request`` response without dropping the connection; SIGTERM
+  drains gracefully (stop accepting, finish in-flight, stop workers,
+  exit 0).
+
+``workers=0`` runs requests in-process on a thread (no subprocesses) —
+the mode unit tests and single-user embeddings use; ``workers>=1`` is
+the service proper.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import sys
+import time
+from typing import Any, Dict, List, Optional, Set
+
+from . import protocol
+from . import worker as worker_mod
+from .protocol import error_response, ok_response
+
+#: asyncio stream high-water mark: one request line must fit
+_STREAM_LIMIT = 16 * 1024 * 1024
+
+
+class _WorkError(Exception):
+    """Internal: a work request failed with a typed error."""
+
+    def __init__(self, err_type: str, message: str) -> None:
+        super().__init__(message)
+        self.err_type = err_type
+
+
+class DaemonStats:
+    """Daemon-side counters (the ``stats`` op reports them)."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.connections = 0
+        self.requests = 0
+        self.responses = 0
+        self.deduped = 0
+        self.errors = 0
+        self.timeouts = 0
+        self.worker_restarts = 0
+        self.by_op: Dict[str, int] = {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "uptime_s": time.monotonic() - self.started,
+            "connections": self.connections,
+            "requests": self.requests,
+            "responses": self.responses,
+            "deduped": self.deduped,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "worker_restarts": self.worker_restarts,
+            "by_op": dict(self.by_op),
+        }
+
+
+def _worker_env() -> Dict[str, str]:
+    """The worker subprocess environment: inherit, but make sure the
+    package is importable even when repro is run from a source tree."""
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src_dir if not existing
+                         else src_dir + os.pathsep + existing)
+    return env
+
+
+class WorkerHandle:
+    """Daemon-side handle of one worker subprocess."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.proc: Optional[asyncio.subprocess.Process] = None
+        self.alive = False
+        self.requests = 0
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._write_lock = asyncio.Lock()
+        self._reader_task: Optional[asyncio.Task] = None
+
+    async def start(self) -> None:
+        self.proc = await asyncio.create_subprocess_exec(
+            sys.executable, "-c",
+            "from repro.service.worker import main; "
+            "raise SystemExit(main())",
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            limit=_STREAM_LIMIT,
+            env=_worker_env(),
+        )
+        self.alive = True
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        assert self.proc is not None and self.proc.stdout is not None
+        while True:
+            line = await self.proc.stdout.readline()
+            if not line:
+                break
+            try:
+                resp = protocol.decode_line(line)
+            except protocol.ProtocolError:
+                continue  # a worker writing garbage is treated as noise
+            fut = self._pending.pop(resp.get("id"), None)
+            if fut is not None and not fut.done():
+                fut.set_result(resp)
+        # EOF: the worker died (or exited).  Fail everything in flight
+        # with a typed error so no batch ever hangs on a dead worker.
+        self.alive = False
+        pending, self._pending = self._pending, {}
+        for fut in pending.values():
+            if not fut.done():
+                fut.set_exception(_WorkError(
+                    "worker-crash",
+                    f"worker shard {self.shard} died mid-request"))
+
+    async def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request to the worker and await its response.
+        Raises :class:`_WorkError` on crash."""
+        if not self.alive or self.proc is None or self.proc.stdin is None:
+            raise _WorkError("worker-crash",
+                             f"worker shard {self.shard} is not running")
+        wid = self._next_id = self._next_id + 1
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[wid] = fut
+        wire = dict(payload, id=wid)
+        try:
+            async with self._write_lock:
+                self.proc.stdin.write(protocol.encode(wire))
+                await self.proc.stdin.drain()
+        except (ConnectionError, RuntimeError, BrokenPipeError):
+            self._pending.pop(wid, None)
+            raise _WorkError("worker-crash",
+                             f"worker shard {self.shard} pipe closed")
+        self.requests += 1
+        return await fut
+
+    async def stop(self, grace: float = 3.0) -> None:
+        if self.proc is None:
+            return
+        if self.alive and self.proc.stdin is not None:
+            try:
+                async with self._write_lock:
+                    self.proc.stdin.write(protocol.encode(
+                        {"id": 0, "op": worker_mod.EXIT_OP}))
+                    await self.proc.stdin.drain()
+                    self.proc.stdin.close()
+            except (ConnectionError, RuntimeError, BrokenPipeError):
+                pass
+        try:
+            await asyncio.wait_for(self.proc.wait(), grace)
+        except asyncio.TimeoutError:
+            self.proc.kill()
+            await self.proc.wait()
+        if self._reader_task is not None:
+            await self._reader_task
+        self.alive = False
+
+
+class Daemon:
+    """The service: see the module docstring for the design."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 2, drain_grace: float = 10.0) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.drain_grace = drain_grace
+        self.stats = DaemonStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handles: List[WorkerHandle] = []
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._work_tasks: Set[asyncio.Future] = set()
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._shutdown_requested: Optional[asyncio.Event] = None
+
+    # ---- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the worker pool and start accepting connections."""
+        for shard in range(self.workers):
+            handle = WorkerHandle(shard)
+            await handle.start()
+            self._handles.append(handle)
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port, limit=_STREAM_LIMIT)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight work (up to
+        ``drain_grace`` seconds), stop the workers, close connections."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [t for t in self._work_tasks if not t.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=self.drain_grace)
+        for handle in self._handles:
+            await handle.stop()
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except RuntimeError:  # pragma: no cover - loop teardown race
+                pass
+        conns = [t for t in self._conn_tasks if not t.done()]
+        if conns:
+            await asyncio.wait(conns, timeout=2.0)
+
+    async def serve_forever(self) -> int:
+        """CLI mode: start, announce, run until SIGTERM/SIGINT, drain."""
+        await self.start()
+        loop = asyncio.get_event_loop()
+        self._shutdown_requested = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig,
+                                        self._shutdown_requested.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        print(f"repro service listening on {self.host}:{self.port} "
+              f"({self.workers} worker"
+              f"{'s' if self.workers != 1 else ''}, pid {os.getpid()})",
+              flush=True)
+        await self._shutdown_requested.wait()
+        print("repro service draining...", flush=True)
+        await self.shutdown()
+        print("repro service stopped", flush=True)
+        return 0
+
+    # ---- connection handling --------------------------------------------
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        self.stats.connections += 1
+        self._writers.add(writer)
+        self._conn_tasks.add(asyncio.current_task())
+        write_lock = asyncio.Lock()
+        tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # unframeable input: answer once, then give up on
+                    # the stream (we cannot find the next boundary)
+                    await self._write(writer, write_lock, error_response(
+                        None, "bad-request", "request line too long"))
+                    break
+                except ConnectionError:
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.wait(tasks)
+        finally:
+            self._writers.discard(writer)
+            self._conn_tasks.discard(asyncio.current_task())
+            try:
+                writer.close()
+            except RuntimeError:  # pragma: no cover - teardown race
+                pass
+
+    async def _serve_line(self, line: bytes,
+                          writer: asyncio.StreamWriter,
+                          write_lock: asyncio.Lock) -> None:
+        try:
+            obj = protocol.decode_line(line)
+        except protocol.ProtocolError as exc:
+            self.stats.errors += 1
+            await self._write(writer, write_lock, error_response(
+                None, "bad-request", str(exc)))
+            return
+        requests = obj if isinstance(obj, list) else [obj]
+        if not requests:
+            await self._write(writer, write_lock, error_response(
+                None, "bad-request", "empty batch"))
+            return
+        aws = [self._serve_one(req, writer, write_lock)
+               for req in requests]
+        await asyncio.gather(*aws)
+
+    async def _serve_one(self, obj: Any, writer: asyncio.StreamWriter,
+                         write_lock: asyncio.Lock) -> None:
+        t0 = time.monotonic()
+        self.stats.requests += 1
+        try:
+            req = protocol.validate_request(obj)
+        except protocol.ProtocolError as exc:
+            resp = error_response(exc.request_id, "bad-request", str(exc))
+        else:
+            self.stats.by_op[req["op"]] = \
+                self.stats.by_op.get(req["op"], 0) + 1
+            resp = await self._dispatch(req)
+        if not resp.get("ok"):
+            self.stats.errors += 1
+        resp["elapsed_ms"] = round((time.monotonic() - t0) * 1000.0, 3)
+        self.stats.responses += 1
+        await self._write(writer, write_lock, resp)
+
+    @staticmethod
+    async def _write(writer: asyncio.StreamWriter,
+                     write_lock: asyncio.Lock, resp: Dict[str, Any]) -> None:
+        async with write_lock:
+            try:
+                writer.write(protocol.encode(resp))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass  # client went away; the work is done regardless
+
+    # ---- dispatch --------------------------------------------------------
+    async def _dispatch(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        rid, op = req["id"], req["op"]
+        if op == "ping":
+            return ok_response(rid, "ping", {
+                "pong": True, "protocol": protocol.PROTOCOL_VERSION,
+                "workers": self.workers, "draining": self._draining})
+        if op == "stats":
+            return ok_response(rid, "stats", await self._stats_result())
+        # work ops: compile / run / campaign
+        if self._draining:
+            return error_response(rid, "shutdown",
+                                  "daemon is draining; resubmit elsewhere")
+        try:
+            key = protocol.request_key(req)
+        except ValueError as exc:
+            return error_response(rid, "bad-request", str(exc))
+        fut = self._inflight.get(key)
+        dedup = fut is not None
+        if dedup:
+            self.stats.deduped += 1
+        else:
+            fut = asyncio.ensure_future(self._execute(req, key))
+            self._inflight[key] = fut
+            self._work_tasks.add(fut)
+            fut.add_done_callback(self._work_tasks.discard)
+            fut.add_done_callback(
+                lambda f, k=key: self._inflight.pop(k, None))
+            # every waiter may stop listening (timeouts); mark the
+            # outcome retrieved so the loop never logs a stray error
+            fut.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None)
+        timeout_ms = req.get("timeout_ms")
+        try:
+            outcome = await asyncio.wait_for(
+                asyncio.shield(fut),
+                timeout_ms / 1000.0 if timeout_ms else None)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            return error_response(
+                rid, "timeout",
+                f"no result within {timeout_ms}ms (work continues; an "
+                f"identical request may reuse it)", dedup=dedup)
+        except _WorkError as exc:
+            return error_response(rid, exc.err_type, str(exc), dedup=dedup)
+        resp = dict(outcome, id=rid, dedup=dedup)
+        return resp
+
+    async def _execute(self, req: Dict[str, Any],
+                       key: str) -> Dict[str, Any]:
+        """Run one deduplicated work request on its shard; returns the
+        template response (no ``id``/``dedup`` — each waiter adds its
+        own).  Raises :class:`_WorkError` on typed failures."""
+        wire = {k: v for k, v in req.items() if k != "timeout_ms"}
+        if self.workers == 0:
+            resp = await asyncio.to_thread(worker_mod.handle_request, wire)
+            shard = None
+        else:
+            from ..pipeline import shard_of
+
+            shard = shard_of(key, self.workers)
+            handle = self._handles[shard]
+            if not handle.alive:
+                handle = WorkerHandle(shard)
+                await handle.start()
+                self._handles[shard] = handle
+                self.stats.worker_restarts += 1
+            resp = await handle.submit(wire)
+        if not resp.get("ok"):
+            error = resp.get("error") or {}
+            raise _WorkError(error.get("type", "internal"),
+                             error.get("message", "unknown worker error"))
+        template = {"ok": True, "op": req["op"], "result": resp["result"]}
+        if "cached" in resp:
+            template["cached"] = resp["cached"]
+        if shard is not None:
+            template["worker"] = shard
+        return template
+
+    # ---- stats -----------------------------------------------------------
+    async def _stats_result(self) -> Dict[str, Any]:
+        workers = []
+        for handle in self._handles:
+            entry: Dict[str, Any] = {
+                "shard": handle.shard,
+                "alive": handle.alive,
+                "pid": handle.proc.pid if handle.proc else None,
+                "requests": handle.requests,
+            }
+            if handle.alive:
+                try:
+                    resp = await handle.submit({"op": worker_mod.STATS_OP})
+                    entry["cache"] = resp.get("result", {})
+                except _WorkError:
+                    entry["alive"] = False
+            workers.append(entry)
+        if self.workers == 0:
+            resp = await asyncio.to_thread(
+                worker_mod.handle_request, {"op": worker_mod.STATS_OP,
+                                            "id": 0})
+            workers.append({"shard": None, "alive": True,
+                            "pid": os.getpid(),
+                            "cache": resp.get("result", {})})
+        payload = self.stats.to_dict()
+        payload.update({
+            "draining": self._draining,
+            "inflight": len(self._inflight),
+            "compiles": sum(w.get("cache", {}).get("misses", 0)
+                            for w in workers),
+            "cache_hits": sum(w.get("cache", {}).get("hits", 0)
+                              for w in workers),
+            "workers": workers,
+        })
+        return payload
+
+
+class DaemonThread:
+    """A daemon running on a background thread's event loop — the
+    harness tests, benchmarks and notebooks embed::
+
+        with DaemonThread(workers=0) as daemon:
+            client = ServiceClient(port=daemon.port)
+            ...
+
+    ``stop()`` (or leaving the ``with`` block) performs the same
+    graceful drain as SIGTERM."""
+
+    def __init__(self, **kwargs: Any) -> None:
+        import threading
+
+        self.daemon: Optional[Daemon] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main(kwargs)),
+            name="repro-service", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._failure is not None:
+            raise self._failure
+        if self.port is None:
+            raise RuntimeError("service daemon failed to start in time")
+
+    async def _main(self, kwargs: Dict[str, Any]) -> None:
+        try:
+            self.daemon = Daemon(**kwargs)
+            self._loop = asyncio.get_event_loop()
+            self._stop = asyncio.Event()
+            await self.daemon.start()
+            self.host, self.port = self.daemon.host, self.daemon.port
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            self._failure = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.daemon.shutdown()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "DaemonThread":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def run_daemon(host: str = "127.0.0.1", port: int = 7457,
+               workers: int = 2, drain_grace: float = 10.0) -> int:
+    """Blocking CLI entry: serve until SIGTERM/SIGINT, drain, exit 0."""
+    return asyncio.run(
+        Daemon(host=host, port=port, workers=workers,
+               drain_grace=drain_grace).serve_forever())

@@ -1,0 +1,178 @@
+"""The worker-process side of the service pool.
+
+Each worker is a subprocess running :func:`main`: it reads one JSON
+request per line on stdin, executes it through the pipeline, and
+writes one JSON response per line on stdout.  The daemon
+(:mod:`repro.service.daemon`) owns the sockets, sharding and
+deduplication; a worker only ever sees requests whose content key
+hashes into its shard, so its process-wide
+:class:`~repro.pipeline.CompileCache` *is* that shard — warm keys stay
+warm for the worker's whole lifetime without any cross-process cache
+coherence.
+
+:func:`handle_request` is a pure request→response function so the
+daemon's in-process mode (``workers=0``) and the tests can call it
+directly; it never raises — every failure becomes a typed error
+response (:data:`~repro.service.protocol.ERROR_TYPES`), because a
+request must never be able to kill its worker.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict
+
+from . import protocol
+from .registry import resolve_config
+
+#: sentinel ops the daemon (not clients) sends to its workers
+STATS_OP = "__stats__"
+EXIT_OP = "__exit__"
+
+
+def _cache():
+    from ..pipeline import default_cache
+
+    return default_cache()
+
+
+def _compile(req: Dict[str, Any]):
+    """The shared compile step of ``compile`` and ``run``: returns
+    ``(CompileResult, hit)`` where ``hit`` says the shard cache already
+    held the key."""
+    from ..pipeline import compile_program
+
+    cache = _cache()
+    hits_before = cache.hits
+    compiled = compile_program(
+        req["source"],
+        resolve_config(req.get("config", "base")),
+        train_inputs=req.get("train", []),
+        fuel=req.get("fuel", 50_000_000),
+        failsafe=req.get("failsafe", True),
+        cache=cache,
+    )
+    return compiled, cache.hits > hits_before
+
+
+def _handle_compile(req: Dict[str, Any]) -> Dict[str, Any]:
+    compiled, hit = _compile(req)
+    program = compiled.program
+    result = {
+        "functions": len(program.functions),
+        "instructions": sum(len(block.instrs)
+                            for fn in program.functions.values()
+                            for block in fn.blocks),
+        "degraded": list(compiled.degraded),
+        "diagnostics": [str(d) for d in compiled.diagnostics],
+    }
+    return protocol.ok_response(req["id"], "compile", result, cached=hit)
+
+
+def _handle_run(req: Dict[str, Any]) -> Dict[str, Any]:
+    from ..pipeline import OutputMismatch
+    from ..profiling import run_module
+    from ..target import run_program
+
+    compiled, hit = _compile(req)
+    fuel = req.get("fuel", 50_000_000)
+    ref_inputs = req.get("ref", [])
+    stats, output = run_program(compiled.program, inputs=ref_inputs,
+                                fuel=4 * fuel)
+    if req.get("check", True):
+        expected = run_module(compiled.original, fuel=fuel,
+                              inputs=ref_inputs)
+        if output != expected:
+            raise OutputMismatch(expected, output)
+    result = {
+        "output": list(output),
+        "stats": stats.to_dict(),
+        "degraded": list(compiled.degraded),
+    }
+    return protocol.ok_response(req["id"], "run", result, cached=hit)
+
+
+def _handle_campaign(req: Dict[str, Any]) -> Dict[str, Any]:
+    from ..hazards import run_campaign
+
+    config = req.get("config")
+    report = run_campaign(
+        workload_names=req.get("workloads"),
+        config=resolve_config(config) if config else None,
+        scenarios=tuple(req.get("scenarios", ["poison"])),
+        seeds=[int(s) for s in req.get("seeds", [0])],
+        jobs=1,  # the pool itself is the parallelism
+    )
+    result = {
+        "runs": len(report.runs),
+        "mismatches": len(report.failures),
+        "ok": report.ok,
+        "deferred_faults": sum(r.deferred_faults for r in report.runs),
+        "recoveries": report.total_recoveries,
+        "check_misses": sum(r.check_misses for r in report.runs),
+        "degraded": list(report.degraded),
+        "summary": report.summary(),
+    }
+    return protocol.ok_response(req["id"], "campaign", result)
+
+
+def handle_request(req: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one already-validated work request; never raises."""
+    from ..errors import FuelExhausted
+    from ..pipeline import OutputMismatch
+
+    rid = req.get("id")
+    try:
+        op = req.get("op")
+        if op == "compile":
+            return _handle_compile(req)
+        if op == "run":
+            return _handle_run(req)
+        if op == "campaign":
+            return _handle_campaign(req)
+        if op == STATS_OP:
+            return protocol.ok_response(rid, STATS_OP, _cache().stats())
+        return protocol.error_response(rid, "bad-request",
+                                       f"worker cannot handle op {op!r}")
+    except OutputMismatch as exc:
+        return protocol.error_response(rid, "output-mismatch",
+                                       exc.diff())
+    except FuelExhausted as exc:
+        return protocol.error_response(
+            rid, "fuel-exhausted",
+            f"fuel exhausted in {exc.context()}")
+    except ValueError as exc:  # bad config spec, bad workload name, ...
+        return protocol.error_response(rid, "bad-request", str(exc))
+    except Exception as exc:  # noqa: BLE001 — the worker must survive
+        return protocol.error_response(
+            rid, "compile-error", f"{type(exc).__name__}: {exc}")
+
+
+def main() -> int:
+    """NDJSON request loop over stdin/stdout (one request at a time —
+    the pool, not the worker, is the unit of parallelism)."""
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    for line in stdin:
+        if not line.strip():
+            continue
+        try:
+            req = protocol.decode_line(line)
+        except protocol.ProtocolError as exc:
+            stdout.write(protocol.encode(protocol.error_response(
+                None, "bad-request", str(exc))))
+            stdout.flush()
+            continue
+        if isinstance(req, dict) and req.get("op") == EXIT_OP:
+            stdout.write(protocol.encode(protocol.ok_response(
+                req.get("id"), EXIT_OP, {"draining": True})))
+            stdout.flush()
+            break
+        resp = handle_request(req if isinstance(req, dict) else {})
+        stdout.write(protocol.encode(resp))
+        stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

@@ -3,10 +3,11 @@ CFGs and on CFGs of random generated programs."""
 
 import random
 
-import networkx as nx
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+nx = pytest.importorskip("networkx")
 
 from repro.analysis import DominatorTree
 from repro.ir import INT, FunctionBuilder, Jump, CondBr, Return

@@ -78,7 +78,9 @@ def test_parallel_campaign_bit_identical():
     kwargs = dict(workload_names=["art", "parser"],
                   scenarios=("poison", "storm"), seeds=(0, 1))
     seq = run_campaign(jobs=1, **kwargs)
-    par = run_campaign(jobs=2, **kwargs)
+    # force_parallel: this matrix is below the measured break-even, but
+    # the point here is the pool machinery itself, on any host
+    par = run_campaign(jobs=2, force_parallel=True, **kwargs)
     assert [vars(r) for r in par.runs] == [vars(r) for r in seq.runs]
     assert par.degraded == seq.degraded
 
@@ -90,8 +92,25 @@ def test_parallel_campaign_with_adversary():
     kwargs = dict(workload_names=["parser"], scenarios=("poison",),
                   seeds=(0,), profile_transform=ADVERSARIES["invert"])
     seq = run_campaign(jobs=1, **kwargs)
-    par = run_campaign(jobs=2, **kwargs)
+    par = run_campaign(jobs=2, force_parallel=True, **kwargs)
     assert [vars(r) for r in par.runs] == [vars(r) for r in seq.runs]
+
+
+def test_parallel_break_even_fallback_is_bit_identical():
+    """Below the measured break-even (fewer than PARALLEL_MIN_CPUS
+    CPUs, or a matrix smaller than PARALLEL_MIN_RUNS) ``jobs=4``
+    silently takes the serial path — and whichever path a host picks,
+    the report is bit-for-bit identical to ``jobs=1``."""
+    from repro.hazards.campaign import PARALLEL_MIN_RUNS
+
+    kwargs = dict(workload_names=["parser", "bzip2"],
+                  scenarios=("poison",), seeds=(0, 1))
+    total = 2 * 1 * 2
+    assert total < PARALLEL_MIN_RUNS  # this matrix sits below break-even
+    seq = run_campaign(jobs=1, **kwargs)
+    par = run_campaign(jobs=4, **kwargs)  # serial fallback on small boxes
+    assert [vars(r) for r in par.runs] == [vars(r) for r in seq.runs]
+    assert par.degraded == seq.degraded
 
 
 @pytest.mark.faultinject

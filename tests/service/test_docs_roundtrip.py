@@ -1,0 +1,82 @@
+"""docs/service.md cannot drift from the implementation: every fenced
+``json`` block in the page must validate against the real wire schema
+(`repro.service.protocol`).  Documentation examples here are test
+inputs, not prose."""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.service import protocol
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "service.md"
+
+_FENCE = re.compile(r"```json\n(.*?)```", re.DOTALL)
+
+
+def _json_blocks():
+    blocks = _FENCE.findall(DOC.read_text())
+    assert blocks, "docs/service.md must contain ```json examples"
+    return blocks
+
+
+def _classify(obj):
+    """A documented snippet is a request, a response, or a batch."""
+    if isinstance(obj, list):
+        return "batch"
+    if isinstance(obj, dict) and "ok" in obj:
+        return "response"
+    if isinstance(obj, dict) and "op" in obj:
+        return "request"
+    raise AssertionError(f"undocumentable JSON shape: {obj!r}")
+
+
+@pytest.mark.parametrize("block", _json_blocks(),
+                         ids=lambda b: b.strip()[:40])
+def test_documented_snippet_matches_wire_schema(block):
+    obj = json.loads(block)  # the example must at least be valid JSON
+    kind = _classify(obj)
+    if kind == "batch":
+        assert obj, "a documented batch must not be empty"
+        for req in obj:
+            protocol.validate_request(req)
+    elif kind == "request":
+        protocol.validate_request(obj)
+    else:
+        protocol.validate_response(obj)
+
+
+def test_docs_cover_every_op_and_error_family():
+    """The protocol page documents each op at least once, and shows both
+    an ok response and a typed error."""
+    kinds = {"request": [], "response": [], "batch": []}
+    for block in _json_blocks():
+        obj = json.loads(block)
+        kinds[_classify(obj)].append(obj)
+    documented_ops = {req["op"] for req in kinds["request"]}
+    documented_ops.update(req["op"] for batch in kinds["batch"]
+                          for req in batch)
+    assert documented_ops == set(protocol.OPS)
+    assert any(resp["ok"] for resp in kinds["response"])
+    error_types = {resp["error"]["type"] for resp in kinds["response"]
+                   if not resp["ok"]}
+    assert error_types, "docs must show at least one typed error"
+    assert error_types <= set(protocol.ERROR_TYPES)
+
+
+def test_docs_name_every_error_type():
+    """The closed error set is listed verbatim in the page, so a new
+    type cannot ship undocumented."""
+    text = DOC.read_text()
+    for err_type in protocol.ERROR_TYPES:
+        assert f"`{err_type}`" in text, \
+            f"error type {err_type!r} missing from docs/service.md"
+
+
+def test_framing_round_trip_of_documented_examples():
+    """Every documented object survives the real encode/decode path."""
+    for block in _json_blocks():
+        obj = json.loads(block)
+        assert protocol.decode_line(protocol.encode(obj)) == obj
