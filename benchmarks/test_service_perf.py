@@ -13,7 +13,10 @@ The hard assertions are the service's reason to exist:
   all 8 clients and both phases — in-flight dedup absorbs concurrent
   duplicates, the shard caches absorb sequential ones;
 * the warm phase answers entirely from the shard caches;
-* SIGTERM drains gracefully: the daemon exits 0.
+* SIGTERM drains gracefully: the daemon exits 0;
+* a restart with ``--cache-dir`` comes back **warm**: the second
+  generation's first contact with every key is answered from disk,
+  at a hit-rate no worse than the first generation's warm phase.
 """
 
 import json
@@ -36,19 +39,18 @@ REQUESTS = 4   # per client per phase: one full sweep of the key space
 KEYS = 4
 WORKERS = 2
 
-#: filled by the load test, written by the final test (file order)
-REPORT = {"load": None, "drain_exit_code": None}
+#: filled by the load tests, written by the final test (file order)
+REPORT = {"load": None, "drain_exit_code": None, "restart": None}
 
 
-@pytest.fixture(scope="module")
-def service():
-    """The daemon as a real subprocess via the CLI entry point."""
+def _boot(*extra_args):
+    """One daemon subprocess via the CLI entry point: (proc, port)."""
     env = dict(os.environ)
     src = os.path.abspath(os.path.join(REPO_ROOT, "src"))
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
-         "--port", "0", "--workers", str(WORKERS)],
+         "--port", "0", "--workers", str(WORKERS), *extra_args],
         env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True)
     banner = proc.stdout.readline()
@@ -56,6 +58,18 @@ def service():
     assert "listening on" in banner, banner
     port = int(banner.split("listening on ", 1)[1]
                .split()[0].rsplit(":", 1)[1])
+    return proc, port
+
+
+def _drain(proc):
+    proc.send_signal(signal.SIGTERM)
+    return proc.wait(timeout=60)
+
+
+@pytest.fixture(scope="module")
+def service():
+    """The daemon as a real subprocess via the CLI entry point."""
+    proc, port = _boot()
     yield proc, port
     if proc.poll() is None:
         proc.kill()
@@ -90,29 +104,82 @@ def test_load_dedup_acceptance(service):
 def test_graceful_drain_exits_zero(service):
     """SIGTERM after the load: drain, stop workers, exit code 0."""
     proc, _ = service
-    proc.send_signal(signal.SIGTERM)
-    code = proc.wait(timeout=60)
+    code = _drain(proc)
     assert code == 0, f"daemon exited {code} on SIGTERM (expected a " \
                       f"graceful drain); output:\n{proc.stdout.read()}"
     REPORT["drain_exit_code"] = code
+
+
+def test_restart_with_cache_dir_is_warm(tmp_path_factory):
+    """Kill-and-reboot with ``--cache-dir``: the second generation
+    answers the whole key space from disk — zero recompiles, a
+    first-contact hit-rate at least the first generation's warm-phase
+    hit-rate (docs/service.md, "Cache persistence")."""
+    cache_dir = str(tmp_path_factory.mktemp("service-cache"))
+
+    proc, port = _boot("--cache-dir", cache_dir)
+    try:
+        first = run_load(port=port, clients=CLIENTS, requests=REQUESTS,
+                         keys=KEYS, skew=0.0, op="run", seed=0,
+                         phases=("cold", "warm"), timeout=300.0)
+    finally:
+        assert _drain(proc) == 0
+    assert all(p.errors == 0 for p in first.phases.values()), \
+        first.summary()
+    stored = first.daemon_stats.get("persist_stores", 0)
+    assert stored == KEYS, \
+        f"generation 1 persisted {stored} entries for {KEYS} keys"
+    warm_rate_pre = (first.phases["warm"].cached
+                     / first.phases["warm"].requests)
+
+    proc, port = _boot("--cache-dir", cache_dir)
+    try:
+        second = run_load(port=port, clients=CLIENTS, requests=REQUESTS,
+                          keys=KEYS, skew=0.0, op="run", seed=0,
+                          phases=("cold", "warm"), timeout=300.0)
+    finally:
+        assert _drain(proc) == 0
+    print("\n" + second.summary())
+    assert all(p.errors == 0 for p in second.phases.values()), \
+        second.summary()
+    assert second.compiles == 0, \
+        f"restarted daemon recompiled {second.compiles} keys the " \
+        f"disk store already held"
+    cold2 = second.phases["cold"]
+    warm_rate_post = cold2.cached / cold2.requests
+    assert warm_rate_post >= warm_rate_pre, \
+        f"restart hit-rate {warm_rate_post:.2f} fell below the " \
+        f"pre-restart warm hit-rate {warm_rate_pre:.2f}"
+    REPORT["restart"] = {
+        "warm_hit_rate_pre": warm_rate_pre,
+        "warm_hit_rate_post": warm_rate_post,
+        "persisted": first.persisted,
+        "compiles_after_restart": second.compiles,
+        "time_to_ready_s": second.time_to_ready_s,
+    }
 
 
 def test_write_bench_service_json():
     """Assemble BENCH_service.json (the CI ``service`` artifact)."""
     assert REPORT["load"] is not None, "load phase did not run"
     assert REPORT["drain_exit_code"] == 0
+    assert REPORT["restart"] is not None, "restart phase did not run"
     doc = {
-        "schema": 1,
+        "schema": 2,
         "cpu_count": os.cpu_count(),
         "workers": WORKERS,
         "drain_exit_code": REPORT["drain_exit_code"],
+        "restart": REPORT["restart"],
     }
     doc.update(REPORT["load"].to_dict())
     with open(BENCH_PATH, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
     warm = doc["phases"]["warm"]
+    restart = doc["restart"]
     print(f"\nBENCH_service.json: {doc['compiles']} compiles for "
           f"{doc['keys']} keys, {doc['deduped']} deduped, warm p50 "
           f"{warm['p50_ms']:.2f}ms / p99 {warm['p99_ms']:.2f}ms at "
-          f"{warm['req_per_s']:.0f} req/s")
+          f"{warm['req_per_s']:.0f} req/s; restart hit-rate "
+          f"{restart['warm_hit_rate_post']:.2f} (pre "
+          f"{restart['warm_hit_rate_pre']:.2f})")

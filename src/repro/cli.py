@@ -13,10 +13,13 @@ Usage::
                              [--adversary empty|shuffle|invert] [--jobs N]
     python -m repro figures [--out DIR]
     python -m repro serve [--host H] [--port P] [--workers N]
+                          [--max-queue-depth N] [--max-inflight N]
+                          [--cache-dir DIR]
     python -m repro submit (--ping | --stats | FILE) [--op run|compile]
                            [--config SPEC] [--train ...] [--ref ...]
     python -m repro loadgen [--clients N] [--requests N] [--keys K]
                             [--skew S] [--json FILE]
+    python -m repro chaos [--seed N] [--scenarios a,b] [--report FILE]
 
 ``run`` compiles and simulates one mini-C file and prints its output and
 counters; ``compare`` prints the base-vs-speculative row for a file;
@@ -196,7 +199,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     return run_daemon(host=args.host, port=args.port,
                       workers=args.workers,
-                      drain_grace=args.drain_grace)
+                      drain_grace=args.drain_grace,
+                      max_queue_depth=args.max_queue_depth,
+                      max_inflight=args.max_inflight,
+                      cache_dir=args.cache_dir)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .hazards.service_chaos import SERVICE_SCENARIOS, \
+        run_service_campaign
+
+    scenarios = tuple(args.scenarios.split(",")) if args.scenarios \
+        else SERVICE_SCENARIOS
+    report = run_service_campaign(scenarios=scenarios, seed=args.seed)
+    print(report.summary())
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report.matrix())
+            f.write("\n")
+        print(f"report written to {args.report}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -362,7 +384,37 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECS",
                        help="how long SIGTERM waits for in-flight "
                             "requests before stopping the workers")
+    serve.add_argument("--max-queue-depth", type=int, default=0,
+                       metavar="N",
+                       help="per-worker queue bound: beyond N queued "
+                            "work requests a shard sheds with a typed "
+                            "'overload' error carrying retry_after_ms "
+                            "(0 = unbounded)")
+    serve.add_argument("--max-inflight", type=int, default=0,
+                       metavar="N",
+                       help="daemon-wide in-flight work bound; beyond "
+                            "it new work is shed with 'overload' "
+                            "(0 = unbounded)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="persist successful responses to DIR so a "
+                            "restarted daemon answers warm keys from "
+                            "disk (docs/service.md)")
     serve.set_defaults(fn=_cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded service-level chaos campaign: worker "
+                      "kills, stalls, dropped connections, overload "
+                      "storms and SIGTERM under load — every request "
+                      "must end in exactly one typed outcome "
+                      "(docs/service.md)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--scenarios",
+                       help="comma-separated scenario names (default: "
+                            "all; see `repro chaos --help`)")
+    chaos.add_argument("--report", metavar="FILE",
+                       help="also write the scenario x outcome matrix "
+                            "to FILE (results/service_chaos.txt in CI)")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     submit = sub.add_parser(
         "submit", help="send one request to a running daemon")

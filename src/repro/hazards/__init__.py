@@ -18,9 +18,14 @@ from .campaign import CampaignReport, InjectedRun, run_campaign
 from .injector import SCENARIOS, Injector, make_injector
 from .profiles import (ADVERSARIES, empty_profile, invert_profile,
                        shuffle_profile)
+from .service_chaos import (FAST_SCENARIOS, SERVICE_SCENARIOS,
+                            ScenarioResult, ServiceChaosReport,
+                            run_service_campaign)
 
 __all__ = [
-    "ADVERSARIES", "CampaignReport", "InjectedRun", "Injector", "SCENARIOS",
-    "empty_profile", "invert_profile", "make_injector", "run_campaign",
+    "ADVERSARIES", "CampaignReport", "FAST_SCENARIOS", "InjectedRun",
+    "Injector", "SCENARIOS", "SERVICE_SCENARIOS", "ScenarioResult",
+    "ServiceChaosReport", "empty_profile", "invert_profile",
+    "make_injector", "run_campaign", "run_service_campaign",
     "shuffle_profile",
 ]

@@ -1,0 +1,596 @@
+"""Service-level chaos campaign (docs/service.md, "Overload & recovery").
+
+The fault-injection campaign (:mod:`repro.hazards.campaign`) perturbs
+the *machine* mid-run; this module perturbs the *service* around it:
+worker processes killed mid-request, workers stalling past a request's
+``timeout_ms``, client connections dropped mid-batch, overload storms
+from greedy clients, and SIGTERM-style drain under load.  The oracle is
+the service contract:
+
+* **exactly one outcome** — every awaited request ends in exactly one
+  of {ok result, typed error}; ``ok + errors == requests``, no request
+  is silently dropped and none resolves twice;
+* **no hangs** — every client call returns within its socket deadline;
+  the scenario itself is bounded;
+* **typed degradation** — a shed is a typed ``overload`` error carrying
+  a ``retry_after_ms`` hint, a kill is ``worker-crash``, a stall is
+  ``timeout``, drain is ``shutdown`` — never a raw disconnect for work
+  the daemon accepted;
+* **no duplicate work beyond dedup accounting** — the daemon-side
+  compile counter moves by at most the number of distinct keys issued;
+* **bit-identical results across retries** — a request retried after a
+  shed/crash/timeout returns the same ``result`` payload as any other
+  attempt of the same key.
+
+Everything that lands in the report matrix is **deterministic** for a
+given seed: counts of requests, outcomes by type, sheds, retried keys
+and respawns — never latencies or attempt counts, which depend on
+wall-clock scheduling.  Two runs of :func:`run_service_campaign` with
+the same seed therefore produce bit-identical matrices; CI regenerates
+``results/service_chaos.txt`` and diffs it.
+
+Scenario families (:data:`SERVICE_SCENARIOS`):
+
+============== ==========================================================
+overload-storm blockers occupy every ``max_inflight`` slot; further
+               work must shed with typed ``overload`` + hint, and every
+               shed key must later succeed through client backoff
+slow-worker    work outlasting its ``timeout_ms`` returns a typed
+               ``timeout``; the work keeps running and an identical
+               request reuses it
+conn-drop      a client sends a batch and drops the connection before
+               reading; the daemon survives and re-issued keys succeed
+worker-kill    SIGKILL a worker subprocess mid-request: typed
+               ``worker-crash``, exactly one respawn, retry succeeds
+daemon-sigterm drain under load: in-flight work completes, new work on
+               an open connection gets a typed ``shutdown`` error
+============== ==========================================================
+
+:data:`FAST_SCENARIOS` is the in-process (``workers=0``) subset the
+tier-1 bit-identity test runs twice; the subprocess scenarios ride in
+the full campaign (``python -m repro chaos``, the CI ``chaos`` job).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: every scenario family, in campaign order
+SERVICE_SCENARIOS = ("overload-storm", "slow-worker", "conn-drop",
+                     "worker-kill", "daemon-sigterm")
+
+#: the in-process subset (no worker subprocesses) — fast enough to run
+#: twice in tier-1 and assert the matrices bit-identical
+FAST_SCENARIOS = ("overload-storm", "slow-worker", "conn-drop")
+
+#: hard per-scenario wall bound: a scenario not done by then is a hang,
+#: which is itself an oracle failure
+SCENARIO_DEADLINE_S = 120.0
+
+#: ``{salt}`` keeps content keys distinct per scenario/probe; the loop
+#: bound comes from ``input()`` (the ``ref`` input), so execution cost
+#: is paid on *every* run — a warm compile cache cannot speed a blocker
+#: up, which is what keeps the scenarios deterministic across runs.
+_SOURCE = """
+void main() {{
+  int n; int i; int s;
+  n = input();
+  i = 0; s = {salt};
+  while (i < n) {{ s = s + i; i = i + 1; }}
+  print(s);
+}}
+"""
+
+#: ~1.5s of simulated+checked execution — the "slow" knob
+_SLOW_ITERS = 600_000
+#: comfortably past a 120ms timeout_ms, comfortably under a second
+_STALL_ITERS = 300_000
+#: milliseconds: fast probes
+_FAST_ITERS = 4
+
+
+def _work(salt: int, iters: int, **extra: Any) -> Dict[str, Any]:
+    """One ``run`` work request with a scenario-distinct content key."""
+    req = {"op": "run", "source": _SOURCE.format(salt=salt),
+           "config": "profile", "train": [4], "ref": [iters]}
+    req.update(extra)
+    return req
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's deterministic outcome accounting."""
+
+    name: str
+    #: awaited work requests (non-work ops and dropped batches excluded)
+    requests: int = 0
+    #: requests that resolved with an ok result
+    ok: int = 0
+    #: terminal typed-error outcomes, by error type
+    errors: Dict[str, int] = field(default_factory=dict)
+    #: typed ``overload`` errors observed (terminal or later retried)
+    sheds: int = 0
+    #: keys whose first attempt failed typed-retryable and that were
+    #: resubmitted to success (requests *needing* retry — deterministic,
+    #: unlike attempt counts)
+    retried: int = 0
+    #: worker subprocess respawns (daemon ``worker_restarts`` delta)
+    respawns: int = 0
+    #: distinct ``result`` payloads observed for the repeated probe key
+    #: (the bit-identical-across-retries check; must be 1)
+    distinct_results: int = 0
+    oracle_ok: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    def fail(self, note: str) -> None:
+        self.oracle_ok = False
+        self.notes.append(note)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": dict(sorted(self.errors.items())),
+            "sheds": self.sheds,
+            "retried": self.retried,
+            "respawns": self.respawns,
+            "distinct_results": self.distinct_results,
+            "oracle_ok": self.oracle_ok,
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class ServiceChaosReport:
+    """All scenarios of one campaign, plus the seed that drove them."""
+
+    seed: int
+    results: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.results) and all(r.oracle_ok for r in self.results)
+
+    def matrix(self) -> str:
+        """The scenario x outcome matrix — every field deterministic
+        for a given seed, so two runs diff clean (results/
+        service_chaos.txt)."""
+        lines = [f"service chaos campaign (seed {self.seed})",
+                 f"{'scenario':<15} {'req':>4} {'ok':>4} "
+                 f"{'typed errors':<28} {'shed':>4} {'retry':>5} "
+                 f"{'respawn':>7} {'distinct':>8} oracle"]
+        for r in self.results:
+            typed = ",".join(f"{t}={n}"
+                             for t, n in sorted(r.errors.items())) or "-"
+            lines.append(
+                f"{r.name:<15} {r.requests:>4} {r.ok:>4} {typed:<28} "
+                f"{r.sheds:>4} {r.retried:>5} {r.respawns:>7} "
+                f"{r.distinct_results:>8} "
+                f"{'PASS' if r.oracle_ok else 'FAIL'}")
+        total_err = sum(sum(r.errors.values()) for r in self.results)
+        lines.append(f"{'total':<15} "
+                     f"{sum(r.requests for r in self.results):>4} "
+                     f"{sum(r.ok for r in self.results):>4} "
+                     f"{f'n={total_err}':<28} "
+                     f"{sum(r.sheds for r in self.results):>4} "
+                     f"{sum(r.retried for r in self.results):>5} "
+                     f"{sum(r.respawns for r in self.results):>7} "
+                     f"{'':>8} "
+                     f"{'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        lines = [self.matrix()]
+        for r in self.results:
+            for note in r.notes:
+                lines.append(f"  {r.name}: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "ok": self.ok,
+                "results": [r.to_dict() for r in self.results]}
+
+
+# ---------------------------------------------------------------------------
+# scenario plumbing
+# ---------------------------------------------------------------------------
+
+def _check_accounting(res: ScenarioResult) -> None:
+    """The exactly-one-outcome invariant: every awaited request
+    resolved exactly once."""
+    resolved = res.ok + sum(res.errors.values())
+    if resolved != res.requests:
+        res.fail(f"outcome accounting broken: {res.requests} requests, "
+                 f"{resolved} outcomes")
+
+
+def _await_typed(res: ScenarioResult, call: Callable[[], Dict[str, Any]]
+                 ) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+    """Issue one awaited request; record its single outcome.  Returns
+    ``(response, None)`` on ok, ``(None, error_type)`` on a typed
+    error, and fails the oracle on anything untyped."""
+    from ..service.client import ServiceError
+
+    res.requests += 1
+    try:
+        resp = call()
+    except ServiceError as exc:
+        res.errors[exc.type] = res.errors.get(exc.type, 0) + 1
+        return None, exc.type
+    except Exception as exc:  # noqa: BLE001 — untyped = oracle failure
+        res.errors["untyped"] = res.errors.get("untyped", 0) + 1
+        res.fail(f"untyped failure: {type(exc).__name__}: {exc}")
+        return None, "untyped"
+    res.ok += 1
+    return resp, None
+
+
+def _wait_for(predicate: Callable[[], bool], deadline_s: float,
+              what: str) -> bool:
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline_s:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+def _poll_stats(client) -> Dict[str, Any]:
+    return client.request({"op": "stats"})["result"]
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+def _scenario_overload_storm(seed: int) -> ScenarioResult:
+    """Blockers fill every ``max_inflight`` slot; further work sheds
+    with typed ``overload`` + ``retry_after_ms``, stats count the
+    sheds, and every shed key later succeeds through backoff."""
+    from ..service import DaemonThread, RetryPolicy, ServiceClient
+    from ..service.client import ServiceError
+
+    res = ScenarioResult("overload-storm")
+    salt = 1_000 + seed * 101
+    with DaemonThread(workers=0, max_inflight=1) as dt:
+        probe = ServiceClient(dt.host, dt.port, timeout=60.0)
+        shed_before = _poll_stats(probe)["shed"]
+        compiles_before = _poll_stats(probe).get("compiles", 0)
+        # one blocker pinned in the single inflight slot (sent raw so
+        # nothing waits on it yet); execution cost, not compile cost,
+        # makes it slow — deterministic even with a warm cache
+        blocker = ServiceClient(dt.host, dt.port, timeout=60.0).connect()
+        blocker._send(dict(_work(salt, _SLOW_ITERS), id=1))
+        if not _wait_for(lambda: _poll_stats(probe)["inflight"] >= 1,
+                         30.0, "blocker in flight"):
+            res.fail("blocker never became in-flight")
+            return res
+        # storm: greedy no-retry probes must every one shed, typed,
+        # with a usable retry hint
+        shed_keys = []
+        for i in range(3):
+            req = _work(salt + 1 + i, _FAST_ITERS)
+            shed_keys.append(req)
+            res.requests += 1
+            try:
+                probe.request(dict(req))
+                res.ok += 1
+                res.fail(f"probe {i} was admitted past max_inflight")
+            except ServiceError as exc:
+                res.errors[exc.type] = res.errors.get(exc.type, 0) + 1
+                if exc.type != "overload":
+                    res.fail(f"probe {i} got {exc.type!r}, not overload")
+                elif exc.retry_after_ms is None or exc.retry_after_ms < 0:
+                    res.fail(f"shed without a retry_after_ms hint")
+                else:
+                    res.sheds += 1
+        # recovery: every shed key resubmitted through backoff must
+        # succeed once the blocker drains
+        retry_client = ServiceClient(
+            dt.host, dt.port, timeout=60.0,
+            retry=RetryPolicy(retries=40, retry_types=("overload",),
+                              base_ms=40.0, factor=1.5, max_ms=300.0,
+                              seed=seed))
+        first_result = None
+        for req in shed_keys:
+            resp, err = _await_typed(
+                res, lambda r=req: retry_client.request(dict(r)))
+            if err is not None:
+                res.fail(f"shed key never recovered: {err}")
+            else:
+                res.retried += 1
+                if first_result is None:
+                    first_result = resp["result"]
+        # the blocker itself must resolve ok (exactly one outcome)
+        res.requests += 1
+        bresp = blocker._recv()
+        if bresp.get("ok"):
+            res.ok += 1
+        else:
+            res.errors["untyped"] = res.errors.get("untyped", 0) + 1
+            res.fail("blocker did not resolve ok")
+        blocker.close()
+        # bit-identical across retries: replay the first shed key
+        resp, err = _await_typed(
+            res, lambda: probe.request(dict(shed_keys[0])))
+        if err is None and first_result is not None:
+            res.distinct_results = \
+                1 if resp["result"] == first_result else 2
+        after = _poll_stats(probe)
+        # the daemon counts every shed *event* — the retry clients'
+        # swallowed attempts included, whose count is timing-dependent
+        # — so the deterministic check is a lower bound
+        if after["shed"] - shed_before < res.sheds:
+            res.fail(f"daemon counted {after['shed'] - shed_before} "
+                     f"sheds, client saw {res.sheds}")
+        distinct_keys = 4  # blocker + 3 probe keys
+        if after.get("compiles", 0) - compiles_before > distinct_keys:
+            res.fail("more compiles than distinct keys (dedup leak)")
+        probe.close()
+    res.oracle_ok = not res.notes
+    if res.distinct_results != 1:
+        res.fail(f"retried key returned {res.distinct_results} distinct "
+                 f"results")
+    _check_accounting(res)
+    return res
+
+
+def _scenario_slow_worker(seed: int) -> ScenarioResult:
+    """Work outlasting its ``timeout_ms`` returns a typed ``timeout``;
+    the work keeps running and an identical request reuses it."""
+    from ..service import DaemonThread, ServiceClient
+
+    res = ScenarioResult("slow-worker")
+    salt = 3_000 + seed * 101
+    with DaemonThread(workers=0) as dt:
+        client = ServiceClient(dt.host, dt.port, timeout=60.0)
+        stall = _work(salt, _STALL_ITERS)
+        _, err = _await_typed(
+            res, lambda: client.request(dict(stall, timeout_ms=120)))
+        if err != "timeout":
+            res.fail(f"stall past timeout_ms gave {err!r}, not timeout")
+        # the work continues server-side; the identical key (no
+        # deadline this time) joins it and must resolve ok
+        resp1, err = _await_typed(res, lambda: client.request(dict(stall)))
+        if err is not None:
+            res.fail(f"rejoined stalled work failed: {err}")
+        resp2, err = _await_typed(res, lambda: client.request(dict(stall)))
+        if err is None and resp1 is not None:
+            res.distinct_results = \
+                1 if resp1["result"] == resp2["result"] else 2
+        client.close()
+    res.oracle_ok = not res.notes
+    if res.distinct_results != 1:
+        res.fail("timeout-then-retry returned divergent results")
+    _check_accounting(res)
+    return res
+
+
+def _scenario_conn_drop(seed: int) -> ScenarioResult:
+    """A client pipelines a batch and drops the connection before
+    reading a single response; the daemon must survive and the same
+    keys must succeed for the next client."""
+    from ..service import DaemonThread, ServiceClient
+
+    res = ScenarioResult("conn-drop")
+    salt = 4_000 + seed * 101
+    keys = [_work(salt + i, 30_000) for i in range(3)]
+    with DaemonThread(workers=0) as dt:
+        dropper = ServiceClient(dt.host, dt.port, timeout=60.0).connect()
+        dropper._send([dict(req, id=i + 1)
+                       for i, req in enumerate(keys)])
+        dropper.close()  # mid-batch drop: nothing awaited, work queued
+        client = ServiceClient(dt.host, dt.port, timeout=60.0)
+        try:
+            client.ping()
+        except Exception as exc:  # noqa: BLE001
+            res.fail(f"daemon unreachable after drop: {exc}")
+            return res
+        compiles_before = _poll_stats(client).get("compiles", 0)
+        first_result = None
+        for req in keys:
+            resp, err = _await_typed(
+                res, lambda r=req: client.request(dict(r)))
+            if err is not None:
+                res.fail(f"re-issued key failed after drop: {err}")
+            elif first_result is None:
+                first_result = resp["result"]
+        # bit-identical: replay the first key
+        resp, err = _await_typed(
+            res, lambda: client.request(dict(keys[0])))
+        if err is None and first_result is not None:
+            res.distinct_results = \
+                1 if resp["result"] == first_result else 2
+        # the dropped batch and the re-issues dedup/cache onto the same
+        # keys; anything beyond the distinct keys is duplicate work
+        compiled = _poll_stats(client).get("compiles", 0) - compiles_before
+        if compiled > len(keys):
+            res.fail(f"dropped batch caused duplicate compiles "
+                     f"({compiled} > {len(keys)} keys)")
+        client.close()
+    res.oracle_ok = not res.notes
+    if res.distinct_results != 1:
+        res.fail("replayed key returned divergent results")
+    _check_accounting(res)
+    return res
+
+
+def _scenario_worker_kill(seed: int) -> ScenarioResult:
+    """SIGKILL the worker subprocess mid-request: the waiter gets a
+    typed ``worker-crash``, the daemon respawns exactly one worker, and
+    the retried request succeeds with the same result as a replay."""
+    from ..service import DaemonThread, ServiceClient
+    from ..service.client import ServiceError
+
+    res = ScenarioResult("worker-kill")
+    salt = 5_000 + seed * 101
+    with DaemonThread(workers=1) as dt:
+        client = ServiceClient(dt.host, dt.port, timeout=60.0)
+        restarts_before = _poll_stats(client)["worker_restarts"]
+        handle = dt.daemon._handles[0]
+        submitted_before = handle.requests
+        req = _work(salt, _SLOW_ITERS)
+        outcome: Dict[str, Any] = {}
+
+        def issue() -> None:
+            try:
+                outcome["resp"] = client.request(dict(req))
+            except ServiceError as exc:
+                outcome["err"] = exc
+            except Exception as exc:  # noqa: BLE001
+                outcome["raw"] = exc
+
+        t = threading.Thread(target=issue, daemon=True)
+        t.start()
+        # the submit counter increments once the request is on the
+        # worker's pipe — the deterministic "mid-request" moment
+        if not _wait_for(lambda: handle.requests > submitted_before,
+                         30.0, "request reaches worker"):
+            res.fail("request never reached the worker")
+            return res
+        os.kill(handle.proc.pid, signal.SIGKILL)
+        t.join(SCENARIO_DEADLINE_S)
+        res.requests += 1
+        if t.is_alive():
+            res.fail("killed worker left its waiter hanging")
+            return res
+        if "err" in outcome and outcome["err"].type == "worker-crash":
+            res.errors["worker-crash"] = 1
+        elif "resp" in outcome:
+            res.ok += 1
+            res.fail("kill landed after completion (expected mid-request)")
+        else:
+            res.errors["untyped"] = 1
+            res.fail(f"untyped outcome from killed worker: "
+                     f"{outcome.get('raw')}")
+        # retry the same key: the daemon respawns the shard on demand
+        resp1, err = _await_typed(res, lambda: client.request(dict(req)))
+        if err is not None:
+            res.fail(f"retry after worker-crash failed: {err}")
+        else:
+            res.retried += 1
+        resp2, err = _await_typed(res, lambda: client.request(dict(req)))
+        if err is None and resp1 is not None:
+            res.distinct_results = \
+                1 if resp1["result"] == resp2["result"] else 2
+        res.respawns = _poll_stats(client)["worker_restarts"] \
+            - restarts_before
+        if res.respawns != 1:
+            res.fail(f"expected exactly 1 respawn, saw {res.respawns}")
+        client.close()
+    res.oracle_ok = not res.notes
+    if res.distinct_results != 1:
+        res.fail("post-respawn retry returned divergent results")
+    _check_accounting(res)
+    return res
+
+
+def _scenario_daemon_sigterm(seed: int) -> ScenarioResult:
+    """Drain under load (the SIGTERM path — ``DaemonThread.stop`` runs
+    the identical shutdown): in-flight work completes and is answered,
+    new work on an already-open connection gets a typed ``shutdown``."""
+    from ..service import DaemonThread, ServiceClient
+    from ..service.client import ServiceError
+
+    res = ScenarioResult("daemon-sigterm")
+    salt = 6_000 + seed * 101
+    dt = DaemonThread(workers=0, drain_grace=60.0)
+    try:
+        client = ServiceClient(dt.host, dt.port, timeout=60.0).connect()
+        probe = ServiceClient(dt.host, dt.port, timeout=60.0).connect()
+        req = _work(salt, _SLOW_ITERS)
+        outcome: Dict[str, Any] = {}
+
+        def issue() -> None:
+            try:
+                outcome["resp"] = client.request(dict(req))
+            except Exception as exc:  # noqa: BLE001
+                outcome["err"] = exc
+
+        t = threading.Thread(target=issue, daemon=True)
+        t.start()
+        if not _wait_for(lambda: _poll_stats(probe)["inflight"] >= 1,
+                         30.0, "work in flight"):
+            res.fail("work never became in-flight")
+            return res
+        # initiate the drain (don't join yet — observe it live)
+        dt._loop.call_soon_threadsafe(dt._stop.set)
+        if not _wait_for(
+                lambda: probe.request({"op": "ping"})["result"]["draining"],
+                30.0, "daemon draining"):
+            res.fail("daemon never reported draining")
+            return res
+        # new work during the drain: typed shutdown, never a hang or
+        # a silent disconnect (the connection pre-dates the drain)
+        res.requests += 1
+        try:
+            probe.request(_work(salt + 1, _FAST_ITERS))
+            res.ok += 1
+            res.fail("work admitted during drain")
+        except ServiceError as exc:
+            res.errors[exc.type] = res.errors.get(exc.type, 0) + 1
+            if exc.type != "shutdown":
+                res.fail(f"drain refused work with {exc.type!r}, "
+                         f"not shutdown")
+        except Exception as exc:  # noqa: BLE001
+            res.errors["untyped"] = res.errors.get("untyped", 0) + 1
+            res.fail(f"untyped refusal during drain: {exc}")
+        # the in-flight request must be answered before the daemon exits
+        t.join(SCENARIO_DEADLINE_S)
+        res.requests += 1
+        if t.is_alive():
+            res.fail("drain abandoned in-flight work (waiter hung)")
+        elif "resp" in outcome and outcome["resp"].get("ok"):
+            res.ok += 1
+        else:
+            res.errors["untyped"] = res.errors.get("untyped", 0) + 1
+            res.fail(f"in-flight work lost during drain: "
+                     f"{outcome.get('err')}")
+        res.distinct_results = 1  # single completion; nothing to diff
+        client.close()
+        probe.close()
+    finally:
+        dt.stop()
+    res.oracle_ok = not res.notes
+    _check_accounting(res)
+    return res
+
+
+_SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
+    "overload-storm": _scenario_overload_storm,
+    "slow-worker": _scenario_slow_worker,
+    "conn-drop": _scenario_conn_drop,
+    "worker-kill": _scenario_worker_kill,
+    "daemon-sigterm": _scenario_daemon_sigterm,
+}
+
+
+def run_service_campaign(scenarios: Sequence[str] = SERVICE_SCENARIOS,
+                         seed: int = 0) -> ServiceChaosReport:
+    """Run the service chaos campaign (see module docstring).
+
+    Each scenario boots its own daemon, applies its perturbation, and
+    checks the service contract; a scenario raising instead of
+    reporting is itself recorded as an oracle failure, so the campaign
+    always returns a full matrix."""
+    report = ServiceChaosReport(seed=seed)
+    for name in scenarios:
+        try:
+            fn = _SCENARIOS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown service scenario {name!r} (expected one of "
+                f"{SERVICE_SCENARIOS})") from None
+        try:
+            result = fn(seed)
+        except Exception as exc:  # noqa: BLE001 — keep the matrix whole
+            result = ScenarioResult(name)
+            result.fail(f"scenario crashed: {type(exc).__name__}: {exc}")
+        report.results.append(result)
+    return report

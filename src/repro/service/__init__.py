@@ -11,7 +11,12 @@ pipeline into a shared service (docs/service.md):
   content-addressed cache by key hash, in-flight deduplication (one
   compile, N waiters), per-request timeouts, typed worker-crash
   errors, graceful drain on SIGTERM;
-* :mod:`repro.service.client` — sync and async client libraries;
+* :mod:`repro.service.client` — sync and async client libraries with
+  retry/backoff policies and a circuit breaker for dead daemons;
+* :mod:`repro.service.backoff` — deterministic (seeded-jitter)
+  exponential backoff, retry policy, circuit breaker, readiness probe;
+* :mod:`repro.service.persist` — on-disk response store behind
+  ``--cache-dir`` so a restarted daemon answers warm keys immediately;
 * :mod:`repro.service.loadgen` — a load generator with configurable
   concurrency and key skew, feeding ``BENCH_service.json``;
 * :mod:`repro.service.registry` — named server configurations
@@ -23,19 +28,23 @@ CLI surface: ``python -m repro serve`` / ``repro submit`` /
 ``repro loadgen``.
 """
 
-from .client import (AsyncServiceClient, ServiceClient, ServiceError,
-                     ServiceTimeout)
+from .backoff import Backoff, CircuitBreaker, RetryPolicy, wait_ready
+from .client import (AsyncServiceClient, ServiceClient, ServiceClosed,
+                     ServiceError, ServiceTimeout, ServiceUnavailable)
 from .daemon import Daemon, DaemonThread, run_daemon
 from .loadgen import LoadReport, run_load
+from .persist import CacheStore
 from .protocol import ProtocolError, request_key, validate_request, \
     validate_response
 from .registry import available_configs, register_config, \
     register_modifier, resolve_config
 
 __all__ = [
-    "AsyncServiceClient", "Daemon", "DaemonThread", "LoadReport",
-    "ProtocolError", "ServiceClient", "ServiceError", "ServiceTimeout",
+    "AsyncServiceClient", "Backoff", "CacheStore", "CircuitBreaker",
+    "Daemon", "DaemonThread", "LoadReport", "ProtocolError",
+    "RetryPolicy", "ServiceClient", "ServiceClosed", "ServiceError",
+    "ServiceTimeout", "ServiceUnavailable",
     "available_configs", "register_config", "register_modifier",
     "request_key", "resolve_config", "run_daemon", "run_load",
-    "validate_request", "validate_response",
+    "validate_request", "validate_response", "wait_ready",
 ]

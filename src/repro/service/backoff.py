@@ -1,0 +1,157 @@
+"""Retry discipline for service clients (docs/service.md).
+
+Past saturation the daemon answers with a typed ``overload`` error and
+a ``retry_after_ms`` hint instead of queueing unboundedly; the pieces
+here are the client half of that contract:
+
+* :class:`Backoff` — exponential delays with **deterministic** (seeded)
+  jitter.  Two clients given different seeds decorrelate; the same seed
+  replays the same delay sequence, which is what lets the chaos
+  campaign and the unit tests assert retry schedules bit-for-bit.
+* :class:`RetryPolicy` — the budget: how many retries, which typed
+  errors are retryable, whether connection failures retry.  The daemon's
+  ``retry_after_ms`` hint is always honoured as a *floor* on the delay.
+* :class:`CircuitBreaker` — after ``threshold`` consecutive connection
+  failures the circuit opens and calls fail fast with
+  :class:`~repro.service.client.ServiceUnavailable` for ``cooldown_s``,
+  so a dead daemon costs microseconds, not a connect timeout per call.
+* :func:`wait_ready` — the readiness probe: ping with backoff until
+  the daemon answers (or the budget runs out), returning time-to-ready.
+
+Nothing here sleeps on its own: the delay schedule is data
+(:meth:`Backoff.delay_s`), and the sync/async clients supply their own
+``time.sleep`` / ``asyncio.sleep``, so every piece is testable without
+wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Backoff:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    Delay for attempt ``n`` (0-based) is ``base_ms * factor**n``,
+    capped at ``max_ms``, then jittered multiplicatively into
+    ``[1 - jitter, 1 + jitter]`` with a private ``random.Random(seed)``
+    stream — the same seed always produces the same schedule."""
+
+    def __init__(self, base_ms: float = 25.0, factor: float = 2.0,
+                 max_ms: float = 2000.0, jitter: float = 0.5,
+                 seed: int = 0) -> None:
+        if base_ms < 0 or factor < 1.0 or not 0.0 <= jitter < 1.0:
+            raise ValueError("base_ms >= 0, factor >= 1, 0 <= jitter < 1")
+        self.base_ms = base_ms
+        self.factor = factor
+        self.max_ms = max_ms
+        self.jitter = jitter
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def delay_ms(self, attempt: int,
+                 retry_after_ms: Optional[float] = None) -> float:
+        """The jittered delay before retry ``attempt`` (0-based),
+        floored at the server's ``retry_after_ms`` hint when given."""
+        raw = min(self.max_ms, self.base_ms * self.factor ** attempt)
+        scale = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        delay = raw * scale
+        if retry_after_ms is not None:
+            delay = max(delay, float(retry_after_ms))
+        return delay
+
+    def delay_s(self, attempt: int,
+                retry_after_ms: Optional[float] = None) -> float:
+        return self.delay_ms(attempt, retry_after_ms) / 1000.0
+
+    def reset(self) -> None:
+        """Rewind the jitter stream to the seed (replay the schedule)."""
+        self._rng = random.Random(self.seed)
+
+
+@dataclass
+class RetryPolicy:
+    """How a client spends its retry budget.
+
+    ``retries`` is the number of *re*-attempts after the first try;
+    ``retry_types`` the typed errors worth retrying (``overload`` sheds
+    are transient by contract; ``worker-crash`` respawns the shard);
+    ``retry_connect`` covers socket-level connect/reset failures."""
+
+    retries: int = 4
+    retry_types: Tuple[str, ...] = ("overload",)
+    retry_connect: bool = True
+    base_ms: float = 25.0
+    factor: float = 2.0
+    max_ms: float = 2000.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def backoff(self) -> Backoff:
+        """A fresh schedule for one logical request."""
+        return Backoff(self.base_ms, self.factor, self.max_ms,
+                       self.jitter, self.seed)
+
+
+@dataclass
+class CircuitBreaker:
+    """A small consecutive-failure circuit breaker.
+
+    Closed: calls pass through.  ``threshold`` consecutive recorded
+    failures open the circuit; while open (for ``cooldown_s``),
+    :meth:`allow` returns False and the client fails fast.  After the
+    cooldown one probe call is allowed (half-open); its outcome closes
+    or re-opens the circuit."""
+
+    threshold: int = 3
+    cooldown_s: float = 1.0
+    clock: callable = time.monotonic
+    failures: int = field(default=0, init=False)
+    opened_at: Optional[float] = field(default=None, init=False)
+
+    @property
+    def open(self) -> bool:
+        return (self.opened_at is not None
+                and self.clock() - self.opened_at < self.cooldown_s)
+
+    def allow(self) -> bool:
+        """May the caller attempt a connection right now?"""
+        return not self.open
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.opened_at = self.clock()
+
+
+def wait_ready(host: str, port: int, budget_s: float = 10.0,
+               policy: Optional[RetryPolicy] = None) -> float:
+    """Ping the daemon with backoff until it answers; returns the
+    time-to-ready in seconds.  Raises the last connection error when
+    the budget elapses without a successful ping."""
+    from .client import ServiceClient
+
+    policy = policy or RetryPolicy(retries=1_000_000, base_ms=20.0,
+                                   max_ms=500.0)
+    backoff = policy.backoff()
+    t0 = time.monotonic()
+    deadline = t0 + budget_s
+    attempt = 0
+    while True:
+        try:
+            with ServiceClient(host, port, timeout=5.0) as client:
+                client.ping()
+            return time.monotonic() - t0
+        except Exception:
+            if time.monotonic() >= deadline:
+                raise
+        time.sleep(min(backoff.delay_s(attempt),
+                       max(0.0, deadline - time.monotonic())))
+        attempt += 1

@@ -15,6 +15,15 @@ protocol of :mod:`repro.service.protocol` and raise
 Batching: :meth:`ServiceClient.submit` pipelines many requests on one
 connection and yields responses **as they complete** (tagged by
 ``id``), which is the protocol's batching model.
+
+Resilience (docs/service.md, "Overload & recovery"): construct a client
+with a :class:`~repro.service.backoff.RetryPolicy` and it retries shed
+(``overload``) requests with exponential, deterministically-jittered
+backoff, honouring the daemon's ``retry_after_ms`` hint, within a
+bounded retry budget; add a
+:class:`~repro.service.backoff.CircuitBreaker` and a dead daemon fails
+fast with :class:`ServiceUnavailable` instead of paying a connect
+timeout per call.
 """
 
 from __future__ import annotations
@@ -22,18 +31,23 @@ from __future__ import annotations
 import asyncio
 import itertools
 import socket
+import time
 from typing import Any, AsyncIterator, Dict, Iterator, List, Optional
 
 from . import protocol
+from .backoff import CircuitBreaker, RetryPolicy
 
 
 class ServiceError(Exception):
     """A typed error response from the daemon."""
 
-    def __init__(self, err_type: str, message: str) -> None:
+    def __init__(self, err_type: str, message: str,
+                 retry_after_ms: Optional[float] = None) -> None:
         super().__init__(f"{err_type}: {message}")
         self.type = err_type
         self.message = message
+        #: the daemon's backoff hint (``overload`` sheds carry one)
+        self.retry_after_ms = retry_after_ms
 
 
 class ServiceTimeout(ServiceError):
@@ -42,6 +56,21 @@ class ServiceTimeout(ServiceError):
 
     def __init__(self, message: str) -> None:
         super().__init__("timeout", message)
+
+
+class ServiceClosed(ServiceError):
+    """The daemon closed the connection before answering."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("internal", message)
+
+
+class ServiceUnavailable(ServiceError):
+    """The daemon cannot be reached at all: the circuit breaker is
+    open, or the retry budget was spent on connection failures."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("unavailable", message)
 
 
 def raise_for_error(resp: Dict[str, Any]) -> Dict[str, Any]:
@@ -54,7 +83,8 @@ def raise_for_error(resp: Dict[str, Any]) -> Dict[str, Any]:
     message = error.get("message", "unknown error")
     if err_type == "timeout":
         raise ServiceTimeout(message)
-    raise ServiceError(err_type, message)
+    raise ServiceError(err_type, message,
+                       retry_after_ms=error.get("retry_after_ms"))
 
 
 def _build_request(rid: Any, op: str, *, source: Optional[str] = None,
@@ -87,15 +117,26 @@ class ServiceClient:
     seconds (None blocks forever).  After a :class:`ServiceTimeout`
     the connection's stream position is unknown, so the client
     reconnects transparently before the next request.
+
+    ``retry`` (a :class:`~repro.service.backoff.RetryPolicy`) makes
+    :meth:`request` spend a bounded budget retrying shed/retryable
+    typed errors and connection failures with seeded-jitter backoff;
+    ``breaker`` (a :class:`~repro.service.backoff.CircuitBreaker`)
+    makes a dead daemon fail fast with :class:`ServiceUnavailable`.
+    Both default to off, preserving the one-shot behaviour.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7457,
                  timeout: Optional[float] = None,
-                 connect_retry: float = 0.0) -> None:
+                 connect_retry: float = 0.0,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.connect_retry = connect_retry
+        self.retry = retry
+        self.breaker = breaker
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._ids = itertools.count(1)
@@ -154,33 +195,105 @@ class ServiceClient:
                 f"no response within {self.timeout}s") from None
         if not line:
             self.close()
-            raise ServiceError("internal",
-                               "connection closed by the daemon")
+            raise ServiceClosed("connection closed by the daemon")
         return protocol.validate_response(protocol.decode_line(line))
+
+    # ---- resilient request loop ------------------------------------------
+    def _check_breaker(self) -> None:
+        if self.breaker is not None and not self.breaker.allow():
+            raise ServiceUnavailable(
+                f"circuit open: {self.breaker.failures} consecutive "
+                f"connection failures to {self.host}:{self.port}")
 
     def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
         """Send one request object, await its response, raise on typed
-        errors; returns the full ok response (``result`` + metadata)."""
+        errors; returns the full ok response (``result`` + metadata).
+
+        With a :class:`~repro.service.backoff.RetryPolicy`, retryable
+        typed errors (``overload`` by default, honouring the daemon's
+        ``retry_after_ms``) and connection failures are retried with
+        backoff until the budget runs out."""
         if req.get("id") is None:
             req["id"] = next(self._ids)
-        self._send(req)
+        policy = self.retry
+        backoff = policy.backoff() if policy is not None else None
+        attempt = 0
         while True:
-            resp = self._recv()
-            if resp.get("id") == req["id"]:
+            self._check_breaker()
+            try:
+                self._send(req)
+                while True:
+                    resp = self._recv()
+                    if resp.get("id") == req["id"]:
+                        break
+                    # a straggler from an abandoned pipeline: drop it
+            except (OSError, ServiceClosed) as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                self.close()
+                if policy is not None and policy.retry_connect \
+                        and attempt < policy.retries:
+                    time.sleep(backoff.delay_s(attempt))
+                    attempt += 1
+                    continue
+                if self.breaker is not None and not self.breaker.allow():
+                    raise ServiceUnavailable(
+                        f"daemon at {self.host}:{self.port} unreachable: "
+                        f"{exc}") from exc
+                raise
+            except ServiceTimeout:
+                if policy is not None \
+                        and "timeout" in policy.retry_types \
+                        and attempt < policy.retries:
+                    time.sleep(backoff.delay_s(attempt))
+                    attempt += 1
+                    continue
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            try:
                 return raise_for_error(resp)
-            # a straggler from an abandoned pipeline: drop it
+            except ServiceError as exc:
+                if policy is not None and exc.type in policy.retry_types \
+                        and attempt < policy.retries:
+                    time.sleep(backoff.delay_s(attempt,
+                                               exc.retry_after_ms))
+                    attempt += 1
+                    continue
+                raise
 
-    def submit(self, requests: List[Dict[str, Any]]
-               ) -> Iterator[Dict[str, Any]]:
+    def submit(self, requests: List[Dict[str, Any]],
+               max_resends: int = 2) -> Iterator[Dict[str, Any]]:
         """Pipeline a batch; yield raw responses in completion order
         (match them to requests by ``id``; no exception is raised for
-        per-request errors — inspect ``resp["ok"]``)."""
+        per-request errors — inspect ``resp["ok"]``).
+
+        If the connection times out or drops mid-batch, the client
+        reconnects and **resends every request not yet answered** (up
+        to ``max_resends`` times) — server-side dedup and the shard
+        caches make resends cheap — so a batch never silently loses
+        its tail.  The budget spent, the timeout propagates."""
         for req in requests:
             if req.get("id") is None:
                 req["id"] = next(self._ids)
-        self._send(requests)
-        for _ in requests:
-            yield self._recv()
+        pending = {req["id"]: req for req in requests}
+        self._send(list(requests))
+        resends = 0
+        while pending:
+            try:
+                resp = self._recv()
+            except (ServiceTimeout, ServiceClosed, OSError):
+                if resends >= max_resends:
+                    raise
+                resends += 1
+                self.close()
+                self._send(list(pending.values()))  # reconnects
+                continue
+            rid = resp.get("id")
+            if rid in pending:
+                del pending[rid]
+                yield resp
+            # a response for an already-answered (resent) id: drop it
 
     # ---- convenience wrappers --------------------------------------------
     def ping(self) -> Dict[str, Any]:
@@ -206,10 +319,14 @@ class AsyncServiceClient:
     every call a coroutine; :meth:`submit` is an async iterator."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7457,
-                 timeout: Optional[float] = None) -> None:
+                 timeout: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self.breaker = breaker
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._ids = itertools.count(1)
@@ -255,27 +372,92 @@ class AsyncServiceClient:
                 f"no response within {self.timeout}s") from None
         if not line:
             await self.close()
-            raise ServiceError("internal",
-                               "connection closed by the daemon")
+            raise ServiceClosed("connection closed by the daemon")
         return protocol.validate_response(protocol.decode_line(line))
 
+    def _check_breaker(self) -> None:
+        if self.breaker is not None and not self.breaker.allow():
+            raise ServiceUnavailable(
+                f"circuit open: {self.breaker.failures} consecutive "
+                f"connection failures to {self.host}:{self.port}")
+
     async def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Async twin of :meth:`ServiceClient.request`, including the
+        retry/backoff/circuit-breaker discipline."""
         if req.get("id") is None:
             req["id"] = next(self._ids)
-        await self._send(req)
+        policy = self.retry
+        backoff = policy.backoff() if policy is not None else None
+        attempt = 0
         while True:
-            resp = await self._recv()
-            if resp.get("id") == req["id"]:
+            self._check_breaker()
+            try:
+                await self._send(req)
+                while True:
+                    resp = await self._recv()
+                    if resp.get("id") == req["id"]:
+                        break
+            except (OSError, ServiceClosed) as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                await self.close()
+                if policy is not None and policy.retry_connect \
+                        and attempt < policy.retries:
+                    await asyncio.sleep(backoff.delay_s(attempt))
+                    attempt += 1
+                    continue
+                if self.breaker is not None and not self.breaker.allow():
+                    raise ServiceUnavailable(
+                        f"daemon at {self.host}:{self.port} unreachable: "
+                        f"{exc}") from exc
+                raise
+            except ServiceTimeout:
+                if policy is not None \
+                        and "timeout" in policy.retry_types \
+                        and attempt < policy.retries:
+                    await asyncio.sleep(backoff.delay_s(attempt))
+                    attempt += 1
+                    continue
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            try:
                 return raise_for_error(resp)
+            except ServiceError as exc:
+                if policy is not None and exc.type in policy.retry_types \
+                        and attempt < policy.retries:
+                    await asyncio.sleep(backoff.delay_s(
+                        attempt, exc.retry_after_ms))
+                    attempt += 1
+                    continue
+                raise
 
-    async def submit(self, requests: List[Dict[str, Any]]
+    async def submit(self, requests: List[Dict[str, Any]],
+                     max_resends: int = 2
                      ) -> AsyncIterator[Dict[str, Any]]:
+        """Async twin of :meth:`ServiceClient.submit`: pipelines the
+        batch and resends the unanswered tail after a mid-batch
+        timeout or connection drop."""
         for req in requests:
             if req.get("id") is None:
                 req["id"] = next(self._ids)
-        await self._send(requests)
-        for _ in requests:
-            yield await self._recv()
+        pending = {req["id"]: req for req in requests}
+        await self._send(list(requests))
+        resends = 0
+        while pending:
+            try:
+                resp = await self._recv()
+            except (ServiceTimeout, ServiceClosed, OSError):
+                if resends >= max_resends:
+                    raise
+                resends += 1
+                await self.close()
+                await self._send(list(pending.values()))
+                continue
+            rid = resp.get("id")
+            if rid in pending:
+                del pending[rid]
+                yield resp
 
     async def ping(self) -> Dict[str, Any]:
         return (await self.request({"op": "ping"}))["result"]

@@ -24,6 +24,17 @@ protocol of :mod:`repro.service.protocol`.  Design:
   ``bad-request`` response without dropping the connection; SIGTERM
   drains gracefully (stop accepting, finish in-flight, stop workers,
   exit 0).
+* **Backpressure** — ``max_queue_depth`` bounds the work queued per
+  shard and ``max_inflight`` the distinct work in flight daemon-wide
+  (0 = unbounded).  Past a bound, new work is **shed** with a typed
+  ``overload`` error carrying a ``retry_after_ms`` hint instead of
+  queueing without limit; dedup waiters are never shed (they add no
+  work).  ``shed`` and ``queue_depth_peak`` are reported in ``stats``.
+* **Warm restarts** — with ``cache_dir`` set, workers persist every
+  successful work response to disk keyed by content key
+  (:mod:`repro.service.persist`: atomic writes, versioned header,
+  entries revalidated by key before reuse), so a restarted daemon
+  answers previously-seen keys warm (``persisted: true``).
 
 ``workers=0`` runs requests in-process on a thread (no subprocesses) —
 the mode unit tests and single-user embeddings use; ``workers>=1`` is
@@ -58,6 +69,11 @@ class _WorkError(Exception):
 class DaemonStats:
     """Daemon-side counters (the ``stats`` op reports them)."""
 
+    #: the integer counters to_dict/from_dict round-trip verbatim
+    _COUNTERS = ("connections", "requests", "responses", "deduped",
+                 "errors", "timeouts", "worker_restarts", "shed",
+                 "queue_depth_peak")
+
     def __init__(self) -> None:
         self.started = time.monotonic()
         self.connections = 0
@@ -67,25 +83,37 @@ class DaemonStats:
         self.errors = 0
         self.timeouts = 0
         self.worker_restarts = 0
+        #: work requests refused with a typed ``overload`` error
+        self.shed = 0
+        #: deepest per-shard queue ever observed at dispatch time
+        self.queue_depth_peak = 0
         self.by_op: Dict[str, int] = {}
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
-            "uptime_s": time.monotonic() - self.started,
-            "connections": self.connections,
-            "requests": self.requests,
-            "responses": self.responses,
-            "deduped": self.deduped,
-            "errors": self.errors,
-            "timeouts": self.timeouts,
-            "worker_restarts": self.worker_restarts,
-            "by_op": dict(self.by_op),
-        }
+        payload: Dict[str, Any] = {
+            "uptime_s": time.monotonic() - self.started}
+        for name in self._COUNTERS:
+            payload[name] = getattr(self, name)
+        payload["by_op"] = dict(self.by_op)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "DaemonStats":
+        """Rebuild a stats snapshot (the inverse of :meth:`to_dict`,
+        modulo clock drift on ``uptime_s``)."""
+        stats = cls()
+        for name in cls._COUNTERS:
+            setattr(stats, name, int(payload.get(name, 0)))
+        stats.by_op = dict(payload.get("by_op", {}))
+        stats.started = time.monotonic() - float(payload.get("uptime_s",
+                                                             0.0))
+        return stats
 
 
-def _worker_env() -> Dict[str, str]:
+def _worker_env(cache_dir: Optional[str] = None) -> Dict[str, str]:
     """The worker subprocess environment: inherit, but make sure the
-    package is importable even when repro is run from a source tree."""
+    package is importable even when repro is run from a source tree,
+    and hand down the persistent cache directory when configured."""
     import repro
 
     src_dir = os.path.dirname(os.path.dirname(
@@ -94,14 +122,19 @@ def _worker_env() -> Dict[str, str]:
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = (src_dir if not existing
                          else src_dir + os.pathsep + existing)
+    if cache_dir:
+        env[worker_mod.CACHE_DIR_ENV] = cache_dir
+    else:
+        env.pop(worker_mod.CACHE_DIR_ENV, None)
     return env
 
 
 class WorkerHandle:
     """Daemon-side handle of one worker subprocess."""
 
-    def __init__(self, shard: int) -> None:
+    def __init__(self, shard: int, cache_dir: Optional[str] = None) -> None:
         self.shard = shard
+        self.cache_dir = cache_dir
         self.proc: Optional[asyncio.subprocess.Process] = None
         self.alive = False
         self.requests = 0
@@ -118,7 +151,7 @@ class WorkerHandle:
             stdin=asyncio.subprocess.PIPE,
             stdout=asyncio.subprocess.PIPE,
             limit=_STREAM_LIMIT,
-            env=_worker_env(),
+            env=_worker_env(self.cache_dir),
         )
         self.alive = True
         self._reader_task = asyncio.ensure_future(self._read_loop())
@@ -193,18 +226,33 @@ class Daemon:
     """The service: see the module docstring for the design."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 workers: int = 2, drain_grace: float = 10.0) -> None:
+                 workers: int = 2, drain_grace: float = 10.0,
+                 max_queue_depth: int = 0, max_inflight: int = 0,
+                 cache_dir: Optional[str] = None,
+                 retry_hint_ms: float = 50.0) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if max_queue_depth < 0 or max_inflight < 0:
+            raise ValueError("queue bounds must be >= 0 (0 = unbounded)")
         self.host = host
         self.port = port
         self.workers = workers
         self.drain_grace = drain_grace
+        #: backpressure bounds (0 = unbounded, the pre-overload-safe
+        #: behaviour): per-shard queued work / daemon-wide distinct
+        #: in-flight work.  Past either bound new work is shed with a
+        #: typed ``overload`` error carrying a retry_after_ms hint.
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight = max_inflight
+        self.cache_dir = cache_dir
+        self.retry_hint_ms = retry_hint_ms
         self.stats = DaemonStats()
         self._server: Optional[asyncio.AbstractServer] = None
         self._handles: List[WorkerHandle] = []
         self._inflight: Dict[str, asyncio.Future] = {}
+        self._depth: Dict[Optional[int], int] = {}
         self._work_tasks: Set[asyncio.Future] = set()
+        self._serve_tasks: Set[asyncio.Task] = set()
         self._conn_tasks: Set[asyncio.Task] = set()
         self._writers: Set[asyncio.StreamWriter] = set()
         self._draining = False
@@ -213,8 +261,13 @@ class Daemon:
     # ---- lifecycle -------------------------------------------------------
     async def start(self) -> None:
         """Spawn the worker pool and start accepting connections."""
+        if self.workers == 0:
+            # in-process mode shares the worker module's store; set it
+            # up for this daemon generation (None disables — a previous
+            # generation's store must not leak into this one)
+            worker_mod.configure_persistence(self.cache_dir)
         for shard in range(self.workers):
-            handle = WorkerHandle(shard)
+            handle = WorkerHandle(shard, self.cache_dir)
             await handle.start()
             self._handles.append(handle)
         self._server = await asyncio.start_server(
@@ -231,6 +284,13 @@ class Daemon:
         pending = [t for t in self._work_tasks if not t.done()]
         if pending:
             await asyncio.wait(pending, timeout=self.drain_grace)
+        # let the per-request serve tasks write their responses before
+        # the writers close — without this, in-process (workers=0)
+        # drains could finish the work yet drop the response on the
+        # floor, because nothing below awaits before writer.close()
+        serves = [t for t in self._serve_tasks if not t.done()]
+        if serves:
+            await asyncio.wait(serves, timeout=2.0)
         for handle in self._handles:
             await handle.stop()
         for writer in list(self._writers):
@@ -291,6 +351,8 @@ class Daemon:
                     self._serve_line(line, writer, write_lock))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
+                self._serve_tasks.add(task)
+                task.add_done_callback(self._serve_tasks.discard)
             if tasks:
                 await asyncio.wait(tasks)
         finally:
@@ -368,14 +430,32 @@ class Daemon:
         fut = self._inflight.get(key)
         dedup = fut is not None
         if dedup:
+            # a waiter joining an in-flight compile adds no work, so
+            # it is never shed — backpressure bounds work, not waiters
             self.stats.deduped += 1
         else:
-            fut = asyncio.ensure_future(self._execute(req, key))
+            shard = (None if self.workers == 0
+                     else self._shard_of(key))
+            shed = self._overload_check(shard)
+            if shed is not None:
+                self.stats.shed += 1
+                return error_response(
+                    rid, "overload",
+                    shed, retry_after_ms=self._retry_hint(shard),
+                    dedup=False)
+            depth = self._depth.get(shard, 0) + 1
+            self._depth[shard] = depth
+            self.stats.queue_depth_peak = max(
+                self.stats.queue_depth_peak, depth)
+            fut = asyncio.ensure_future(self._execute(req, key, shard))
             self._inflight[key] = fut
             self._work_tasks.add(fut)
             fut.add_done_callback(self._work_tasks.discard)
             fut.add_done_callback(
                 lambda f, k=key: self._inflight.pop(k, None))
+            fut.add_done_callback(
+                lambda f, s=shard: self._depth.__setitem__(
+                    s, max(0, self._depth.get(s, 1) - 1)))
             # every waiter may stop listening (timeouts); mark the
             # outcome retrieved so the loop never logs a stray error
             fut.add_done_callback(
@@ -396,33 +476,60 @@ class Daemon:
         resp = dict(outcome, id=rid, dedup=dedup)
         return resp
 
-    async def _execute(self, req: Dict[str, Any],
-                       key: str) -> Dict[str, Any]:
+    def _shard_of(self, key: str) -> int:
+        from ..pipeline import shard_of
+
+        return shard_of(key, self.workers)
+
+    def _overload_check(self, shard: Optional[int]) -> Optional[str]:
+        """The shed reason when admitting one more work request would
+        exceed a configured bound, else None (admit)."""
+        if self.max_inflight and len(self._inflight) >= self.max_inflight:
+            return (f"daemon at max_inflight={self.max_inflight} "
+                    f"distinct work requests; retry with backoff")
+        if self.max_queue_depth \
+                and self._depth.get(shard, 0) >= self.max_queue_depth:
+            where = ("in-process queue" if shard is None
+                     else f"worker shard {shard}")
+            return (f"{where} at max_queue_depth={self.max_queue_depth}; "
+                    f"retry with backoff")
+        return None
+
+    def _retry_hint(self, shard: Optional[int]) -> int:
+        """A deterministic retry_after_ms hint scaled by the pressure
+        that caused the shed (deeper queues -> longer hints)."""
+        pressure = max(len(self._inflight), self._depth.get(shard, 0))
+        return int(min(5000.0, self.retry_hint_ms * (1 + pressure)))
+
+    async def _execute(self, req: Dict[str, Any], key: str,
+                       shard: Optional[int]) -> Dict[str, Any]:
         """Run one deduplicated work request on its shard; returns the
         template response (no ``id``/``dedup`` — each waiter adds its
         own).  Raises :class:`_WorkError` on typed failures."""
         wire = {k: v for k, v in req.items() if k != "timeout_ms"}
-        if self.workers == 0:
+        if shard is None:
             resp = await asyncio.to_thread(worker_mod.handle_request, wire)
-            shard = None
         else:
-            from ..pipeline import shard_of
-
-            shard = shard_of(key, self.workers)
             handle = self._handles[shard]
             if not handle.alive:
-                handle = WorkerHandle(shard)
+                handle = WorkerHandle(shard, self.cache_dir)
                 await handle.start()
                 self._handles[shard] = handle
                 self.stats.worker_restarts += 1
             resp = await handle.submit(wire)
         if not resp.get("ok"):
             error = resp.get("error") or {}
-            raise _WorkError(error.get("type", "internal"),
+            err_type = error.get("type", "internal")
+            if err_type not in protocol.ERROR_TYPES:
+                # a worker speaking an unknown dialect must not crash
+                # the dispatch task — downgrade to a typed internal
+                err_type = "internal"
+            raise _WorkError(err_type,
                              error.get("message", "unknown worker error"))
         template = {"ok": True, "op": req["op"], "result": resp["result"]}
-        if "cached" in resp:
-            template["cached"] = resp["cached"]
+        for meta in ("cached", "persisted"):
+            if meta in resp:
+                template[meta] = resp[meta]
         if shard is not None:
             template["worker"] = shard
         return template
@@ -451,14 +558,22 @@ class Daemon:
             workers.append({"shard": None, "alive": True,
                             "pid": os.getpid(),
                             "cache": resp.get("result", {})})
+        shards = (range(self.workers) if self.workers else (None,))
+        persist = [w.get("cache", {}).get("persist") for w in workers]
         payload = self.stats.to_dict()
         payload.update({
             "draining": self._draining,
             "inflight": len(self._inflight),
+            "queue_depths": [self._depth.get(s, 0) for s in shards],
+            "max_queue_depth": self.max_queue_depth,
+            "max_inflight": self.max_inflight,
             "compiles": sum(w.get("cache", {}).get("misses", 0)
                             for w in workers),
             "cache_hits": sum(w.get("cache", {}).get("hits", 0)
                               for w in workers),
+            "persist_hits": sum(p.get("hits", 0) for p in persist if p),
+            "persist_stores": sum(p.get("stores", 0)
+                                  for p in persist if p),
             "workers": workers,
         })
         return payload
@@ -523,8 +638,12 @@ class DaemonThread:
 
 
 def run_daemon(host: str = "127.0.0.1", port: int = 7457,
-               workers: int = 2, drain_grace: float = 10.0) -> int:
+               workers: int = 2, drain_grace: float = 10.0,
+               max_queue_depth: int = 0, max_inflight: int = 0,
+               cache_dir: Optional[str] = None) -> int:
     """Blocking CLI entry: serve until SIGTERM/SIGINT, drain, exit 0."""
     return asyncio.run(
         Daemon(host=host, port=port, workers=workers,
-               drain_grace=drain_grace).serve_forever())
+               drain_grace=drain_grace, max_queue_depth=max_queue_depth,
+               max_inflight=max_inflight,
+               cache_dir=cache_dir).serve_forever())

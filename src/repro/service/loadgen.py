@@ -71,6 +71,7 @@ class PhaseReport:
     errors: int = 0
     deduped: int = 0
     cached: int = 0
+    persisted: int = 0
     elapsed_s: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
 
@@ -81,6 +82,7 @@ class PhaseReport:
             "errors": self.errors,
             "deduped": self.deduped,
             "cached": self.cached,
+            "persisted": self.persisted,
             "elapsed_s": self.elapsed_s,
             "req_per_s": (self.requests / self.elapsed_s
                           if self.elapsed_s > 0 else 0.0),
@@ -105,6 +107,10 @@ class LoadReport:
     compiles: int = 0
     cache_hits: int = 0
     deduped: int = 0
+    #: responses answered from the persistent (on-disk) cache
+    persisted: int = 0
+    #: readiness-probe latency: seconds until the daemon answered ping
+    time_to_ready_s: float = 0.0
     daemon_stats: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -119,12 +125,15 @@ class LoadReport:
             "compiles": self.compiles,
             "cache_hits": self.cache_hits,
             "deduped": self.deduped,
+            "persisted": self.persisted,
+            "time_to_ready_s": self.time_to_ready_s,
         }
 
     def summary(self) -> str:
         lines = [f"loadgen: {self.clients} clients x "
                  f"{self.requests_per_client} requests, {self.keys} keys, "
-                 f"skew {self.skew}, op {self.op}"]
+                 f"skew {self.skew}, op {self.op} "
+                 f"(ready in {self.time_to_ready_s * 1000.0:.1f}ms)"]
         for name, phase in self.phases.items():
             d = phase.to_dict()
             lines.append(
@@ -177,6 +186,8 @@ async def _client_phase(host: str, port: int, key_seq: List[int],
                 phase.deduped += 1
             if resp.get("cached"):
                 phase.cached += 1
+            if resp.get("persisted"):
+                phase.persisted += 1
 
 
 async def generate_load(host: str = "127.0.0.1", port: int = 7457,
@@ -208,13 +219,27 @@ async def generate_load(host: str = "127.0.0.1", port: int = 7457,
     report.compiles = after["compiles"] - before["compiles"]
     report.cache_hits = after["cache_hits"] - before["cache_hits"]
     report.deduped = after["deduped"] - before["deduped"]
+    report.persisted = sum(p.persisted for p in report.phases.values())
     report.daemon_stats = after
     return report
 
 
-def run_load(**kwargs: Any) -> LoadReport:
-    """Synchronous wrapper around :func:`generate_load`."""
-    return asyncio.run(generate_load(**kwargs))
+def run_load(wait: float = 10.0, **kwargs: Any) -> LoadReport:
+    """Synchronous wrapper around :func:`generate_load`.
+
+    First waits (with backoff, up to ``wait`` seconds) for the daemon
+    to answer a ping — the readiness probe — and records the observed
+    time-to-ready in the report."""
+    from .backoff import wait_ready
+
+    time_to_ready = 0.0
+    if wait > 0:
+        time_to_ready = wait_ready(kwargs.get("host", "127.0.0.1"),
+                                   kwargs.get("port", 7457),
+                                   budget_s=wait)
+    report = asyncio.run(generate_load(**kwargs))
+    report.time_to_ready_s = time_to_ready
+    return report
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -252,14 +277,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also write the report as JSON to FILE")
     args = parser.parse_args(argv)
 
-    # readiness probe: retry until the daemon answers a ping
-    from .client import ServiceClient
-
-    with ServiceClient(args.host, args.port, timeout=5.0,
-                       connect_retry=args.wait) as probe:
-        probe.ping()
-
-    report = run_load(host=args.host, port=args.port,
+    # readiness probe (backoff-paced ping, see repro.service.backoff)
+    # happens inside run_load; the measured time-to-ready lands in the
+    # report summary and JSON.
+    report = run_load(wait=args.wait,
+                      host=args.host, port=args.port,
                       clients=args.clients, requests=args.requests,
                       keys=args.keys, skew=args.skew, op=args.op,
                       config=args.config, seed=args.seed,

@@ -1,0 +1,170 @@
+"""Disk persistence for the worker shard caches (docs/service.md).
+
+A daemon restart used to lose every warm shard: the first wave of
+traffic after a deploy re-compiled the whole hot key space.  With
+``--cache-dir`` each worker also writes every successful work response
+to disk, keyed by the request's **content key** (the process-portable
+:func:`repro.pipeline.content_key` extension computed by
+:func:`repro.service.protocol.request_key`), so a restarted daemon
+answers warm keys from disk at its first contact.
+
+Format: one JSON file per entry —
+
+* ``magic`` / ``version`` — the store only ever reads its own format;
+  a version bump invalidates every older entry (counted, skipped);
+* ``content_key`` — the entry **revalidates by content key before
+  reuse**: the stored key must equal both the filename stem and the
+  key of the request being answered.  A renamed, truncated or
+  hand-edited file is never trusted;
+* ``op`` and the full ``response`` object (minus the request ``id``,
+  which is caller-specific) — re-validated against the wire schema on
+  load, so a corrupt-but-parseable file cannot leak a malformed
+  response to a client.
+
+Writes are **atomic**: write to a same-directory temp file, fsync,
+``os.replace`` onto the final name — a crash mid-write leaves either
+the old entry or a temp file the next scan ignores, never a torn read.
+Corrupt or stale files are skipped and counted (``corrupt`` /
+``stale`` in the store's stats), never deleted out from under a
+concurrent reader and never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from . import protocol
+
+#: file format magic + revision; bump VERSION to invalidate old stores
+MAGIC = "repro-service-cache"
+VERSION = 1
+
+
+class CacheStoreError(ValueError):
+    """An entry failing validation (corrupt, stale, or mismatched)."""
+
+
+def validate_entry(obj: Any, key: Optional[str] = None) -> Dict[str, Any]:
+    """Check one decoded entry; returns it.  ``key`` additionally pins
+    the content key the caller is about to reuse the entry for."""
+    if not isinstance(obj, dict):
+        raise CacheStoreError("entry must be a JSON object")
+    if obj.get("magic") != MAGIC:
+        raise CacheStoreError(f"bad magic {obj.get('magic')!r}")
+    if obj.get("version") != VERSION:
+        raise CacheStoreError(f"version {obj.get('version')!r} != "
+                              f"{VERSION} (stale format)")
+    stored_key = obj.get("content_key")
+    if not isinstance(stored_key, str) or not stored_key:
+        raise CacheStoreError("entry carries no content_key")
+    if key is not None and stored_key != key:
+        raise CacheStoreError(f"content_key mismatch: entry is for "
+                              f"{stored_key[:12]}..., wanted "
+                              f"{key[:12]}...")
+    if obj.get("op") not in protocol.WORK_OPS:
+        raise CacheStoreError(f"unknown op {obj.get('op')!r}")
+    response = obj.get("response")
+    if not isinstance(response, dict) or not response.get("ok"):
+        raise CacheStoreError("entry must hold an ok response")
+    # the stored response must still satisfy the wire schema (it is
+    # re-sent to clients verbatim, plus their own id)
+    try:
+        protocol.validate_response(dict(response, id=0))
+    except protocol.ProtocolError as exc:
+        raise CacheStoreError(f"stored response invalid: {exc}") from None
+    return obj
+
+
+class CacheStore:
+    """One directory of persisted work responses, content-addressed."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+        self.stale = 0
+        self.write_errors = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    # ---- read ------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The persisted response template for ``key`` (no ``id``), or
+        None.  Never raises: unreadable/corrupt/stale entries count and
+        return None — a persisted entry is a hint, not an authority."""
+        path = self._path(key)
+        try:
+            with open(path, "r") as f:
+                obj = json.load(f)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.corrupt += 1
+            return None
+        try:
+            entry = validate_entry(obj, key=key)
+        except CacheStoreError as exc:
+            if "stale format" in str(exc):
+                self.stale += 1
+            else:
+                self.corrupt += 1
+            return None
+        self.hits += 1
+        return dict(entry["response"])
+
+    # ---- write -----------------------------------------------------------
+    def put(self, key: str, op: str, response: Dict[str, Any]) -> bool:
+        """Persist one successful response under ``key`` atomically
+        (write-temp-then-rename).  Returns False (counted) on any I/O
+        failure — persistence must never fail the request it rides."""
+        template = {k: v for k, v in response.items() if k != "id"}
+        entry = {"magic": MAGIC, "version": VERSION, "content_key": key,
+                 "op": op, "response": template}
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as f:
+                json.dump(entry, f, separators=(",", ":"), sort_keys=True)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            self.write_errors += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self.stores += 1
+        return True
+
+    # ---- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        try:
+            return sum(1 for name in os.listdir(self.root)
+                       if name.endswith(".json"))
+        except OSError:
+            return 0
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "stale": self.stale,
+            "write_errors": self.write_errors,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CacheStore {self.root} {len(self)} entries "
+                f"hits {self.hits} misses {self.misses}>")

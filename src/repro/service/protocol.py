@@ -67,6 +67,7 @@ ERROR_TYPES = (
     "fuel-exhausted",   # program ran out of fuel
     "timeout",          # the request's timeout_ms elapsed server-side
     "worker-crash",     # the worker process died mid-request
+    "overload",         # queue bound hit: shed, carries retry_after_ms
     "shutdown",         # daemon is draining and refused new work
     "internal",         # anything else (bug in the service)
 )
@@ -200,6 +201,12 @@ def validate_response(obj: Any) -> Dict[str, Any]:
                                 f"{ERROR_TYPES}")
         if not isinstance(error.get("message"), str):
             raise ProtocolError("'error.message' (string) is required")
+        hint = error.get("retry_after_ms")
+        if hint is not None and (
+                not isinstance(hint, (int, float))
+                or isinstance(hint, bool) or hint < 0):
+            raise ProtocolError("'error.retry_after_ms' must be a "
+                                "non-negative number")
     return obj
 
 
@@ -216,10 +223,13 @@ def ok_response(rid: Any, op: str, result: Dict[str, Any],
 
 
 def error_response(rid: Any, err_type: str, message: str,
+                   retry_after_ms: Optional[float] = None,
                    **meta: Any) -> Dict[str, Any]:
     assert err_type in ERROR_TYPES, err_type
-    resp = {"id": rid, "ok": False,
-            "error": {"type": err_type, "message": message}}
+    error: Dict[str, Any] = {"type": err_type, "message": message}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = retry_after_ms
+    resp = {"id": rid, "ok": False, "error": error}
     resp.update(meta)
     return resp
 

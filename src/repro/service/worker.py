@@ -19,8 +19,9 @@ request must never be able to kill its worker.
 
 from __future__ import annotations
 
+import os
 import sys
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from . import protocol
 from .registry import resolve_config
@@ -28,6 +29,32 @@ from .registry import resolve_config
 #: sentinel ops the daemon (not clients) sends to its workers
 STATS_OP = "__stats__"
 EXIT_OP = "__exit__"
+
+#: environment variable the daemon sets so worker subprocesses find
+#: the persistent cache directory (see configure_persistence)
+CACHE_DIR_ENV = "REPRO_SERVICE_CACHE_DIR"
+
+#: the process-wide persistent store (None = persistence disabled)
+_STORE = None
+
+
+def configure_persistence(cache_dir: Optional[str]):
+    """Enable (or disable, with None) the on-disk response store this
+    process consults before compiling and writes after every success.
+    Returns the active :class:`~repro.service.persist.CacheStore`."""
+    global _STORE
+    if not cache_dir:
+        _STORE = None
+        return None
+    from .persist import CacheStore
+
+    _STORE = CacheStore(cache_dir)
+    return _STORE
+
+
+def persistent_store():
+    """The active store, or None."""
+    return _STORE
 
 
 def _cache():
@@ -116,24 +143,53 @@ def _handle_campaign(req: Dict[str, Any]) -> Dict[str, Any]:
     return protocol.ok_response(req["id"], "campaign", result)
 
 
+def _persist_key(req: Dict[str, Any]) -> Optional[str]:
+    """The content key to persist ``req`` under, or None (persistence
+    off, non-work op, or an unkeyable request)."""
+    if _STORE is None or req.get("op") not in protocol.WORK_OPS:
+        return None
+    try:
+        return protocol.request_key(req)
+    except Exception:  # noqa: BLE001 — a keying bug must not kill work
+        return None
+
+
 def handle_request(req: Dict[str, Any]) -> Dict[str, Any]:
-    """Execute one already-validated work request; never raises."""
+    """Execute one already-validated work request; never raises.
+
+    With persistence configured, a work request first consults the
+    on-disk store: a valid entry (revalidated by content key — see
+    :mod:`repro.service.persist`) is returned as ``cached: true,
+    persisted: true`` without touching the pipeline; every fresh
+    success is persisted for the next daemon generation."""
     from ..errors import FuelExhausted
     from ..pipeline import OutputMismatch
 
     rid = req.get("id")
+    key = _persist_key(req)
+    if key is not None:
+        stored = _STORE.get(key)
+        if stored is not None:
+            return dict(stored, id=rid, cached=True, persisted=True)
     try:
         op = req.get("op")
         if op == "compile":
-            return _handle_compile(req)
-        if op == "run":
-            return _handle_run(req)
-        if op == "campaign":
-            return _handle_campaign(req)
-        if op == STATS_OP:
-            return protocol.ok_response(rid, STATS_OP, _cache().stats())
-        return protocol.error_response(rid, "bad-request",
-                                       f"worker cannot handle op {op!r}")
+            resp = _handle_compile(req)
+        elif op == "run":
+            resp = _handle_run(req)
+        elif op == "campaign":
+            resp = _handle_campaign(req)
+        else:
+            if op == STATS_OP:
+                result = dict(_cache().stats())
+                if _STORE is not None:
+                    result["persist"] = _STORE.stats()
+                return protocol.ok_response(rid, STATS_OP, result)
+            return protocol.error_response(
+                rid, "bad-request", f"worker cannot handle op {op!r}")
+        if key is not None and resp.get("ok"):
+            _STORE.put(key, req["op"], resp)
+        return resp
     except OutputMismatch as exc:
         return protocol.error_response(rid, "output-mismatch",
                                        exc.diff())
@@ -151,6 +207,7 @@ def handle_request(req: Dict[str, Any]) -> Dict[str, Any]:
 def main() -> int:
     """NDJSON request loop over stdin/stdout (one request at a time —
     the pool, not the worker, is the unit of parallelism)."""
+    configure_persistence(os.environ.get(CACHE_DIR_ENV))
     stdin = sys.stdin.buffer
     stdout = sys.stdout.buffer
     for line in stdin:

@@ -1,0 +1,85 @@
+"""The service chaos campaign: every request ends in exactly one typed
+outcome, no hangs, no duplicate work, bit-identical matrices
+(docs/service.md, "Overload & recovery")."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.hazards import (FAST_SCENARIOS, SERVICE_SCENARIOS,
+                           run_service_campaign)
+from repro.hazards.service_chaos import ScenarioResult, ServiceChaosReport
+
+RESULTS = Path(__file__).resolve().parents[2] / "results" \
+    / "service_chaos.txt"
+
+
+# ---------------------------------------------------------------------------
+# report plumbing (pure, no daemons)
+# ---------------------------------------------------------------------------
+
+def test_matrix_is_deterministic_text():
+    report = ServiceChaosReport(seed=0)
+    res = ScenarioResult("overload-storm", requests=8, ok=5,
+                         errors={"overload": 3}, sheds=3, retried=3,
+                         distinct_results=1, oracle_ok=True)
+    report.results.append(res)
+    matrix = report.matrix()
+    assert "seed 0" in matrix
+    assert "overload-storm" in matrix
+    assert "PASS" in matrix
+    assert report.matrix() == matrix  # rendering is pure
+
+
+def test_accounting_failure_flags_the_oracle():
+    from repro.hazards.service_chaos import _check_accounting
+
+    res = ScenarioResult("x", requests=3, ok=1, errors={"timeout": 1},
+                         oracle_ok=True)
+    _check_accounting(res)
+    assert not res.oracle_ok
+    assert any("accounting" in n for n in res.notes)
+
+
+def test_unknown_scenario_is_rejected():
+    with pytest.raises(ValueError):
+        run_service_campaign(("no-such-scenario",), seed=0)
+
+
+def test_fast_scenarios_are_a_subset():
+    assert set(FAST_SCENARIOS) <= set(SERVICE_SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# tier-1: the in-process scenario families, run twice, bit-identical
+# ---------------------------------------------------------------------------
+
+def test_fast_campaign_passes_and_is_bit_identical_across_runs():
+    first = run_service_campaign(FAST_SCENARIOS, seed=0)
+    assert first.ok, first.summary()
+    second = run_service_campaign(FAST_SCENARIOS, seed=0)
+    assert second.ok, second.summary()
+    assert first.matrix() == second.matrix(), (
+        "the chaos matrix must be deterministic for a given seed:\n"
+        f"--- run 1 ---\n{first.matrix()}\n"
+        f"--- run 2 ---\n{second.matrix()}")
+
+
+# ---------------------------------------------------------------------------
+# the full campaign (worker subprocesses included) — the CI chaos job
+# ---------------------------------------------------------------------------
+
+@pytest.mark.chaos
+def test_full_campaign_matches_committed_report(tmp_path):
+    """All five scenario families pass, and the matrix regenerates the
+    committed ``results/service_chaos.txt`` byte-for-byte — the same
+    standing-proof discipline as the fault-injection report."""
+    report = run_service_campaign(SERVICE_SCENARIOS, seed=0)
+    assert report.ok, report.summary()
+    regenerated = report.matrix() + "\n"
+    assert RESULTS.exists(), \
+        "results/service_chaos.txt must be committed (repro chaos " \
+        "--report results/service_chaos.txt)"
+    assert RESULTS.read_text() == regenerated, (
+        "results/service_chaos.txt is stale; regenerate with "
+        "`python -m repro chaos --report results/service_chaos.txt`")

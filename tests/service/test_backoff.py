@@ -1,0 +1,135 @@
+"""Backoff schedules, retry policy, circuit breaker, readiness probe
+(docs/service.md, "Overload & recovery")."""
+
+import pytest
+
+from repro.service.backoff import (Backoff, CircuitBreaker, RetryPolicy,
+                                   wait_ready)
+
+
+class TestBackoff:
+    def test_same_seed_replays_the_same_schedule(self):
+        a = Backoff(seed=7)
+        b = Backoff(seed=7)
+        assert [a.delay_ms(i) for i in range(6)] \
+            == [b.delay_ms(i) for i in range(6)]
+
+    def test_different_seeds_decorrelate(self):
+        a = Backoff(seed=1)
+        b = Backoff(seed=2)
+        assert [a.delay_ms(i) for i in range(6)] \
+            != [b.delay_ms(i) for i in range(6)]
+
+    def test_reset_rewinds_the_jitter_stream(self):
+        bo = Backoff(seed=3)
+        first = [bo.delay_ms(i) for i in range(4)]
+        bo.reset()
+        assert [bo.delay_ms(i) for i in range(4)] == first
+
+    def test_exponential_growth_within_jitter_envelope(self):
+        bo = Backoff(base_ms=100.0, factor=2.0, max_ms=100_000.0,
+                     jitter=0.25, seed=0)
+        for attempt in range(5):
+            raw = 100.0 * 2.0 ** attempt
+            delay = bo.delay_ms(attempt)
+            assert raw * 0.75 <= delay <= raw * 1.25
+
+    def test_cap_applies_before_jitter(self):
+        bo = Backoff(base_ms=100.0, factor=10.0, max_ms=500.0,
+                     jitter=0.5, seed=0)
+        assert bo.delay_ms(9) <= 500.0 * 1.5
+
+    def test_retry_after_hint_is_a_floor(self):
+        bo = Backoff(base_ms=1.0, jitter=0.0, seed=0)
+        assert bo.delay_ms(0, retry_after_ms=250.0) == 250.0
+        # a hint below the schedule does not shrink it
+        assert bo.delay_ms(10, retry_after_ms=1.0) > 1.0
+
+    def test_zero_jitter_is_exact(self):
+        bo = Backoff(base_ms=10.0, factor=2.0, max_ms=1000.0,
+                     jitter=0.0, seed=0)
+        assert [bo.delay_ms(i) for i in range(4)] \
+            == [10.0, 20.0, 40.0, 80.0]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base_ms": -1.0}, {"factor": 0.5}, {"jitter": 1.0},
+        {"jitter": -0.1},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            Backoff(**kwargs)
+
+
+class TestRetryPolicy:
+    def test_backoff_factory_is_fresh_per_request(self):
+        policy = RetryPolicy(seed=5)
+        a = policy.backoff()
+        b = policy.backoff()
+        assert a is not b
+        assert [a.delay_ms(i) for i in range(4)] \
+            == [b.delay_ms(i) for i in range(4)]
+
+    def test_defaults_retry_overload_only(self):
+        policy = RetryPolicy()
+        assert policy.retry_types == ("overload",)
+        assert policy.retry_connect is True
+        assert policy.retries > 0
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = {"now": 0.0}
+        kwargs.setdefault("threshold", 3)
+        kwargs.setdefault("cooldown_s", 10.0)
+        breaker = CircuitBreaker(clock=lambda: clock["now"], **kwargs)
+        return breaker, clock
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = self._breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert not breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        breaker, _ = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.allow(), "non-consecutive failures must not open"
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker, clock = self._breaker(threshold=1, cooldown_s=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock["now"] = 5.1  # cooldown elapsed: one probe allowed
+        assert breaker.allow()
+        # probe fails: the circuit re-opens from now
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock["now"] = 10.0
+        assert not breaker.allow()
+        clock["now"] = 10.3
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.allow() and breaker.failures == 0
+
+
+class TestWaitReady:
+    def test_returns_time_to_ready_for_a_live_daemon(self):
+        from repro.service import DaemonThread
+
+        with DaemonThread(workers=0) as handle:
+            elapsed = wait_ready(handle.host, handle.port, budget_s=10.0)
+        assert 0.0 <= elapsed < 10.0
+
+    def test_raises_the_last_error_when_the_budget_elapses(self):
+        import socket
+
+        # a bound-but-not-listening port: connections are refused
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        with pytest.raises(OSError):
+            wait_ready("127.0.0.1", port, budget_s=0.3)

@@ -1,0 +1,172 @@
+"""Backpressure: bounded queues shed with typed ``overload`` errors
+carrying ``retry_after_ms``, dedup waiters are never shed, and shed
+requests succeed through client backoff (docs/service.md)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (DaemonThread, RetryPolicy, ServiceClient,
+                           ServiceError, protocol)
+from repro.service import worker as worker_mod
+
+SRC = "void main() { int x; x = input(); print(x + 7); }"
+
+
+def _work(n=0, **over):
+    req = {"op": "run", "source": SRC + f"// {n}", "config": "profile",
+           "train": [1], "ref": [5]}
+    req.update(over)
+    return req
+
+
+def _gated_handler(gate, calls=None):
+    """A worker seam that parks work requests on ``gate``."""
+    def handler(req):
+        if req.get("op") == worker_mod.STATS_OP:
+            return protocol.ok_response(req.get("id"),
+                                        worker_mod.STATS_OP, {})
+        if calls is not None:
+            calls.append(req["op"])
+        gate.wait(10.0)
+        return protocol.ok_response(req["id"], req["op"],
+                                    {"output": ["held"]})
+    return handler
+
+
+@pytest.fixture
+def bounded():
+    with DaemonThread(workers=0, max_inflight=1) as handle:
+        yield handle
+
+
+def _client(handle, **kwargs):
+    kwargs.setdefault("timeout", 30.0)
+    return ServiceClient(host=handle.host, port=handle.port, **kwargs)
+
+
+def test_overload_is_typed_and_carries_retry_hint(bounded, monkeypatch):
+    gate = threading.Event()
+    monkeypatch.setattr(worker_mod, "handle_request",
+                        _gated_handler(gate))
+    try:
+        with _client(bounded) as blocker, _client(bounded) as client:
+            blocker._send(dict(_work(0), id=1))
+            deadline = time.monotonic() + 10.0
+            while not bounded.daemon._inflight:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            with pytest.raises(ServiceError) as exc:
+                client.request(_work(1))
+            assert exc.value.type == "overload"
+            assert exc.value.retry_after_ms is not None
+            assert exc.value.retry_after_ms >= 0
+            stats = client.stats()
+            assert stats["shed"] == 1
+            assert stats["max_inflight"] == 1
+            assert stats["queue_depth_peak"] >= 1
+    finally:
+        gate.set()
+
+
+def test_dedup_waiters_are_never_shed(bounded, monkeypatch):
+    """An identical key joining in-flight work adds no work, so it must
+    be admitted even at the bound."""
+    gate = threading.Event()
+    calls = []
+    monkeypatch.setattr(worker_mod, "handle_request",
+                        _gated_handler(gate, calls))
+    with _client(bounded) as client:
+        batch = [dict(_work(0)) for _ in range(4)]
+        iterator = client.submit(batch)
+        threading.Timer(0.4, gate.set).start()
+        responses = list(iterator)
+    assert len(responses) == 4
+    assert all(r["ok"] for r in responses)
+    assert len(calls) == 1
+    assert sum(1 for r in responses if r["dedup"]) == 3
+    with _client(bounded) as client:
+        assert client.stats()["shed"] == 0
+
+
+def test_shed_requests_succeed_through_retry_backoff(bounded,
+                                                     monkeypatch):
+    gate = threading.Event()
+    monkeypatch.setattr(worker_mod, "handle_request",
+                        _gated_handler(gate))
+    policy = RetryPolicy(retries=30, retry_types=("overload",),
+                         base_ms=20.0, max_ms=200.0, seed=0)
+    with _client(bounded) as blocker, \
+            _client(bounded, retry=policy) as client:
+        blocker._send(dict(_work(0), id=1))
+        deadline = time.monotonic() + 10.0
+        while not bounded.daemon._inflight:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        # release the blocker shortly: the retried request must land
+        threading.Timer(0.4, gate.set).start()
+        resp = client.request(_work(1))
+        assert resp["ok"] and resp["result"]["output"] == ["held"]
+    with _client(bounded) as client:
+        stats = client.stats()
+        assert stats["shed"] >= 1, "the first attempt must have shed"
+
+
+def test_max_queue_depth_bounds_the_in_process_queue(monkeypatch):
+    gate = threading.Event()
+    monkeypatch.setattr(worker_mod, "handle_request",
+                        _gated_handler(gate))
+    try:
+        with DaemonThread(workers=0, max_queue_depth=2) as handle:
+            with _client(handle) as feeder, _client(handle) as client:
+                # two *distinct* keys occupy the queue (depth 2)
+                feeder._send([dict(_work(i), id=i + 1)
+                              for i in range(2)])
+                deadline = time.monotonic() + 10.0
+                while len(handle.daemon._inflight) < 2:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+                with pytest.raises(ServiceError) as exc:
+                    client.request(_work(9))
+                assert exc.value.type == "overload"
+                assert "max_queue_depth" in exc.value.message
+    finally:
+        gate.set()
+
+
+def test_unbounded_daemon_never_sheds(monkeypatch):
+    gate = threading.Event()
+    monkeypatch.setattr(worker_mod, "handle_request",
+                        _gated_handler(gate))
+    with DaemonThread(workers=0) as handle:
+        with _client(handle) as client:
+            batch = [dict(_work(i)) for i in range(6)]
+            iterator = client.submit(batch)
+            threading.Timer(0.4, gate.set).start()
+            responses = list(iterator)
+        assert all(r["ok"] for r in responses)
+        with _client(handle) as client:
+            stats = client.stats()
+            assert stats["shed"] == 0
+            assert stats["max_inflight"] == 0  # 0 = unbounded
+            assert stats["queue_depth_peak"] >= 1
+
+
+def test_daemon_rejects_negative_bounds():
+    from repro.service.daemon import Daemon
+
+    with pytest.raises(ValueError):
+        Daemon(max_queue_depth=-1)
+    with pytest.raises(ValueError):
+        Daemon(max_inflight=-1)
+
+
+def test_retry_hint_grows_with_pressure():
+    from repro.service.daemon import Daemon
+
+    daemon = Daemon(max_inflight=1, retry_hint_ms=50.0)
+    calm = daemon._retry_hint(None)
+    daemon._depth[None] = 7
+    assert daemon._retry_hint(None) > calm
+    assert daemon._retry_hint(None) <= 5000

@@ -193,6 +193,46 @@ def test_daemon_side_timeout_ms_is_typed(daemon, monkeypatch):
 
 
 # ---------------------------------------------------------------------------
+# stats round-trip; worker error hygiene
+# ---------------------------------------------------------------------------
+
+def test_daemon_stats_dict_round_trip():
+    from repro.service.daemon import DaemonStats
+
+    stats = DaemonStats()
+    stats.requests = 12
+    stats.shed = 3
+    stats.queue_depth_peak = 5
+    stats.by_op = {"run": 9, "ping": 3}
+    payload = stats.to_dict()
+    restored = DaemonStats.from_dict(payload)
+    again = restored.to_dict()
+    for name in DaemonStats._COUNTERS:
+        assert again[name] == payload[name]
+    assert again["by_op"] == payload["by_op"]
+    assert abs(again["uptime_s"] - payload["uptime_s"]) < 1.0
+
+
+def test_worker_unknown_error_type_is_downgraded_to_internal(
+        daemon, monkeypatch):
+    """A worker speaking an unknown error dialect must surface as a
+    typed ``internal`` error, never crash the dispatch task."""
+    def weird_handler(req):
+        if req.get("op") == worker_mod.STATS_OP:
+            return protocol.ok_response(req.get("id"),
+                                        worker_mod.STATS_OP, {})
+        return {"id": req["id"], "ok": False,
+                "error": {"type": "made-up-dialect", "message": "?"}}
+
+    monkeypatch.setattr(worker_mod, "handle_request", weird_handler)
+    with _client(daemon) as client:
+        with pytest.raises(ServiceError) as exc:
+            client.run_source(SRC, train=[1], ref=[5])
+        assert exc.value.type == "internal"
+        assert client.ping()["pong"] is True
+
+
+# ---------------------------------------------------------------------------
 # drain
 # ---------------------------------------------------------------------------
 

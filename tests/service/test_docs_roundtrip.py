@@ -9,7 +9,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.service import protocol
+from repro.service import persist, protocol
 
 DOC = Path(__file__).resolve().parents[2] / "docs" / "service.md"
 
@@ -23,9 +23,13 @@ def _json_blocks():
 
 
 def _classify(obj):
-    """A documented snippet is a request, a response, or a batch."""
+    """A documented snippet is a request, a response, a batch, or a
+    persisted cache entry (checked first: entries carry a top-level
+    ``op`` too)."""
     if isinstance(obj, list):
         return "batch"
+    if isinstance(obj, dict) and obj.get("magic") == persist.MAGIC:
+        return "cache-entry"
     if isinstance(obj, dict) and "ok" in obj:
         return "response"
     if isinstance(obj, dict) and "op" in obj:
@@ -44,6 +48,8 @@ def test_documented_snippet_matches_wire_schema(block):
             protocol.validate_request(req)
     elif kind == "request":
         protocol.validate_request(obj)
+    elif kind == "cache-entry":
+        persist.validate_entry(obj, key=obj["content_key"])
     else:
         protocol.validate_response(obj)
 
@@ -51,7 +57,8 @@ def test_documented_snippet_matches_wire_schema(block):
 def test_docs_cover_every_op_and_error_family():
     """The protocol page documents each op at least once, and shows both
     an ok response and a typed error."""
-    kinds = {"request": [], "response": [], "batch": []}
+    kinds = {"request": [], "response": [], "batch": [],
+             "cache-entry": []}
     for block in _json_blocks():
         obj = json.loads(block)
         kinds[_classify(obj)].append(obj)

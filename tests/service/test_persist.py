@@ -1,0 +1,195 @@
+"""On-disk response persistence: atomic writes, validation-before-
+reuse, corrupt/stale accounting, and warm restarts (docs/service.md)."""
+
+import json
+import os
+
+import pytest
+
+from repro.service import CacheStore, DaemonThread, ServiceClient, protocol
+from repro.service.persist import (MAGIC, VERSION, CacheStoreError,
+                                   validate_entry)
+
+SRC = "void main() { int x; x = input(); print(x + 7); }"
+
+
+def _response(rid=0):
+    return protocol.ok_response(rid, "run", {"output": ["12"]},
+                                cached=False)
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+class TestCacheStore:
+    def test_put_get_round_trip_strips_the_id(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        assert store.put("k1", "run", _response(rid=99))
+        got = store.get("k1")
+        assert got is not None
+        assert "id" not in got
+        assert got["result"] == {"output": ["12"]}
+        assert store.hits == 1 and store.stores == 1
+
+    def test_miss_is_counted_not_raised(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        assert store.get("absent") is None
+        assert store.misses == 1
+
+    def test_corrupt_file_is_skipped_and_counted(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        (tmp_path / "bad.json").write_text("{truncated")
+        assert store.get("bad") is None
+        assert store.corrupt == 1
+
+    def test_stale_version_is_skipped_and_counted(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        store.put("k1", "run", _response())
+        path = tmp_path / "k1.json"
+        entry = json.loads(path.read_text())
+        entry["version"] = VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert store.get("k1") is None
+        assert store.stale == 1
+
+    def test_renamed_entry_fails_key_revalidation(self, tmp_path):
+        """A file renamed onto another key must not be trusted: the
+        stored content_key pins the entry."""
+        store = CacheStore(str(tmp_path))
+        store.put("k1", "run", _response())
+        os.rename(tmp_path / "k1.json", tmp_path / "k2.json")
+        assert store.get("k2") is None
+        assert store.corrupt == 1
+
+    def test_invalid_stored_response_is_rejected(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        entry = {"magic": MAGIC, "version": VERSION, "content_key": "k1",
+                 "op": "run", "response": {"ok": True}}  # no result
+        (tmp_path / "k1.json").write_text(json.dumps(entry))
+        assert store.get("k1") is None
+        assert store.corrupt == 1
+
+    def test_write_leaves_no_temp_files(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        store.put("k1", "run", _response())
+        names = os.listdir(tmp_path)
+        assert names == ["k1.json"]
+        assert len(store) == 1
+
+    def test_stats_shape(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        stats = store.stats()
+        for field in ("root", "entries", "hits", "misses", "stores",
+                      "corrupt", "stale", "write_errors"):
+            assert field in stats
+
+
+class TestValidateEntry:
+    def _entry(self, **over):
+        entry = {"magic": MAGIC, "version": VERSION, "content_key": "k1",
+                 "op": "run", "response": {"ok": True, "op": "run",
+                                           "result": {}}}
+        entry.update(over)
+        return entry
+
+    def test_accepts_a_well_formed_entry(self):
+        validate_entry(self._entry(), key="k1")
+
+    @pytest.mark.parametrize("over", [
+        {"magic": "other"},
+        {"version": 0},
+        {"content_key": ""},
+        {"op": "ping"},
+        {"response": {"ok": False}},
+        {"response": "not a dict"},
+    ])
+    def test_rejects_malformed_entries(self, over):
+        with pytest.raises(CacheStoreError):
+            validate_entry(self._entry(**over))
+
+    def test_rejects_key_mismatch(self):
+        with pytest.raises(CacheStoreError):
+            validate_entry(self._entry(), key="other")
+
+
+# ---------------------------------------------------------------------------
+# warm restarts, in-process (workers=0)
+# ---------------------------------------------------------------------------
+
+def test_daemon_restart_answers_from_disk(tmp_path):
+    cache_dir = str(tmp_path / "persist")
+    req = dict(op="run", source=SRC, config="profile", train=[1], ref=[5])
+    with DaemonThread(workers=0, cache_dir=cache_dir) as handle:
+        with ServiceClient(handle.host, handle.port,
+                           timeout=30.0) as client:
+            first = client.request(dict(req))
+            assert first["result"]["output"] == ["12"]
+            assert not first.get("persisted")
+            stats = client.stats()
+            assert stats["persist_stores"] >= 1
+    assert os.listdir(cache_dir), "the response must be on disk"
+    # a fresh daemon generation: the same key answers from disk
+    with DaemonThread(workers=0, cache_dir=cache_dir) as handle:
+        with ServiceClient(handle.host, handle.port,
+                           timeout=30.0) as client:
+            again = client.request(dict(req))
+            assert again["result"]["output"] == ["12"]
+            assert again["persisted"] is True
+            assert again["cached"] is True
+            assert client.stats()["persist_hits"] >= 1
+
+
+def test_restart_without_cache_dir_stays_cold(tmp_path):
+    # in-process mode shares the module-global store; a daemon without
+    # cache_dir must disable it (no stale store from a previous test)
+    req = dict(op="run", source=SRC, config="profile", train=[2], ref=[6])
+    with DaemonThread(workers=0) as handle:
+        with ServiceClient(handle.host, handle.port,
+                           timeout=30.0) as client:
+            resp = client.request(dict(req))
+            assert not resp.get("persisted")
+            stats = client.stats()
+            assert stats["persist_stores"] == 0
+
+
+def test_corrupt_entry_falls_back_to_compile(tmp_path):
+    cache_dir = tmp_path / "persist"
+    req = dict(op="run", source=SRC, config="profile", train=[1], ref=[5])
+    with DaemonThread(workers=0, cache_dir=str(cache_dir)) as handle:
+        with ServiceClient(handle.host, handle.port,
+                           timeout=30.0) as client:
+            client.request(dict(req))
+    (entry,) = cache_dir.glob("*.json")
+    entry.write_text("{torn write")
+    with DaemonThread(workers=0, cache_dir=str(cache_dir)) as handle:
+        with ServiceClient(handle.host, handle.port,
+                           timeout=30.0) as client:
+            resp = client.request(dict(req))
+            assert resp["result"]["output"] == ["12"]
+            assert not resp.get("persisted"), \
+                "a corrupt entry must be recompiled, not trusted"
+
+
+# ---------------------------------------------------------------------------
+# warm restarts, worker subprocesses
+# ---------------------------------------------------------------------------
+
+def test_worker_pool_restart_answers_from_disk(tmp_path):
+    cache_dir = str(tmp_path / "persist")
+    req = dict(op="run", source=SRC, config="profile", train=[1], ref=[5])
+    with DaemonThread(workers=1, cache_dir=cache_dir) as handle:
+        with ServiceClient(handle.host, handle.port,
+                           timeout=120.0) as client:
+            first = client.request(dict(req))
+            assert first["result"]["output"] == ["12"]
+            assert not first.get("persisted")
+    assert os.listdir(cache_dir)
+    with DaemonThread(workers=1, cache_dir=cache_dir) as handle:
+        with ServiceClient(handle.host, handle.port,
+                           timeout=120.0) as client:
+            again = client.request(dict(req))
+            assert again["persisted"] is True
+            assert again["cached"] is True
+            stats = client.stats()
+            assert stats["persist_hits"] >= 1

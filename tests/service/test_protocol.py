@@ -58,6 +58,12 @@ class TestValidateResponse:
         protocol.validate_response(
             protocol.error_response(1, "timeout", "too slow"))
 
+    def test_overload_is_a_known_type_with_retry_hint(self):
+        resp = protocol.error_response(1, "overload", "queue full",
+                                       retry_after_ms=150)
+        protocol.validate_response(resp)
+        assert resp["error"]["retry_after_ms"] == 150
+
     @pytest.mark.parametrize("bad", [
         {"ok": True},                                   # no id
         {"id": 1, "ok": True},                          # no result
@@ -65,10 +71,27 @@ class TestValidateResponse:
         {"id": 1, "ok": False,
          "error": {"type": "novel", "message": "x"}},   # unknown type
         {"id": 1, "ok": False, "error": {"type": "timeout"}},  # no msg
+        {"id": 1, "ok": False,
+         "error": {"type": "overload", "message": "x",
+                   "retry_after_ms": -5}},              # negative hint
+        {"id": 1, "ok": False,
+         "error": {"type": "overload", "message": "x",
+                   "retry_after_ms": True}},            # bool hint
     ])
     def test_rejects(self, bad):
         with pytest.raises(protocol.ProtocolError):
             protocol.validate_response(bad)
+
+    def test_error_types_is_a_closed_set(self):
+        """Both sides validate against the same tuple, so an unlisted
+        type cannot cross the wire in either direction."""
+        assert "overload" in protocol.ERROR_TYPES
+        bad = {"id": 1, "ok": False,
+               "error": {"type": "made-up", "message": "x"}}
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_response(bad)  # client-side reject
+        with pytest.raises(AssertionError):
+            protocol.error_response(1, "made-up", "x")  # daemon-side
 
 
 class TestKeys:

@@ -1,0 +1,150 @@
+"""Client resilience: batch resend after mid-pipeline timeouts, retry
+with backoff, and the circuit breaker (docs/service.md)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (DaemonThread, RetryPolicy, ServiceClient,
+                           protocol)
+from repro.service.backoff import CircuitBreaker
+from repro.service.client import ServiceTimeout, ServiceUnavailable
+from repro.service import worker as worker_mod
+
+SRC = "void main() { int x; x = input(); print(x + 7); }"
+
+
+def _work(n=0, **over):
+    req = {"op": "run", "source": SRC + f"// {n}", "config": "profile",
+           "train": [1], "ref": [5]}
+    req.update(over)
+    return req
+
+
+@pytest.fixture
+def daemon():
+    with DaemonThread(workers=0) as handle:
+        yield handle
+
+
+def _client(handle, **kwargs):
+    kwargs.setdefault("timeout", 30.0)
+    return ServiceClient(host=handle.host, port=handle.port, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# submit: the unanswered tail of a batch survives a mid-batch timeout
+# ---------------------------------------------------------------------------
+
+def test_submit_resends_unanswered_tail_after_timeout(daemon,
+                                                      monkeypatch):
+    """Regression: a timeout mid-``submit()`` used to drop the batch's
+    unanswered tail (the client closed the socket and raised).  The
+    client must reconnect, resend what is still pending, and deliver
+    every response."""
+    slow_key = "slow-marker"
+    release = threading.Event()
+
+    def handler(req):
+        if req.get("op") == worker_mod.STATS_OP:
+            return protocol.ok_response(req.get("id"),
+                                        worker_mod.STATS_OP, {})
+        if slow_key in req.get("source", ""):
+            release.wait(10.0)
+        return protocol.ok_response(req["id"], req["op"],
+                                    {"output": ["done"]})
+
+    monkeypatch.setattr(worker_mod, "handle_request", handler)
+    with _client(daemon, timeout=0.4) as client:
+        batch = [_work(1), _work(2, source=SRC + slow_key), _work(3)]
+        # release the slow request after the first client-side timeout
+        threading.Timer(0.7, release.set).start()
+        responses = list(client.submit(batch, max_resends=4))
+    assert len(responses) == 3
+    assert all(r["ok"] for r in responses)
+    assert sorted(r["id"] for r in responses) \
+        == sorted(r["id"] for r in batch)
+
+
+def test_submit_raises_once_the_resend_budget_is_spent(daemon,
+                                                       monkeypatch):
+    def handler(req):
+        if req.get("op") == worker_mod.STATS_OP:
+            return protocol.ok_response(req.get("id"),
+                                        worker_mod.STATS_OP, {})
+        time.sleep(5.0)
+        return protocol.ok_response(req["id"], req["op"], {})
+
+    monkeypatch.setattr(worker_mod, "handle_request", handler)
+    with _client(daemon, timeout=0.2) as client:
+        with pytest.raises(ServiceTimeout):
+            list(client.submit([_work(1)], max_resends=1))
+
+
+# ---------------------------------------------------------------------------
+# request: retry/backoff and the circuit breaker
+# ---------------------------------------------------------------------------
+
+def test_request_retries_connection_failures_until_daemon_is_up():
+    """A client pointed at a daemon that boots late must succeed within
+    its retry budget (the connect-retry half of the policy)."""
+    # reserve a port, then boot the daemon on it after a delay
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+
+    handle_box = {}
+
+    def boot():
+        handle_box["daemon"] = DaemonThread(workers=0, host="127.0.0.1",
+                                            port=port)
+
+    timer = threading.Timer(0.5, boot)
+    timer.start()
+    try:
+        policy = RetryPolicy(retries=40, base_ms=50.0, max_ms=200.0,
+                             seed=0)
+        client = ServiceClient("127.0.0.1", port, timeout=10.0,
+                               retry=policy)
+        assert client.ping()["pong"] is True
+        client.close()
+    finally:
+        timer.join()
+        if "daemon" in handle_box:
+            handle_box["daemon"].stop()
+
+
+def test_circuit_breaker_fails_fast_on_a_dead_daemon():
+    import socket
+
+    # a bound-but-not-listening port: every connect is refused
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+    breaker = CircuitBreaker(threshold=2, cooldown_s=60.0)
+    client = ServiceClient("127.0.0.1", port, timeout=1.0,
+                           breaker=breaker)
+    with pytest.raises(OSError):
+        client.request({"op": "ping"})
+    with pytest.raises((OSError, ServiceUnavailable)):
+        client.request({"op": "ping"})
+    assert not breaker.allow()
+    # the circuit is open: no connection attempt, instant typed failure
+    t0 = time.perf_counter()
+    with pytest.raises(ServiceUnavailable):
+        client.request({"op": "ping"})
+    assert time.perf_counter() - t0 < 0.5
+
+
+def test_breaker_closes_after_successful_probe(daemon):
+    breaker = CircuitBreaker(threshold=1, cooldown_s=0.05)
+    with _client(daemon, breaker=breaker) as client:
+        breaker.record_failure()  # simulate a failed epoch
+        assert not breaker.allow()
+        time.sleep(0.06)  # cooldown: half-open, one probe allowed
+        assert client.ping()["pong"] is True
+        assert breaker.allow() and breaker.failures == 0
