@@ -31,12 +31,14 @@ def emit_table(name: str, text: str) -> None:
 
 @dataclass
 class WorkloadRuns:
-    """base / profile / heuristic / aggressive runs for one workload."""
+    """base / profile / heuristic / static / aggressive runs for one
+    workload."""
 
     name: str
     base: object
     profile: object
     heuristic: object
+    static: object
     aggressive: object
 
     def comparison(self, which: str = "profile") -> Comparison:
@@ -45,7 +47,7 @@ class WorkloadRuns:
 
 @pytest.fixture(scope="session")
 def workload_runs() -> Dict[str, WorkloadRuns]:
-    """All four configurations for all eight workloads (the shared data
+    """All five configurations for all eight workloads (the shared data
     every figure draws from)."""
     runs: Dict[str, WorkloadRuns] = {}
     for w in all_workloads():
@@ -54,6 +56,7 @@ def workload_runs() -> Dict[str, WorkloadRuns]:
             base=run_workload(w, SpecConfig.base()),
             profile=run_workload(w, SpecConfig.profile()),
             heuristic=run_workload(w, SpecConfig.heuristic()),
+            static=run_workload(w, SpecConfig.static()),
             # The §5.1 "manually tuned" variant: checks are kept for
             # functional correctness but cost nothing and never suffer
             # ALAT capacity pressure — equivalent to code with the

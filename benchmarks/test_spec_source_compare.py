@@ -1,0 +1,77 @@
+"""Three-way speculation-source comparison (ISSUE 8).
+
+The paper uses a training-run alias profile (§3.2.1) with heuristic
+rules as the profile-free fallback (§3.2.2).  ISSUE 8 adds a third,
+static source: probabilistic alias analysis over branch-probability-
+weighted dataflow (docs/speculation_sources.md).  This bench puts all
+three side by side against the non-speculative base on every workload
+and pins the acceptance shape: the static source recovers a nonzero
+fraction of the profile's load-reduction win on at least half the
+workloads — with *no* training run at all.
+"""
+
+import pytest
+
+from repro.pipeline import format_table
+
+from conftest import emit_table
+
+pytestmark = pytest.mark.spec_static
+
+
+@pytest.fixture(scope="module")
+def source_rows(workload_runs):
+    rows = []
+    for runs in workload_runs.values():
+        prof = runs.comparison("profile")
+        heur = runs.comparison("heuristic")
+        stat = runs.comparison("static")
+        rows.append({
+            "benchmark": runs.name,
+            "profile_loadred_%": 100.0 * prof.load_reduction,
+            "heuristic_loadred_%": 100.0 * heur.load_reduction,
+            "static_loadred_%": 100.0 * stat.load_reduction,
+            "profile_speedup_%": 100.0 * prof.speedup,
+            "heuristic_speedup_%": 100.0 * heur.speedup,
+            "static_speedup_%": 100.0 * stat.speedup,
+            "static_misspec_%": 100.0 * stat.misspeculation_ratio,
+        })
+    return rows
+
+
+def test_spec_source_compare_table(source_rows, benchmark):
+    text = format_table(
+        source_rows,
+        title="Speculation sources: profile vs heuristic vs static",
+    )
+    emit_table("spec_source_compare", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_static_recovers_profile_win_on_half_the_workloads(source_rows):
+    """Acceptance: on ≥ half the workloads where the profile wins at
+    all, the static source recovers a nonzero fraction of that win."""
+    winners = [r for r in source_rows if r["profile_loadred_%"] > 0.0]
+    assert winners, "profile won nowhere — fixture broken"
+    recovered = [r for r in winners if r["static_loadred_%"] > 0.0]
+    assert len(recovered) * 2 >= len(winners), \
+        [r["benchmark"] for r in winners if r not in recovered]
+
+
+def test_static_misspeculation_stays_low(source_rows):
+    """Wrong static guesses only cost recovery replays; the rate stays
+    in the same band the paper reports for the heuristic rules."""
+    for r in source_rows:
+        assert r["static_misspec_%"] <= 10.0, r["benchmark"]
+
+
+def test_static_needs_no_profile(workload_runs):
+    """Structural check: the static runs were produced with no alias
+    profile and no edge profile — no training run at all."""
+    from repro.ssa import SpecMode
+
+    for runs in workload_runs.values():
+        config = runs.static.config
+        assert config.mode is SpecMode.STATIC
+        assert config.spec_source == "static"
+        assert not config.needs_train_run

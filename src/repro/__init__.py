@@ -22,4 +22,4 @@ Quickstart::
     print(result.stats.loads_retired, result.stats.check_loads)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -5,12 +5,18 @@ from .dominance import DominatorTree
 from .locs import HeapLoc, Loc, loc_name
 from .modref import ModRefSummary, compute_modref
 from .loops import Loop, LoopForest
+from .prob_alias import (ProbAliasAnalysis, ProbAliasInfo, SiteProb,
+                         block_frequencies, branch_probabilities,
+                         compute_prob_alias, solve_linear,
+                         solve_linear_multi)
 from .steensgaard import Steensgaard
 from .tbaa import tbaa_compatible, type_family
 
 __all__ = [
     "AliasClassifier", "DominatorTree", "FunctionAliasInfo", "HeapLoc",
-    "Loc", "Loop", "LoopForest", "SiteAliases", "Steensgaard",
-    "ModRefSummary", "compute_modref", "loc_name",
-    "tbaa_compatible", "type_family",
+    "Loc", "Loop", "LoopForest", "ProbAliasAnalysis", "ProbAliasInfo",
+    "SiteAliases", "SiteProb", "Steensgaard",
+    "ModRefSummary", "block_frequencies", "branch_probabilities",
+    "compute_modref", "compute_prob_alias", "loc_name", "solve_linear",
+    "solve_linear_multi", "tbaa_compatible", "type_family",
 ]

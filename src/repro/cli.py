@@ -2,15 +2,21 @@
 
 Usage::
 
-    python -m repro run FILE [--config base|profile|heuristic|aggressive]
+    python -m repro run FILE [--config NAME] [--spec-source SRC]
                              [--sched block|superblock]
                              [--train 1,2,3] [--ref 4,5,6] [--dump-ir]
                              [--inject SCENARIO] [--inject-seed N]
                              [--jobs N] [--time-passes] [--trace-json FILE]
     python -m repro compare FILE [--train ...] [--ref ...]
-    python -m repro workloads [--list | --name NAME]
+    python -m repro workloads [--list | --name NAME] [--spec-source SRC]
     python -m repro campaign [--scenarios poison,storm] [--seeds 0,1,2]
                              [--adversary empty|shuffle|invert] [--jobs N]
+                             [--spec-source SRC]
+
+``--config`` names come from the shared service registry
+(:mod:`repro.service.registry` — ``repro run --help`` lists them);
+``--spec-source heuristic|profile|static`` overrides where speculation
+flags come from (``static`` needs no train input at all).
     python -m repro figures [--out DIR]
     python -m repro serve [--host H] [--port P] [--workers N]
                           [--max-queue-depth N] [--max-inflight N]
@@ -46,14 +52,11 @@ from .core import SpecConfig
 from .errors import FuelExhausted
 from .pipeline import Comparison, OutputMismatch, compile_and_run, \
     compile_program, format_table
+from .service.registry import available_configs, resolve_config
+from .ssa import SpecMode
 
-_CONFIGS = {
-    "unoptimized": SpecConfig.unoptimized,
-    "base": SpecConfig.base,
-    "profile": SpecConfig.profile,
-    "heuristic": SpecConfig.heuristic,
-    "aggressive": SpecConfig.aggressive,
-}
+#: the `--spec-source` axis: where speculation flags come from
+_SPEC_SOURCES = ("heuristic", "profile", "static")
 
 
 def _parse_inputs(text: Optional[str]) -> List[float]:
@@ -71,9 +74,37 @@ def _apply_sched(config: SpecConfig, args: argparse.Namespace) -> SpecConfig:
     return config.but(scheduler=sched) if sched else config
 
 
+def _apply_spec_source(config: SpecConfig,
+                       args: argparse.Namespace) -> SpecConfig:
+    """Honour ``--spec-source``: swap the flag provenance of the chosen
+    config.  Profile-free sources also drop the edge profile, so the
+    result genuinely needs no train run; ``profile`` turns it on (the
+    train run is happening anyway)."""
+    src = getattr(args, "spec_source", None)
+    if not src:
+        return config
+    mode = SpecMode(src)
+    return config.but(mode=mode,
+                      use_edge_profile=(mode is SpecMode.PROFILE))
+
+
+def _resolve_cli_config(args: argparse.Namespace) -> SpecConfig:
+    return _apply_spec_source(
+        _apply_sched(resolve_config(args.config), args), args)
+
+
+def _config_label(args: argparse.Namespace) -> str:
+    """The name the stats line reports: the config, plus the
+    ``--spec-source`` override when it changed the flag provenance."""
+    src = getattr(args, "spec_source", None)
+    if src and src != args.config:
+        return f"{args.config}+{src}"
+    return args.config
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     source = open(args.file).read()
-    config = _apply_sched(_CONFIGS[args.config](), args)
+    config = _resolve_cli_config(args)
     if args.dump_ir:
         from .ir import format_module
 
@@ -130,7 +161,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for line in result.output:
         print(line)
     s = result.stats
-    print(f"--- {args.config}: cycles={s.cycles} "
+    print(f"--- {_config_label(args)}: cycles={s.cycles} "
           f"instructions={s.instructions} loads={s.memory_loads} "
           f"(plain={s.plain_loads} ld.a={s.advanced_loads} "
           f"ld.s={s.spec_loads} ld.c={s.check_loads} "
@@ -145,7 +176,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     ref = _parse_inputs(args.ref)
     base = compile_and_run(source, SpecConfig.base(),
                            train_inputs=train, ref_inputs=ref)
-    spec = compile_and_run(source, _CONFIGS[args.config](),
+    spec = compile_and_run(source, resolve_config(args.config),
                            train_inputs=train, ref_inputs=ref)
     comparison = Comparison(args.file, base, spec)
     print(format_table([comparison.row()]))
@@ -163,9 +194,11 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     rows = []
     for name in names:
         comparison = compare_workload(
-            name, spec_config=_apply_sched(_CONFIGS[args.config](), args))
+            name, spec_config=_resolve_cli_config(args))
         rows.append(comparison.row())
-    print(format_table(rows, title=f"{args.config} vs base"))
+    title = args.config + (f" ({args.spec_source} flags)"
+                           if args.spec_source else "")
+    print(format_table(rows, title=f"{title} vs base"))
     return 0
 
 
@@ -174,8 +207,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     transform = ADVERSARIES[args.adversary] if args.adversary else None
     names = args.workloads.split(",") if args.workloads else None
+    config = None
+    if args.spec_source:
+        # same default the campaign uses (static control speculation —
+        # the edge profile would optimize the recovery workloads' ld.s
+        # sites away), with the requested flag provenance swapped in
+        config = SpecConfig.profile().but(mode=SpecMode(args.spec_source),
+                                          use_edge_profile=False)
     report = run_campaign(
         workload_names=names,
+        config=config,
         scenarios=tuple(args.scenarios.split(",")),
         seeds=[int(s) for s in args.seeds.split(",")],
         profile_transform=transform,
@@ -287,7 +328,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="compile + simulate one file")
     run.add_argument("file")
-    run.add_argument("--config", choices=sorted(_CONFIGS), default="profile")
+    run.add_argument("--config", choices=available_configs(),
+                     default="profile",
+                     help="named configuration from the shared service "
+                          "registry (repro.service.registry)")
+    run.add_argument("--spec-source", choices=_SPEC_SOURCES,
+                     help="override where speculation flags come from: "
+                          "training-run alias profile, syntax "
+                          "heuristics, or static probabilistic alias "
+                          "analysis (no train input needed)")
     run.add_argument("--sched", choices=("block", "superblock"),
                      help="machine scheduling mode: per-block list "
                           "scheduling (default) or profile-guided "
@@ -323,7 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="base vs speculative")
     compare.add_argument("file")
-    compare.add_argument("--config", choices=sorted(_CONFIGS),
+    compare.add_argument("--config", choices=available_configs(),
                          default="profile")
     compare.add_argument("--train")
     compare.add_argument("--ref")
@@ -333,8 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
                                help="run the SPEC2000-shaped workloads")
     workloads.add_argument("--list", action="store_true")
     workloads.add_argument("--name")
-    workloads.add_argument("--config", choices=sorted(_CONFIGS),
+    workloads.add_argument("--config", choices=available_configs(),
                            default="profile")
+    workloads.add_argument("--spec-source", choices=_SPEC_SOURCES,
+                           help="override the speculation-flag source "
+                                "(see `run`)")
     workloads.add_argument("--sched", choices=("block", "superblock"),
                            help="machine scheduling mode (see `run`)")
     workloads.set_defaults(fn=_cmd_workloads)
@@ -354,6 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
                                                   "invert"),
                           help="feed the compiler this adversarial "
                                "alias-profile transform")
+    campaign.add_argument("--spec-source", choices=_SPEC_SOURCES,
+                          help="run the campaign with this speculation-"
+                               "flag source (static: wrong guesses may "
+                               "only cost recovery replays, never "
+                               "output mismatches)")
     import os
 
     campaign.add_argument(

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from ..ssa.spec import SpecMode
+from ..ssa.spec import DEFAULT_STATIC_THRESHOLD, SpecMode
 
 
 @dataclass(frozen=True)
@@ -21,6 +21,11 @@ class SpecConfig:
       control speculation guided by the edge profile.
     * :meth:`heuristic` — data speculation from the three syntax rules of
       §3.2.2 (no profiling at all).
+    * :meth:`static` — data speculation from static probabilistic alias
+      analysis (``repro.analysis.prob_alias``): profile-free like
+      heuristic, but likeliness is a per-site probability in [0, 1]
+      thresholded by :attr:`static_threshold` — works cold, with no
+      train input at all.
     * :meth:`aggressive` — ignore every may-alias: Figure 12's unsafe
       upper bound (valid only when aliasing never materializes at
       runtime).
@@ -52,6 +57,9 @@ class SpecConfig:
     #: likeliness threshold for profile flags (§3.1): aliases observed in
     #: fewer than this fraction of a site's executions stay speculative
     likeliness_threshold: float = 0.0
+    #: probability cutoff for the static source: a may-alias whose
+    #: statically-computed probability reaches this is treated as real
+    static_threshold: float = DEFAULT_STATIC_THRESHOLD
     #: interprocedural mod/ref summaries refine call-site µ/χ lists
     #: (a static sharpening ORC's baseline also performs)
     interprocedural_modref: bool = True
@@ -66,8 +74,19 @@ class SpecConfig:
     max_rounds: int = 4
 
     @property
+    def spec_source(self) -> str:
+        """The wire name of the speculation-flag provenance
+        (:class:`repro.ssa.spec.SpecSource` implementations)."""
+        return self.mode.value
+
+    @property
     def needs_alias_profile(self) -> bool:
         return self.mode is SpecMode.PROFILE
+
+    @property
+    def needs_train_run(self) -> bool:
+        """Does compiling under this config require training inputs?"""
+        return self.needs_alias_profile or self.use_edge_profile
 
     @property
     def data_speculation(self) -> bool:
@@ -91,6 +110,13 @@ class SpecConfig:
     @staticmethod
     def heuristic() -> "SpecConfig":
         return SpecConfig(mode=SpecMode.HEURISTIC)
+
+    @staticmethod
+    def static(threshold: float = DEFAULT_STATIC_THRESHOLD) -> "SpecConfig":
+        """Cold-start configuration: full data speculation with no
+        training run — flags from static probabilistic alias analysis,
+        control speculation from static branch heuristics only."""
+        return SpecConfig(mode=SpecMode.STATIC, static_threshold=threshold)
 
     @staticmethod
     def aggressive() -> "SpecConfig":

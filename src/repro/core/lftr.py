@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..ir import Symbol
 from ..ssa import (SAssign, SBin, SCall, SCondBr, SConst, SSABlock,
-                   SSAFunction, SVarUse)
+                   SSAFunction, SSAVar, SVarUse)
 from .engine import PREContext
 
 _FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
@@ -52,6 +52,23 @@ def _iv_is_linear_in_loop(ssa: SSAFunction, loop, symbol: Symbol) -> bool:
                 if chi.symbol is symbol:
                     return False
     return True
+
+
+def _live_temp_version(header: SSABlock, temp: Symbol) -> Optional[SSAVar]:
+    """The SSA version of ``temp`` live at the header's terminator: its
+    φ def, updated by any later def inside the header block."""
+    var: Optional[SSAVar] = None
+    for phi in header.phis:
+        if phi.lhs is not None and phi.lhs.symbol is temp:
+            var = phi.lhs
+    for stmt in header.stmts:
+        if isinstance(stmt, SAssign) and isinstance(stmt.lhs, SSAVar) \
+                and stmt.lhs.symbol is temp:
+            var = stmt.lhs
+        elif isinstance(stmt, SCall) and isinstance(stmt.dst, SSAVar) \
+                and stmt.dst.symbol is temp:
+            var = stmt.dst
+    return var
 
 
 def replace_linear_tests(ctx: PREContext) -> int:
@@ -93,13 +110,16 @@ def replace_linear_tests(ctx: PREContext) -> int:
             continue  # t == i*stride not guaranteed at this test
         if not _iv_is_linear_in_loop(ssa, loop, iv_use.symbol):
             continue
+        t_var = _live_temp_version(header, temp)
+        if t_var is None:
+            continue  # no version of t reaches the test
         new_bound = _make_bound(ctx, loop, header, bound, stride, temp)
         if new_bound is None:
             continue
         op = cond.op if not flipped else _FLIP[cond.op]
         if stride < 0:
             op = _FLIP[op]
-        t_use = SVarUse(temp, None)
+        t_use = SVarUse(temp, t_var)
         term.cond = (SBin(op, t_use, new_bound) if not flipped
                      else SBin(_FLIP[op], new_bound, t_use))
         replaced += 1

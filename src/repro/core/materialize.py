@@ -382,12 +382,39 @@ class Materializer:
             var = self._new_temp_var(cls)
             block = site.block
             var.def_block = block
-            use = SVarUse(self._temp, anchor)
+            # the repair reads the temp version live at the injury (the
+            # nearest dominating def); out-of-SSA collapses every version
+            # onto the shared symbol, so the version only has to satisfy
+            # the SSA verifier's dominance check
+            use_var = self._temp_version_at(site) or anchor
+            use = SVarUse(self._temp, use_var)
             repair = SAssign(
                 var, SBin("+", use, SConst(delta * stride, self._temp.ty))
             )
             var.def_site = repair
             self._insert_after(block, site, repair)
+
+    def _temp_version_at(self, site: object) -> Optional[SSAVar]:
+        """The version of the SSAPRE temp live just before ``site``:
+        scan backwards from the site, then up the dominator tree."""
+        temp = self._temp
+        block = site.block
+        idx = block.stmts.index(site)
+        idoms = self.ssa.dom.idom
+        while True:
+            for stmt in reversed(block.stmts[:idx]):
+                lhs = getattr(stmt, "lhs", None) or getattr(stmt, "dst",
+                                                            None)
+                if isinstance(lhs, SSAVar) and lhs.symbol is temp:
+                    return lhs
+            for phi in block.phis:
+                if phi.lhs is not None and phi.lhs.symbol is temp:
+                    return phi.lhs
+            parent = idoms.get(block.base)
+            if parent is None or parent is block.base:
+                return None
+            block = self.ssa.block_of(parent)
+            idx = len(block.stmts)
 
     def _stride_of_template(self):
         t = self.ec.template

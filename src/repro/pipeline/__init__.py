@@ -1,7 +1,8 @@
 """End-to-end pipeline (source → speculative SSAPRE → simulated IA-64)."""
 
 from ..core import SpecConfig
-from .cache import CompileCache, content_key, default_cache, shard_of
+from .cache import (CompileCache, compiler_fingerprint, content_key,
+                    default_cache, shard_of)
 from .driver import compile_and_run, compile_program
 from .dumps import DumpSink
 from .passes import (PASS_REGISTRY, AnalysisManager, PassManager,
@@ -13,6 +14,7 @@ __all__ = [
     "AnalysisManager", "Comparison", "CompileCache", "CompileResult",
     "Diagnostic", "DumpSink", "OutputMismatch", "PASS_REGISTRY",
     "PassManager", "PassTiming", "PassTrace", "RunResult", "SpecConfig",
-    "compile_and_run", "compile_program", "content_key", "default_cache",
+    "compile_and_run", "compile_program", "compiler_fingerprint",
+    "content_key", "default_cache",
     "format_table", "shard_of",
 ]

@@ -49,12 +49,28 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .results import CompileResult
 
 
+def compiler_fingerprint() -> str:
+    """The **portable** identity of the compiler itself: the package
+    version plus the sorted pass-registry names.  Part of every
+    :func:`content_key` — and therefore of the service ``request_key``
+    and the persisted :class:`~repro.service.persist.CacheStore`
+    entries — so a disk cache written by one compiler build is
+    invalidated by the next build instead of serving stale compiles.
+    Deliberately made of stable strings, never ``id()``s: two processes
+    running the same build must agree."""
+    from .. import __version__
+    from .passes.base import PASS_REGISTRY
+
+    return repr((__version__, tuple(sorted(PASS_REGISTRY))))
+
+
 def content_key(source: str, config: "SpecConfig",
                 train_inputs: Sequence[float], fuel: int,
                 failsafe: bool) -> str:
     """The **process-portable** part of the content key: everything the
-    *request* pins (source, config, train inputs, fuel, failsafe) and
-    nothing the *process* pins (no seam or registry identities).
+    *request* pins (source, config, train inputs, fuel, failsafe) plus
+    the :func:`compiler_fingerprint`, and nothing the *process* pins
+    (no seam or registry identities).
 
     Two processes given the same request compute the same
     ``content_key`` — this is the key the compile service
@@ -67,6 +83,8 @@ def content_key(source: str, config: "SpecConfig",
     h.update(b"\x00")
     h.update(repr(config).encode())
     h.update(repr((tuple(train_inputs), fuel, bool(failsafe))).encode())
+    h.update(b"\x00")
+    h.update(compiler_fingerprint().encode())
     return h.hexdigest()
 
 

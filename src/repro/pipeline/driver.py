@@ -87,6 +87,11 @@ def compile_program(source: str, config: Optional[SpecConfig] = None,
     ``profile_transform``, a shared ``analyses``) bypass the cache —
     their side effects are the point of the call."""
     config = config or SpecConfig.base()
+    if not config.needs_train_run:
+        # the no-train-run path: profile-free configs (base, heuristic,
+        # static) never run the trainer, and normalizing the inputs here
+        # keeps cache keys from fragmenting on irrelevant train data
+        train_inputs = ()
     memo = _resolve_cache(cache, default=None)
     key = None
     if memo is not None:

@@ -23,7 +23,7 @@ from __future__ import annotations
 from ...analysis import DominatorTree
 from ...core import PHASES
 from ...ir import split_module_critical_edges, verify_module
-from ...ssa import (FlowSensitivePointsTo, build_ssa, flagger_for,
+from ...ssa import (FlowSensitivePointsTo, SpecMode, build_ssa, flagger_for,
                     lower_function, lower_module)
 from ...target import (compile_module, schedule_function, verify_program)
 from .base import (FunctionPass, MachinePass, ModulePass, register_pass)
@@ -109,8 +109,16 @@ class BuildSSAPass(FunctionPass):
             refinement = analyses.get(
                 "flow-points-to", (id(state.module), fn.name),
                 lambda: FlowSensitivePointsTo(fn))
+        prob_info_for = None
+        if config.mode is SpecMode.STATIC:
+            module_id = id(state.module)
+            prob_info_for = lambda f: analyses.get_registered(
+                "prob-alias", (module_id, f.name), f,
+                dom if f is fn else None)
         flagger = flagger_for(config.mode, state.alias_profile,
-                              config.likeliness_threshold)
+                              config.likeliness_threshold,
+                              static_threshold=config.static_threshold,
+                              prob_info_for=prob_info_for)
         state.ssa = build_ssa(state.module, fn, classifier,
                               flagger=flagger, refinement=refinement,
                               info=info, dom=dom)

@@ -30,6 +30,30 @@ from typing import Callable, Dict, Hashable, Optional, Tuple
 
 Key = Tuple[str, Optional[Hashable]]
 
+#: named analysis constructors — ``manager.get_registered(name, scope,
+#: *args)`` resolves ``name`` here, so passes request shared analyses
+#: by wire name instead of hand-rolling the compute closure each time
+ANALYSIS_REGISTRY: Dict[str, Callable[..., object]] = {}
+
+
+def register_analysis(name: str) -> Callable:
+    """Register a named analysis constructor (decorator)."""
+
+    def deco(compute: Callable[..., object]) -> Callable[..., object]:
+        ANALYSIS_REGISTRY[name] = compute
+        return compute
+
+    return deco
+
+
+@register_analysis("prob-alias")
+def _prob_alias(fn, dom=None):
+    """Static probabilistic alias facts of one function (profile-free
+    speculation source — repro.analysis.prob_alias)."""
+    from ...analysis.prob_alias import compute_prob_alias
+
+    return compute_prob_alias(fn, dom)
+
 
 class AnalysisManager:
     """Memoizing analysis cache with per-analysis hit/miss counters."""
@@ -57,6 +81,13 @@ class AnalysisManager:
             result = compute()
             self._cache[key] = result
             return result
+
+    def get_registered(self, name: str, scope: Optional[Hashable],
+                       *args) -> object:
+        """The cached result of the *registered* analysis ``name`` at
+        ``scope``, constructing it from ``args`` on first request."""
+        compute = ANALYSIS_REGISTRY[name]
+        return self.get(name, scope, lambda: compute(*args))
 
     def cached(self, name: str, scope: Optional[Hashable] = None) -> bool:
         with self._lock:

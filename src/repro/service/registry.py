@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from ..core import SpecConfig
+from ..ssa import SpecMode
 
 #: base configurations: name -> zero-arg factory
 CONFIG_FACTORIES: Dict[str, Callable[[], SpecConfig]] = {
@@ -27,6 +28,7 @@ CONFIG_FACTORIES: Dict[str, Callable[[], SpecConfig]] = {
     "base": SpecConfig.base,
     "profile": SpecConfig.profile,
     "heuristic": SpecConfig.heuristic,
+    "static": SpecConfig.static,
     "aggressive": SpecConfig.aggressive,
 }
 
@@ -38,6 +40,10 @@ MODIFIERS: Dict[str, Callable[[SpecConfig], SpecConfig]] = {
     "noedge": lambda c: c.but(use_edge_profile=False),
     "nochecks": lambda c: c.but(emit_checks=False),
     "notbaa": lambda c: c.but(use_tbaa=False),
+    # flag provenance swaps (cold-start clients: `profile+static` serves
+    # a request with no train input at all)
+    "static": lambda c: c.but(mode=SpecMode.STATIC,
+                              use_edge_profile=False),
 }
 
 

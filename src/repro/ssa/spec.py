@@ -1,41 +1,60 @@
 """Speculation-flag assignment — turning HSSA into *speculative* SSA.
 
-Implements §3.2.1 (alias-profile-driven flags) and §3.2.2 (heuristic-rule
-flags) of the paper.  A *flagger* runs after µ/χ lists are created but
-before φ insertion/renaming (the paper's Figure 4 ordering), and may both
-flip ``likely`` flags and append missing µ/χ operands:
+"Where do speculation flags come from" is a first-class, pluggable axis:
+a :class:`SpecSource` builds the *flagger* that runs after µ/χ lists are
+created but before φ insertion/renaming (the paper's Figure 4 ordering),
+and may both flip ``likely`` flags and append missing µ/χ operands.
+Four sources ship:
 
-* **Profile flaggers** (§3.2.1): an operand is *likely* (χs/µs) iff its LOC
-  was observed at that reference during the training run.  Members of the
-  profiled LOC set missing from a list are appended as likely operands
+* :class:`ProfileSource` (§3.2.1): an operand is *likely* (χs/µs) iff its
+  LOC was observed at that reference during the training run.  Members of
+  the profiled LOC set missing from a list are appended as likely operands
   (this covers TBAA-unsound corner cases).  Virtual-variable operands are
   flagged by intersecting the site's profiled LOCs with the LOCs ever
   touched by the virtual variable's own references.
-* **Heuristic flaggers** (§3.2.2): rule 1 — identical address syntax trees
-  are assumed to see the same value, so cross-shape virtual χs are
+* :class:`HeuristicSource` (§3.2.2): rule 1 — identical address syntax
+  trees are assumed to see the same value, so cross-shape virtual χs are
   ignorable; rule 2 — direct references of one variable are assumed to see
   the same value, so real-variable χs at indirect stores are ignorable;
   rule 3 — call-statement side effects are always likely (χs), and call µ
   lists stay untouched.
-* **The no-speculation flagger** leaves everything likely — classical HSSA,
-  the paper's O3+TBAA baseline behaviour.
+* :class:`StaticSource`: profile-free — likeliness probabilities come
+  from :mod:`repro.analysis.prob_alias` (static branch heuristics +
+  probabilistic points-to, no training run), thresholded by a tunable
+  cutoff; raising the cutoff only *removes* likely marks.
+* :class:`NoSpecSource` leaves everything likely — classical HSSA, the
+  paper's O3+TBAA baseline behaviour (plus :class:`AggressiveSource`,
+  Figure 12's ignore-every-may-alias upper bound).
+
+:func:`flagger_for` keeps its historical signature and delegates to
+:func:`source_for` — the golden tests under ``tests/ssa/golden/`` pin the
+profile/heuristic flag assignments bit-for-bit across this dispatch.
 """
 
 from __future__ import annotations
 
+import abc
 import enum
 from collections import defaultdict
-from typing import Callable, Dict, List, Optional, Set
+from typing import (TYPE_CHECKING, Callable, ClassVar, Dict, List, Optional,
+                    Set)
 
 from ..analysis.aliasclass import FunctionAliasInfo
 from ..analysis.locs import Loc
-from ..ir import Symbol
+from ..ir import Function, Symbol
 from ..profiling.alias_profile import AliasProfile
 from .values import (Chi, Mu, SAssign, SCall, SLoad, SPrint, SSAFunction,
                      SStmt, SStore)
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.prob_alias import ProbAliasInfo
+
 #: A flagger mutates µ/χ lists in place, pre-renaming.
 Flagger = Callable[[SSAFunction, FunctionAliasInfo], None]
+
+#: default probability cutoff of :class:`StaticSource` — an alias whose
+#: static probability reaches this is treated as real (binding)
+DEFAULT_STATIC_THRESHOLD = 0.5
 
 
 class SpecMode(enum.Enum):
@@ -44,6 +63,7 @@ class SpecMode(enum.Enum):
     OFF = "off"                # classical HSSA: everything likely
     PROFILE = "profile"        # §3.2.1, from an alias profile
     HEURISTIC = "heuristic"    # §3.2.2, from the three syntax rules
+    STATIC = "static"          # profile-free probabilistic alias analysis
     AGGRESSIVE = "aggressive"  # ignore *all* may-aliases (Fig. 12 bound)
 
 
@@ -208,21 +228,239 @@ def heuristic_flagger(ssa: SSAFunction, info: FunctionAliasInfo) -> None:
             mu.likely = mu.is_own
 
 
-def flagger_for(mode: SpecMode,
-                profile: Optional[AliasProfile] = None,
-                threshold: float = 0.0) -> Flagger:
-    """Select the flagger for a :class:`SpecMode`."""
-    if mode is SpecMode.OFF:
+def make_static_flagger(
+    threshold: float = DEFAULT_STATIC_THRESHOLD,
+    info_for: Optional[Callable[[Function], "ProbAliasInfo"]] = None,
+) -> Flagger:
+    """Build a profile-free flagger from static probabilistic alias facts.
+
+    An operand is likely iff its statically-computed alias probability
+    reaches ``threshold`` — so raising the threshold only ever *removes*
+    likely marks (more speculation), never adds them.  Own operands are
+    likely iff their site can execute at all (an ``if (0)`` body is dead),
+    and call-statement effects stay fully binding: the analysis is
+    intraprocedural, so interprocedural effects get the safe rule-3
+    treatment.  ``info_for`` lets the pipeline supply its cached
+    ``prob-alias`` analysis; by default facts are computed on demand.
+    """
+    from ..analysis.prob_alias import compute_prob_alias
+
+    memo: Dict[int, "ProbAliasInfo"] = {}
+
+    def info_of(fn: Function) -> "ProbAliasInfo":
+        if info_for is not None:
+            return info_for(fn)
+        key = id(fn)
+        if key not in memo:
+            memo[key] = compute_prob_alias(fn)
+        return memo[key]
+
+    def flagger(ssa: SSAFunction, info: FunctionAliasInfo) -> None:
+        pa = info_of(ssa.fn)
+        # The static footprint of each virtual variable: the site keys of
+        # its own references (the analogue of _vvar_site_sublocs).
+        vvar_sites: Dict[Symbol, List[int]] = defaultdict(list)
+        for load in iter_loads(ssa):
+            vvar_sites[load.site.vvar].append(id(load.orig))
+        for block in ssa.blocks:
+            for stmt in block.stmts:
+                if isinstance(stmt, SStore):
+                    vvar_sites[stmt.site.vvar].append(id(stmt.orig))
+
+        def vvar_overlap(key: int, vvar: Symbol) -> float:
+            """P(this site's address collides with any reference of the
+            virtual variable)."""
+            return max((pa.overlap(key, pa.site(k).dist)
+                        for k in vvar_sites.get(vvar, ())), default=0.0)
+
+        def vvar_touches(vvar: Symbol, sym: Symbol) -> float:
+            """P(some reference of the virtual variable touches ``sym``)."""
+            return max((pa.site(k).target_prob(sym)
+                        for k in vvar_sites.get(vvar, ())), default=0.0)
+
+        def flag(op, key: int) -> None:
+            if op.is_own:
+                op.likely = pa.executed(key)
+            elif op.symbol.is_virtual:
+                op.likely = vvar_overlap(key, op.symbol) >= threshold
+            else:
+                op.likely = pa.target_prob(key, op.symbol) >= threshold
+
+        for block in ssa.blocks:
+            for stmt in block.stmts:
+                if isinstance(stmt, SStore):
+                    key = id(stmt.orig)
+                    for chi in stmt.chis:
+                        flag(chi, key)
+                elif isinstance(stmt, SCall):
+                    for chi in stmt.chis:
+                        chi.likely = True
+                    for mu in stmt.mus:
+                        mu.likely = True
+                elif isinstance(stmt, SAssign):
+                    for chi in stmt.chis:
+                        chi.likely = vvar_touches(chi.symbol,
+                                                  stmt.lhs) >= threshold
+        for load in iter_loads(ssa):
+            key = id(load.orig)
+            for mu in load.mus:
+                flag(mu, key)
+
+    return flagger
+
+
+# ---- the SpecSource axis ----------------------------------------------------
+
+
+class SpecSource(abc.ABC):
+    """Where speculation flags come from.
+
+    A source is a small, typed strategy object: it declares whether it
+    needs a training run and builds the flagger that
+    :class:`~repro.ssa.construct.SSABuilder` runs pre-renaming.  The
+    pipeline, CLI and compile service all select flag provenance through
+    this protocol — adding a new provenance means adding a source here,
+    nothing else.
+    """
+
+    #: the wire name (matches ``SpecMode`` values and ``--spec-source``)
+    name: ClassVar[str]
+
+    #: does this source require an alias profile from a training run?
+    needs_train_run: ClassVar[bool] = False
+
+    @abc.abstractmethod
+    def flagger(self) -> Flagger:
+        """The flagger implementing this source's flag assignment."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class NoSpecSource(SpecSource):
+    """Classical HSSA — every may-operand binding, no speculation."""
+
+    name = "off"
+
+    def flagger(self) -> Flagger:
         return no_spec_flagger
+
+
+class AggressiveSource(SpecSource):
+    """Figure 12's unsafe upper bound — ignore every may-alias."""
+
+    name = "aggressive"
+
+    def flagger(self) -> Flagger:
+        return aggressive_flagger
+
+
+class HeuristicSource(SpecSource):
+    """§3.2.2 — the three syntax-tree rules, no inputs needed."""
+
+    name = "heuristic"
+
+    def flagger(self) -> Flagger:
+        return heuristic_flagger
+
+
+class ProfileSource(SpecSource):
+    """§3.2.1 — flags from a training-run alias profile."""
+
+    name = "profile"
+    needs_train_run = True
+
+    def __init__(self, profile: AliasProfile,
+                 threshold: float = 0.0) -> None:
+        if profile is None:
+            raise ValueError("ProfileSource requires an alias profile")
+        self.profile = profile
+        self.threshold = threshold
+
+    def flagger(self) -> Flagger:
+        return make_profile_flagger(self.profile, self.threshold)
+
+
+class StaticSource(SpecSource):
+    """Profile-free — static probabilistic alias analysis, thresholded."""
+
+    name = "static"
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_STATIC_THRESHOLD,
+        info_for: Optional[Callable[[Function], "ProbAliasInfo"]] = None,
+    ) -> None:
+        self.threshold = threshold
+        self.info_for = info_for
+
+    def flagger(self) -> Flagger:
+        return make_static_flagger(self.threshold, self.info_for)
+
+
+def source_for(
+    mode: SpecMode,
+    profile: Optional[AliasProfile] = None,
+    threshold: float = 0.0,
+    static_threshold: float = DEFAULT_STATIC_THRESHOLD,
+    prob_info_for: Optional[Callable[[Function], "ProbAliasInfo"]] = None,
+) -> SpecSource:
+    """The :class:`SpecSource` implementing a :class:`SpecMode`."""
+    if mode is SpecMode.OFF:
+        return NoSpecSource()
     if mode is SpecMode.PROFILE:
         if profile is None:
             raise ValueError("PROFILE mode requires an alias profile")
-        return make_profile_flagger(profile, threshold)
+        return ProfileSource(profile, threshold)
     if mode is SpecMode.HEURISTIC:
-        return heuristic_flagger
+        return HeuristicSource()
+    if mode is SpecMode.STATIC:
+        return StaticSource(static_threshold, prob_info_for)
     if mode is SpecMode.AGGRESSIVE:
-        return aggressive_flagger
+        return AggressiveSource()
     raise ValueError(f"unknown mode {mode!r}")  # pragma: no cover
+
+
+def flagger_for(
+    mode: SpecMode,
+    profile: Optional[AliasProfile] = None,
+    threshold: float = 0.0,
+    static_threshold: float = DEFAULT_STATIC_THRESHOLD,
+    prob_info_for: Optional[Callable[[Function], "ProbAliasInfo"]] = None,
+) -> Flagger:
+    """Select the flagger for a :class:`SpecMode` (via its source)."""
+    return source_for(mode, profile, threshold, static_threshold,
+                      prob_info_for).flagger()
+
+
+def flag_snapshot(ssa: SSAFunction) -> str:
+    """A canonical text serialization of every µ/χ likeliness flag.
+
+    One line per operand, in deterministic (block, statement, operand)
+    order.  Two SSA forms of the same function have equal snapshots iff
+    their speculation-flag assignments are bit-identical — the golden
+    tests pin flagger behaviour across refactors with this."""
+    lines: List[str] = [f"function {ssa.fn.name}"]
+
+    def mark(sym: Symbol) -> str:
+        return f"~{sym.name}" if sym.is_virtual else sym.name
+
+    for bi, block in enumerate(ssa.blocks):
+        for si, stmt in enumerate(block.stmts):
+            kind = type(stmt).__name__
+            for chi in stmt.chis:
+                lines.append(
+                    f"b{bi} s{si} {kind} chi {mark(chi.symbol)} "
+                    f"likely={int(chi.likely)} own={int(chi.is_own)}")
+            for mu in stmt.mus:
+                lines.append(
+                    f"b{bi} s{si} {kind} mu {mark(mu.symbol)} "
+                    f"likely={int(mu.likely)} own={int(mu.is_own)}")
+    for li, load in enumerate(iter_loads(ssa)):
+        for mu in load.mus:
+            lines.append(f"load{li} mu {mark(mu.symbol)} "
+                         f"likely={int(mu.likely)} own={int(mu.is_own)}")
+    return "\n".join(lines) + "\n"
 
 
 # ---- helpers ---------------------------------------------------------------

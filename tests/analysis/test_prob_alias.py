@@ -1,0 +1,309 @@
+"""Unit tests for the static probabilistic alias analysis
+(:mod:`repro.analysis.prob_alias`, ISSUE 8): the sparse linear solver on
+closed-form systems, branch-probability / block-frequency closed forms
+on hand-built CFGs, per-site distributions, and the static flagger's
+determinism + threshold monotonicity (hypothesis)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (LoopForest, block_frequencies,
+                            branch_probabilities, compute_prob_alias,
+                            solve_linear, solve_linear_multi)
+from repro.analysis.prob_alias import (EPS_REACH, FREQ_CAP, NULL,
+                                       PROB_LOOP_STAY, UNKNOWN,
+                                       UNKNOWN_SHARE, SiteProb, dist_overlap)
+from repro.lang import compile_source
+
+pytestmark = pytest.mark.spec_static
+
+
+# ---------------------------------------------------------------------------
+# The sparse linear solver, on closed-form systems
+# ---------------------------------------------------------------------------
+
+
+def test_solver_identity_system():
+    # x = 0·x + b  →  x = b
+    assert solve_linear({"a": {}}, {"a": 3.0}) == {"a": 3.0}
+
+
+def test_solver_two_by_two_closed_form():
+    # x0 = 0.5·x1 + 1, x1 = 0.5·x0  →  x0 = 4/3, x1 = 2/3
+    sol = solve_linear({"x0": {"x1": 0.5}, "x1": {"x0": 0.5}},
+                       {"x0": 1.0, "x1": 0.0})
+    assert math.isclose(sol["x0"], 4.0 / 3.0, rel_tol=1e-9)
+    assert math.isclose(sol["x1"], 2.0 / 3.0, rel_tol=1e-9)
+
+
+def test_solver_geometric_series():
+    # x = p·x + 1  →  x = 1/(1-p), the loop-frequency closed form
+    for p in (0.5, 0.88, 0.99):
+        sol = solve_linear({"h": {"h": p}}, {"h": 1.0})
+        assert math.isclose(sol["h"], 1.0 / (1.0 - p), rel_tol=1e-9)
+
+
+def test_solver_needs_partial_pivoting():
+    # row for x0 has a zero diagonal after (I - A): x0 = x0 + x1 makes
+    # the natural pivot vanish, so the solver must row-swap.  Exact
+    # solution: x1 = 0, then 0 = 0.5·x0 + 1 → x0 = -2.
+    sol = solve_linear({"x0": {"x0": 1.0, "x1": 1.0},
+                        "x1": {"x0": 0.5}},
+                       {"x0": 0.0, "x1": 1.0})
+    assert math.isclose(sol["x0"], -2.0, abs_tol=1e-9)
+    assert abs(sol["x1"]) < 1e-9
+
+
+def test_solver_multi_rhs_matches_scalar_solves():
+    coeffs = {"x0": {"x1": 0.25}, "x1": {"x0": 0.5}}
+    multi = solve_linear_multi(
+        coeffs, {"x0": {"p": 1.0, "q": 2.0}, "x1": {"q": 1.0}})
+    for dim, consts in (("p", {"x0": 1.0, "x1": 0.0}),
+                        ("q", {"x0": 2.0, "x1": 1.0})):
+        scalar = solve_linear(coeffs, consts)
+        for v in coeffs:
+            assert math.isclose(multi[v].get(dim, 0.0), scalar[v],
+                                rel_tol=1e-9, abs_tol=1e-12)
+
+
+def test_solver_singular_system_falls_back_bounded():
+    # x = 1·x + 1 is a probability-1 cycle: (I - A) is singular, so the
+    # damped Gauss–Seidel fallback runs and stays finite (≤ FREQ_CAP)
+    sol = solve_linear({"x": {"x": 1.0}}, {"x": 1.0}, iterations=50)
+    assert 1.0 <= sol["x"] <= FREQ_CAP
+    # the homogeneous singular system converges to the zero fixpoint
+    assert solve_linear({"x": {"x": 1.0}}, {"x": 0.0})["x"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Branch probabilities and block frequencies on hand-built CFGs
+# ---------------------------------------------------------------------------
+
+DIAMOND = (
+    "void main(int c) {"
+    "  int a;"
+    "  if (c) { a = 1; } else { a = 2; }"
+    "  print(a);"
+    "}"
+)
+
+DEAD_ARM = (
+    "void main() {"
+    "  int a;"
+    "  if (0) { a = 1; } else { a = 2; }"
+    "  print(a);"
+    "}"
+)
+
+WHILE_LOOP = (
+    "void main(int n) {"
+    "  int i;"
+    "  i = 0;"
+    "  while (i < n) { i = i + 1; }"
+    "  print(i);"
+    "}"
+)
+
+
+def _fn(src, name="main"):
+    return compile_source(src).functions[name]
+
+
+def test_diamond_unpredictable_branch_splits_half():
+    fn = _fn(DIAMOND)
+    probs = branch_probabilities(fn)
+    freq = block_frequencies(fn, probs)
+    entry_out = {b: p for (a, b), p in probs.items() if a is fn.entry}
+    assert len(entry_out) == 2
+    assert all(math.isclose(p, 0.5) for p in entry_out.values())
+    for arm in entry_out:
+        assert math.isclose(freq[arm], 0.5, rel_tol=1e-9)
+    # the join re-accumulates to the entry frequency
+    assert math.isclose(max(freq.values()), 1.0, rel_tol=1e-9)
+    assert math.isclose(freq[fn.entry], 1.0)
+
+
+def test_constant_condition_folds_and_kills_the_dead_arm():
+    fn = _fn(DEAD_ARM)
+    probs = branch_probabilities(fn)
+    freq = block_frequencies(fn, probs)
+    entry_out = sorted(p for (a, _), p in probs.items() if a is fn.entry)
+    assert entry_out == [0.0, 1.0]  # folded, not 0.5/0.5
+    dead = [b for (a, b), p in probs.items()
+            if a is fn.entry and p == 0.0]
+    assert len(dead) == 1 and freq[dead[0]] <= EPS_REACH
+
+
+def test_loop_header_frequency_is_the_geometric_closed_form():
+    fn = _fn(WHILE_LOOP)
+    probs = branch_probabilities(fn)
+    freq = block_frequencies(fn, probs)
+    loops = LoopForest(fn).loops
+    assert len(loops) == 1
+    header_freq = freq[loops[0].header]
+    assert math.isclose(header_freq, 1.0 / (1.0 - PROB_LOOP_STAY),
+                        rel_tol=1e-9)
+
+
+def test_frequencies_are_nonnegative_and_entry_is_one():
+    for src in (DIAMOND, DEAD_ARM, WHILE_LOOP):
+        fn = _fn(src)
+        freq = block_frequencies(fn)
+        assert math.isclose(freq[fn.entry], 1.0)
+        assert all(f >= 0.0 for f in freq.values())
+
+
+# ---------------------------------------------------------------------------
+# Site distributions
+# ---------------------------------------------------------------------------
+
+
+def test_site_prob_target_prob_blends_unknown_prior():
+    site = SiteProb({"a": 0.5, UNKNOWN: 0.4, NULL: 0.1}, reach=1.0)
+    assert math.isclose(site.target_prob("a"), 0.5 + 0.4 * UNKNOWN_SHARE)
+    assert math.isclose(site.target_prob("b"), 0.4 * UNKNOWN_SHARE)
+    assert SiteProb({"a": 2.0}, 1.0).target_prob("a") == 1.0  # clamped
+
+
+def test_dist_overlap_closed_forms():
+    assert dist_overlap({"a": 1.0}, {"a": 1.0}) == 1.0
+    assert dist_overlap({"a": 1.0}, {"b": 1.0}) == 0.0
+    assert math.isclose(dist_overlap({"a": 0.5, "b": 0.5},
+                                     {"a": 0.5, "b": 0.5}), 0.5)
+    # unknown mass collides at the prior share
+    assert math.isclose(dist_overlap({UNKNOWN: 1.0}, {"a": 1.0}),
+                        UNKNOWN_SHARE)
+    assert dist_overlap({NULL: 1.0}, {"a": 1.0}) == 0.0
+
+
+POINTER_DIAMOND = (
+    "void main(int c) {"
+    "  int a; int b; int x; int *p;"
+    "  if (c) { p = &a; } else { p = &b; }"
+    "  x = *p;"
+    "  print(x);"
+    "}"
+)
+
+POINTER_DEAD = (
+    "void main() {"
+    "  int a; int b; int x; int *p;"
+    "  if (0) { p = &a; } else { p = &b; }"
+    "  x = *p;"
+    "  print(x);"
+    "}"
+)
+
+
+def _load_site(fn, info):
+    """The SiteProb of the function's last indirect load."""
+    from repro.ir import Load
+
+    sites = []
+    for block in fn.rpo():
+        for stmt in block.stmts:
+            for expr in stmt.exprs():
+                for node in expr.walk():
+                    if isinstance(node, Load):
+                        key = id(node)
+                        if key in info.sites:
+                            sites.append(info.sites[key])
+    assert sites, "no analyzed load site found"
+    return sites[-1]
+
+
+def test_pointer_diamond_splits_the_distribution():
+    fn = _fn(POINTER_DIAMOND)
+    info = compute_prob_alias(fn)
+    site = _load_site(fn, info)
+    a_syms = [s for s in fn.locals if s.name == "a"]
+    b_syms = [s for s in fn.locals if s.name == "b"]
+    assert a_syms and b_syms
+    assert math.isclose(site.dist.get(a_syms[0], 0.0), 0.5, rel_tol=1e-9)
+    assert math.isclose(site.dist.get(b_syms[0], 0.0), 0.5, rel_tol=1e-9)
+    assert site.reach > EPS_REACH
+
+
+def test_pointer_dead_arm_concentrates_the_distribution():
+    fn = _fn(POINTER_DEAD)
+    info = compute_prob_alias(fn)
+    site = _load_site(fn, info)
+    a_sym = next(s for s in fn.locals if s.name == "a")
+    b_sym = next(s for s in fn.locals if s.name == "b")
+    assert site.dist.get(a_sym, 0.0) <= 1e-9     # dead arm never assigns
+    assert site.dist.get(b_sym, 0.0) >= 1.0 - 1e-9
+
+
+def test_distribution_mass_never_exceeds_one():
+    for src in (POINTER_DIAMOND, POINTER_DEAD, WHILE_LOOP, DIAMOND):
+        fn = _fn(src)
+        info = compute_prob_alias(fn)
+        for site in info.sites.values():
+            assert sum(site.dist.values()) <= 1.0 + 1e-6
+            assert all(v >= -1e-12 for v in site.dist.values())
+            assert 0.0 <= site.reach
+
+
+# ---------------------------------------------------------------------------
+# Static flagger: determinism + threshold monotonicity (hypothesis)
+# ---------------------------------------------------------------------------
+
+FLAG_PROGRAM = (
+    "void main(int c) {"
+    "  int a; int b; int x; int *p; int *q;"
+    "  if (c) { p = &a; q = &b; } else { p = &b; q = &a; }"
+    "  a = 1;"
+    "  *p = 4;"
+    "  x = a + *q;"
+    "  b = x;"
+    "  print(x + b);"
+    "}"
+)
+
+
+def _snapshot(threshold):
+    from repro.analysis import AliasClassifier
+    from repro.ssa import build_ssa, make_static_flagger
+    from repro.ssa.spec import flag_snapshot
+
+    module = compile_source(FLAG_PROGRAM)
+    fn = module.functions["main"]
+    ssa = build_ssa(module, fn, AliasClassifier(module),
+                    flagger=make_static_flagger(threshold))
+    return flag_snapshot(ssa)
+
+
+def _likely_bits(snapshot):
+    return [int(line.split("likely=")[1][0])
+            for line in snapshot.splitlines() if "likely=" in line]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.0,
+                 allow_nan=False, allow_infinity=False))
+def test_static_flagger_is_deterministic(threshold):
+    assert _snapshot(threshold) == _snapshot(threshold)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+       st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_static_flagger_is_threshold_monotone(t1, t2):
+    """Raising the threshold only ever *removes* likely marks: at the
+    higher threshold every likely operand was already likely at the
+    lower one, pointwise (the snapshots line up positionally)."""
+    lo, hi = min(t1, t2), max(t1, t2)
+    lo_bits = _likely_bits(_snapshot(lo))
+    hi_bits = _likely_bits(_snapshot(hi))
+    assert len(lo_bits) == len(hi_bits)
+    assert all(l >= h for l, h in zip(lo_bits, hi_bits))
+
+
+def test_threshold_sweep_is_monotone_in_total_marks():
+    counts = [sum(_likely_bits(_snapshot(t)))
+              for t in (0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0)]
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] > counts[-1]  # the sweep actually moves flags

@@ -174,3 +174,68 @@ def test_lftr_retires_induction_variable():
                   if hasattr(s, "sym") and s.sym.name == "i"
                   and isinstance(s.value, Bin)]
     assert increments == []
+
+
+# ---- regression: optimizer output must re-verify (ISSUE 8) ---------------
+
+
+def run_sr_lftr_verified(src):
+    """Like :func:`run_sr_lftr`, but re-verifies the SSA after the
+    optimizer — the pipeline's post-SSAPRE guard.  LFTR's rewritten
+    loop test and strength reduction's injury repairs used to reference
+    the temp with an unrenamed ``SVarUse(temp, None)``, which only this
+    verifier catches (lowering tolerates it by collapsing onto the
+    symbol), silently degrading affected functions down the ladder."""
+    from repro.ssa import verify_ssa
+
+    module = compile_source(src)
+    expected = run_module(module)
+    split_module_critical_edges(module)
+    classifier = AliasClassifier(module)
+    ssa_fns = []
+    stats = {}
+    for fn in module.functions.values():
+        ssa = build_ssa(module, fn, classifier,
+                        flagger=flagger_for(SpecMode.OFF))
+        stats[fn.name] = optimize_function(ssa, SpecConfig.base())
+        verify_ssa(ssa)
+        ssa_fns.append(ssa)
+    lowered = lower_module(module, ssa_fns)
+    assert run_module(lowered) == expected
+    return lowered, stats
+
+
+def test_lftr_result_passes_ssa_verifier():
+    _, stats = run_sr_lftr_verified(
+        "void main() { int i; int s; s = 0;"
+        " for (i = 0; i < 8; i = i + 1) { s = s + i * 5; } print(s); }"
+    )
+    assert stats["main"].lftr_replacements == 1
+
+
+def test_lftr_invariant_bound_passes_ssa_verifier():
+    _, stats = run_sr_lftr_verified(
+        "void main() { int i; int n; int s; s = 0; n = 8;"
+        " for (i = 0; i < n; i = i + 1) { s = s + i * 5; } print(s); }"
+    )
+    assert stats["main"].lftr_replacements == 1
+
+
+def test_art_workload_compiles_without_failsafe():
+    """End-to-end regression for the two unrenamed-temp-use bugs: art's
+    f1_layer/match are the functions that used to fail ``verify-ssa``
+    after LFTR + injury repairs and silently degrade to the ``no-lftr``
+    rung.  With ``failsafe=False`` any verifier failure raises, so a
+    clean compile with LFTR actually fired proves both fixes."""
+    from repro.pipeline import compile_program
+    from repro.workloads import get_workload
+
+    wl = get_workload("art")
+    result = compile_program(
+        wl.source,
+        SpecConfig.profile().but(use_edge_profile=False),
+        train_inputs=wl.train_inputs, failsafe=False, cache=False)
+    assert result.degraded == {}
+    fired = {name: s.lftr_replacements
+             for name, s in result.opt_stats.items() if s.lftr_replacements}
+    assert fired == {"f1_layer": 1, "match": 1}

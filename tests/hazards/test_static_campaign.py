@@ -1,0 +1,52 @@
+"""Fault-injection campaign for the profile-free static speculation
+source (ISSUE 8, ``pytest -m spec_static``).
+
+The static source guesses likeliness from probabilistic alias analysis
+alone — no training run ever happens — so a wrong guess is *expected*
+behaviour, not a bug: it may only cost recovery replays and check
+misses, never a single output line.  The 210-run matrix mirrors the
+profile-mode acceptance campaign (every workload × poison/storm/chaos
+× 7 seeds) under the bit-for-bit oracle."""
+
+import pytest
+
+from repro.core import SpecConfig
+from repro.hazards import run_campaign
+from repro.ssa import SpecMode
+
+pytestmark = [pytest.mark.faultinject, pytest.mark.spec_static]
+
+#: the campaign config: static flags, static control speculation (the
+#: recovery workloads need their ld.s sites kept, so no edge profile)
+STATIC_CONFIG = SpecConfig.profile().but(mode=SpecMode.STATIC,
+                                         use_edge_profile=False)
+
+
+def test_static_config_needs_no_train_run():
+    assert not STATIC_CONFIG.needs_train_run
+    assert STATIC_CONFIG.spec_source == "static"
+
+
+def test_static_campaign_210_runs_bit_for_bit():
+    """≥210 injected runs across all 10 workloads with statically
+    guessed flags: zero output mismatches, zero ladder degradations,
+    and wrong guesses actually bit (recoveries, deferred faults and
+    check misses all occurred — they cost replays, nothing else)."""
+    report = run_campaign(config=STATIC_CONFIG,
+                          scenarios=("poison", "storm", "chaos"),
+                          seeds=range(7))
+    assert len(report.runs) >= 210
+    assert report.ok, report.summary()
+    assert report.degraded == []
+    assert report.total_recoveries > 0
+    assert sum(r.deferred_faults for r in report.runs) > 0
+    assert sum(r.check_misses for r in report.runs) > 0
+    assert sum(r.replay_loads for r in report.runs) > 0
+
+
+def test_static_campaign_is_reproducible():
+    kwargs = dict(config=STATIC_CONFIG,
+                  workload_names=["parser", "art"],
+                  scenarios=("chaos",), seeds=(0, 1))
+    a, b = run_campaign(**kwargs), run_campaign(**kwargs)
+    assert [vars(r) for r in a.runs] == [vars(r) for r in b.runs]

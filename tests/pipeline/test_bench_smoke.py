@@ -83,3 +83,48 @@ def test_superblock_ablation_artifact():
     for row in rows:
         assert row["superblock_cycles"] <= row["block_cycles"] * 1.01, \
             row["benchmark"]
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.spec_static
+def test_spec_source_compare_artifact():
+    """Regenerate the three-way speculation-source comparison
+    (docs/speculation_sources.md) — the third artifact the bench-smoke
+    CI job uploads.  The acceptance bar matches
+    benchmarks/test_spec_source_compare.py: the profile-free static
+    source recovers a nonzero fraction of the profile's load-reduction
+    win on at least half the workloads where the profile wins at all."""
+    from repro.core import SpecConfig
+    from repro.pipeline import Comparison, format_table
+    from repro.workloads import all_workloads, run_workload
+
+    rows = []
+    for w in all_workloads():
+        base = run_workload(w, SpecConfig.base())
+        prof = Comparison(w.name, base, run_workload(w, SpecConfig.profile()))
+        heur = Comparison(w.name, base,
+                          run_workload(w, SpecConfig.heuristic()))
+        stat = Comparison(w.name, base, run_workload(w, SpecConfig.static()))
+        rows.append({
+            "benchmark": w.name,
+            "profile_loadred_%": 100.0 * prof.load_reduction,
+            "heuristic_loadred_%": 100.0 * heur.load_reduction,
+            "static_loadred_%": 100.0 * stat.load_reduction,
+            "profile_speedup_%": 100.0 * prof.speedup,
+            "heuristic_speedup_%": 100.0 * heur.speedup,
+            "static_speedup_%": 100.0 * stat.speedup,
+            "static_misspec_%": 100.0 * stat.misspeculation_ratio,
+        })
+
+    text = format_table(
+        rows, title="Speculation sources: profile vs heuristic vs static")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "spec_source_compare.txt"),
+              "w") as f:
+        f.write(text + "\n")
+
+    winners = [r for r in rows if r["profile_loadred_%"] > 0.0]
+    recovered = [r for r in winners if r["static_loadred_%"] > 0.0]
+    assert winners and len(recovered) * 2 >= len(winners)
+    for row in rows:
+        assert row["static_misspec_%"] <= 10.0, row["benchmark"]

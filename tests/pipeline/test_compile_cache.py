@@ -151,3 +151,42 @@ def test_compile_and_run_uses_process_cache():
                             cache=False)
     assert fresh.output == first.output
     assert (shared.hits, shared.misses) == (hits_before, misses_before)
+
+
+def test_profile_free_configs_normalize_train_inputs():
+    """Configs with ``needs_train_run == False`` never see the trainer,
+    so their cache keys must not fragment on irrelevant train inputs:
+    base/heuristic/static compiles with different train data share one
+    entry, while a profile compile keys on them (see above)."""
+    for config in (SpecConfig.base(), SpecConfig.heuristic(),
+                   SpecConfig.static()):
+        assert not config.needs_train_run
+        cache = CompileCache()
+        compile_program(SOURCE, config, train_inputs=(1,), cache=cache)
+        compile_program(SOURCE, config, train_inputs=(2, 3), cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1), config.mode
+
+
+def test_compiler_fingerprint_stamps_content_keys():
+    """Content keys carry the compiler's identity — package version +
+    registered pass names — so persisted caches (service
+    ``--cache-dir``) invalidate when the compiler changes."""
+    from repro import __version__
+    from repro.pipeline import compiler_fingerprint, content_key
+
+    fp = compiler_fingerprint()
+    assert __version__ in fp
+    assert "build-ssa" in fp and "dce" in fp
+
+    key = content_key(SOURCE, SpecConfig.profile(), (1,), 1000, True)
+    assert key == content_key(SOURCE, SpecConfig.profile(), (1,), 1000,
+                              True)
+
+    import repro.pipeline.cache as cache_mod
+    original = cache_mod.compiler_fingerprint
+    try:
+        cache_mod.compiler_fingerprint = lambda: "other-compiler"
+        assert content_key(SOURCE, SpecConfig.profile(), (1,), 1000,
+                           True) != key
+    finally:
+        cache_mod.compiler_fingerprint = original

@@ -106,9 +106,13 @@ def test_duplicate_inflight_keys_resolve_to_one_compile(daemon,
 
 
 def test_distinct_keys_do_not_dedup(daemon):
+    # a source of its own: profile-free configs normalize train inputs
+    # out of the compile-cache key, so reusing SRC would warm-hit the
+    # base compile another test already did in this process
+    src = "void main() { int x; x = input(); print(x + 11); }"
     with _client(daemon) as client:
-        a = client.run_source(SRC, config="profile", train=[1], ref=[5])
-        b = client.run_source(SRC, config="base", train=[1], ref=[5])
+        a = client.run_source(src, config="profile", train=[1], ref=[5])
+        b = client.run_source(src, config="base", train=[1], ref=[5])
         assert not a["dedup"] and not b["dedup"]
         assert b["cached"] is False  # different config = different key
 

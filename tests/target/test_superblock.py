@@ -40,7 +40,11 @@ GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
 def test_block_mode_bit_identical_to_golden():
     """`--sched block` is the baseline every measurement in the repo was
     taken against: code, cycles and instruction counts must match the
-    pre-superblock golden dump byte for byte."""
+    golden dump byte for byte.  (Regenerated once when the unrenamed-
+    temp-use fixes in LFTR/strength-reduction repairs stopped art from
+    silently degrading to the `no-lftr` rung — see
+    tests/core/test_dce_lftr.py's regression tests; only art's section
+    changed, cycles 19859 → 19679.)"""
     parts = []
     for name in ("gzip", "mcf", "art"):
         w = get_workload(name)
