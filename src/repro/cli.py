@@ -4,19 +4,24 @@ Usage::
 
     python -m repro run FILE [--config NAME] [--spec-source SRC]
                              [--sched block|superblock]
+                             [--engine classic|predecode|trace]
                              [--train 1,2,3] [--ref 4,5,6] [--dump-ir]
                              [--inject SCENARIO] [--inject-seed N]
                              [--jobs N] [--time-passes] [--trace-json FILE]
     python -m repro compare FILE [--train ...] [--ref ...]
     python -m repro workloads [--list | --name NAME] [--spec-source SRC]
+                              [--engine ENGINE]
     python -m repro campaign [--scenarios poison,storm] [--seeds 0,1,2]
                              [--adversary empty|shuffle|invert] [--jobs N]
-                             [--spec-source SRC]
+                             [--spec-source SRC] [--engine ENGINE]
 
 ``--config`` names come from the shared service registry
 (:mod:`repro.service.registry` — ``repro run --help`` lists them);
 ``--spec-source heuristic|profile|static`` overrides where speculation
-flags come from (``static`` needs no train input at all).
+flags come from (``static`` needs no train input at all);
+``--engine classic|predecode|trace`` picks the simulator dispatch
+implementation (docs/performance.md — identical output and
+architectural counters on all three).
     python -m repro figures [--out DIR]
     python -m repro serve [--host H] [--port P] [--workers N]
                           [--max-queue-depth N] [--max-inflight N]
@@ -112,7 +117,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                    train_inputs=_parse_inputs(args.train))
         print(format_module(compiled.optimized))
         print()
-    machine_kwargs = {}
+    machine_kwargs = {"engine": args.engine}
     if args.inject != "none":
         from .hazards import make_injector
 
@@ -148,8 +153,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{cache_stats['bypasses']} bypasses "
               f"({cache_stats['entries']} entries)", file=sys.stderr)
     if args.trace_json and result.pass_trace is not None:
-        result.pass_trace.dump_json(args.trace_json,
-                                    cache_stats=cache_stats)
+        result.pass_trace.dump_json(
+            args.trace_json, cache_stats=cache_stats,
+            engine_stats={"engine": args.engine,
+                          **result.stats.engine_dict()})
         print(f"pass trace written to {args.trace_json}", file=sys.stderr)
     if args.json:
         import json
@@ -167,6 +174,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"ld.s={s.spec_loads} ld.c={s.check_loads} "
           f"misses={s.check_misses} deferred={s.deferred_faults} "
           f"recovered={s.spec_recoveries})", file=sys.stderr)
+    if args.engine == "trace":
+        print(f"--- trace cache: traces={s.traces_compiled} "
+              f"hits={s.trace_hits} side_exits={s.side_exits} "
+              f"trace_dyn_instr={s.trace_dyn_instr}", file=sys.stderr)
     return 0
 
 
@@ -194,7 +205,8 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     rows = []
     for name in names:
         comparison = compare_workload(
-            name, spec_config=_resolve_cli_config(args))
+            name, spec_config=_resolve_cli_config(args),
+            engine=args.engine)
         rows.append(comparison.row())
     title = args.config + (f" ({args.spec_source} flags)"
                            if args.spec_source else "")
@@ -221,6 +233,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seeds=[int(s) for s in args.seeds.split(",")],
         profile_transform=transform,
         jobs=args.jobs,
+        engine=args.engine,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -342,6 +355,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "scheduling (default) or profile-guided "
                           "superblock formation + hot-path layout "
                           "(docs/scheduling.md)")
+    from .target import ENGINES
+
+    run.add_argument("--engine", choices=sorted(ENGINES),
+                     default="predecode",
+                     help="simulator dispatch implementation "
+                          "(docs/performance.md): predecoded operands "
+                          "(default), the hot-trace JIT layered on it, "
+                          "or the frozen classic baseline — identical "
+                          "output and architectural counters on all "
+                          "three")
     run.add_argument("--train", help="comma-separated train inputs")
     run.add_argument("--ref", help="comma-separated ref inputs")
     run.add_argument("--dump-ir", action="store_true")
@@ -389,6 +412,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(see `run`)")
     workloads.add_argument("--sched", choices=("block", "superblock"),
                            help="machine scheduling mode (see `run`)")
+    workloads.add_argument("--engine", choices=sorted(ENGINES),
+                           default="predecode",
+                           help="simulator dispatch implementation "
+                                "(see `run`)")
     workloads.set_defaults(fn=_cmd_workloads)
 
     campaign = sub.add_parser(
@@ -411,6 +438,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "flag source (static: wrong guesses may "
                                "only cost recovery replays, never "
                                "output mismatches)")
+    campaign.add_argument("--engine", choices=sorted(ENGINES),
+                          default="predecode",
+                          help="simulate every injected run on this "
+                               "dispatch engine (trace: proves the JIT "
+                               "deoptimizes correctly under every "
+                               "perturbation)")
     import os
 
     campaign.add_argument(

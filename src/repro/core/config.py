@@ -72,6 +72,13 @@ class SpecConfig:
     emit_checks: bool = True
     dce: bool = True
     max_rounds: int = 4
+    #: simulator dispatch implementation (:data:`repro.target.ENGINES`):
+    #: "predecode" (default), "trace" (hot-trace JIT) or "classic".
+    #: A machine-side knob, not a compiler one — it never changes the
+    #: generated code, only how the service/CLI simulate it; it rides on
+    #: the config so the wire protocol's spec strings can select it
+    #: (``resolve_config("profile+trace")``).
+    engine: str = "predecode"
 
     @property
     def spec_source(self) -> str:

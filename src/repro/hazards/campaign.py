@@ -57,6 +57,11 @@ class CampaignReport:
 
     runs: List[InjectedRun] = field(default_factory=list)
     degraded: List[str] = field(default_factory=list)
+    #: True when the injected runs actually fanned out over the process
+    #: pool; False when ``jobs=1`` or the break-even fallback kept the
+    #: campaign sequential.  The perf benchmark reports this instead of
+    #: letting a sub-1.0 "speedup" imply the pool ran and lost.
+    parallel_taken: bool = False
 
     @property
     def failures(self) -> List[InjectedRun]:
@@ -86,7 +91,7 @@ class CampaignReport:
 
 def _injected_run(compiled, expected: List[str], workload_name: str,
                   ref_inputs, scenario: str, seed: int, fuel: int,
-                  kwargs: dict) -> InjectedRun:
+                  kwargs: dict, engine: str = "predecode") -> InjectedRun:
     """Simulate one ``(scenario, seed)`` perturbation and check it
     against the oracle — the single code path both the sequential and
     the parallel campaign execute."""
@@ -95,7 +100,7 @@ def _injected_run(compiled, expected: List[str], workload_name: str,
     try:
         stats, output = run_program(
             compiled.program, inputs=ref_inputs,
-            fuel=4 * fuel, injector=injector, **kwargs)
+            fuel=4 * fuel, injector=injector, engine=engine, **kwargs)
     except MachineError as exc:
         run.error = str(exc)
     else:
@@ -134,7 +139,8 @@ PARALLEL_MIN_RUNS = 48
 
 
 def _campaign_task(task: tuple) -> Tuple[InjectedRun, Tuple[str, ...]]:
-    (workload_name, config, scenario, seed, fuel, profile_transform) = task
+    (workload_name, config, scenario, seed, fuel, profile_transform,
+     engine) = task
     memo_key = (workload_name, repr(config), fuel)
     entry = _WORKER_MEMO.get(memo_key)
     if entry is None:
@@ -152,7 +158,7 @@ def _campaign_task(task: tuple) -> Tuple[InjectedRun, Tuple[str, ...]]:
         _WORKER_MEMO[memo_key] = entry
     compiled, expected, degraded, ref_inputs, kwargs = entry
     run = _injected_run(compiled, expected, workload_name, ref_inputs,
-                        scenario, seed, fuel, kwargs)
+                        scenario, seed, fuel, kwargs, engine)
     return run, degraded
 
 
@@ -163,7 +169,8 @@ def run_campaign(workload_names: Optional[Sequence[str]] = None,
                  profile_transform: Optional[Callable] = None,
                  fuel: int = 50_000_000,
                  jobs: int = 1,
-                 force_parallel: bool = False) -> CampaignReport:
+                 force_parallel: bool = False,
+                 engine: str = "predecode") -> CampaignReport:
     """Run the differential campaign (see module docstring).
 
     Each workload is compiled **once** per campaign (once per worker
@@ -177,9 +184,17 @@ def run_campaign(workload_names: Optional[Sequence[str]] = None,
     break-even — at least :data:`PARALLEL_MIN_CPUS` CPUs and
     :data:`PARALLEL_MIN_RUNS` injected runs; below it the pool is
     slower than serial and the campaign silently runs sequentially
-    (the report is identical either way).  ``force_parallel=True``
-    overrides the fallback — the knob the bit-identity tests use to
-    exercise the pool machinery regardless of the host.
+    (the report is identical either way — and
+    :attr:`CampaignReport.parallel_taken` records which path ran).
+    ``force_parallel=True`` overrides the fallback — the knob the
+    bit-identity tests use to exercise the pool machinery regardless
+    of the host.
+
+    ``engine`` selects the simulator dispatch implementation for every
+    injected run (:data:`repro.target.ENGINES`); the oracle is always
+    the reference interpreter, so ``engine="trace"`` turns the campaign
+    into a differential proof that the trace JIT deoptimizes correctly
+    under every perturbation.
     """
     workloads = ([get_workload(n) for n in workload_names]
                  if workload_names is not None
@@ -200,7 +215,7 @@ def run_campaign(workload_names: Optional[Sequence[str]] = None,
     # sequential path still records each workload's degraded notes)
     if jobs > 1 and total_runs and (past_break_even or force_parallel):
         return _run_campaign_parallel(workloads, config, scenarios, seeds,
-                                      profile_transform, fuel, jobs)
+                                      profile_transform, fuel, jobs, engine)
     report = CampaignReport()
     for workload in workloads:
         compiled = compile_program(workload.source, config,
@@ -216,14 +231,16 @@ def run_campaign(workload_names: Optional[Sequence[str]] = None,
             for seed in seeds:
                 report.runs.append(_injected_run(
                     compiled, expected, workload.name,
-                    workload.ref_inputs, scenario, seed, fuel, kwargs))
+                    workload.ref_inputs, scenario, seed, fuel, kwargs,
+                    engine))
     return report
 
 
 def _run_campaign_parallel(workloads, config: SpecConfig,
                            scenarios: Sequence[str], seeds: List[int],
                            profile_transform: Optional[Callable],
-                           fuel: int, jobs: int) -> CampaignReport:
+                           fuel: int, jobs: int,
+                           engine: str = "predecode") -> CampaignReport:
     """Fan the injected runs over a process pool.  Tasks are built in
     the sequential path's exact nested order and collected with
     ``executor.map`` (submission order), so the report cannot depend on
@@ -231,11 +248,11 @@ def _run_campaign_parallel(workloads, config: SpecConfig,
     from concurrent.futures import ProcessPoolExecutor
 
     tasks = [(workload.name, config, scenario, seed, fuel,
-              profile_transform)
+              profile_transform, engine)
              for workload in workloads
              for scenario in scenarios
              for seed in seeds]
-    report = CampaignReport()
+    report = CampaignReport(parallel_taken=True)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         results = list(pool.map(_campaign_task, tasks, chunksize=1))
     seen_degraded = set()

@@ -110,10 +110,11 @@ class PassTrace:
         return "\n".join(lines)
 
     def to_json(self, analysis_stats: Optional[Dict[str, object]] = None,
-                cache_stats: Optional[Dict[str, object]] = None
+                cache_stats: Optional[Dict[str, object]] = None,
+                engine_stats: Optional[Dict[str, object]] = None
                 ) -> Dict[str, object]:
-        """Machine-readable trace (optionally with the analysis-cache
-        and compile-cache counters merged in)."""
+        """Machine-readable trace (optionally with the analysis-cache,
+        compile-cache and simulator-engine counters merged in)."""
         doc: Dict[str, object] = {
             "total_wall_s": self.total_wall_s,
             "invocations": len(self.records),
@@ -123,13 +124,17 @@ class PassTrace:
             doc["analyses"] = analysis_stats
         if cache_stats is not None:
             doc["compile_cache"] = cache_stats
+        if engine_stats is not None:
+            doc["engine"] = engine_stats
         return doc
 
     def dump_json(self, path: str,
                   analysis_stats: Optional[Dict[str, object]] = None,
-                  cache_stats: Optional[Dict[str, object]] = None
+                  cache_stats: Optional[Dict[str, object]] = None,
+                  engine_stats: Optional[Dict[str, object]] = None
                   ) -> None:
         with open(path, "w") as f:
-            json.dump(self.to_json(analysis_stats, cache_stats), f,
+            json.dump(self.to_json(analysis_stats, cache_stats,
+                                   engine_stats), f,
                       indent=2)
             f.write("\n")

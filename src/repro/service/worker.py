@@ -104,8 +104,10 @@ def _handle_run(req: Dict[str, Any]) -> Dict[str, Any]:
     compiled, hit = _compile(req)
     fuel = req.get("fuel", 50_000_000)
     ref_inputs = req.get("ref", [])
+    # the config spec string selects the simulator too ("profile+trace")
     stats, output = run_program(compiled.program, inputs=ref_inputs,
-                                fuel=4 * fuel)
+                                fuel=4 * fuel,
+                                engine=compiled.config.engine)
     if req.get("check", True):
         expected = run_module(compiled.original, fuel=fuel,
                               inputs=ref_inputs)

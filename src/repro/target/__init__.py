@@ -23,7 +23,8 @@ from .cache import DataCache
 from .codegen import compile_function, compile_module, compute_max_live
 from .isa import (ALU_OPS, EFFECT_OPS, LOAD_OPS, TERMINATOR_OPS, MBlock,
                   MFunction, MInstr, MProgram)
-from .machine import NAT, MachineError, MachineFuelExhausted, run_program
+from .machine import (ENGINES, NAT, MachineError, MachineFuelExhausted,
+                      run_program)
 from .scheduler import (HOISTABLE_OPS, compute_live_in, may_hoist_above,
                         schedule_function, schedule_program, schedule_trace)
 from .stats import FnStats, MachineStats
@@ -32,7 +33,7 @@ from .superblock import (MachineProfile, Trace, form_superblocks,
 from .verify import verify_function, verify_program
 
 __all__ = [
-    "ALAT", "ALU_OPS", "DataCache", "EFFECT_OPS", "FnStats",
+    "ALAT", "ALU_OPS", "DataCache", "EFFECT_OPS", "ENGINES", "FnStats",
     "HOISTABLE_OPS", "LOAD_OPS", "MBlock", "MFunction", "MInstr",
     "MProgram", "MachineError", "MachineFuelExhausted", "MachineProfile",
     "MachineStats", "NAT", "TERMINATOR_OPS", "Trace",
